@@ -1,0 +1,117 @@
+//! Label-preserving augmentations for MEMO's marginal-entropy objective.
+//!
+//! MEMO augments each test input with random transforms (the paper's
+//! examples: rotation, posterization) and minimizes the entropy of the
+//! *averaged* prediction. In our feature-vector domain (DESIGN.md S4) the
+//! analogous transforms are small jitter, scaling, feature dropout and tiny
+//! cyclic shifts — mild enough that a well-trained classifier's prediction
+//! should be invariant to them.
+
+use nazar_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One augmentation family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Augmentation {
+    /// Additive Gaussian jitter (σ = 0.1).
+    Jitter,
+    /// Global scaling by `U[0.85, 1.15]`.
+    Scale,
+    /// Random zeroing of 10% of features.
+    Dropout,
+    /// Cyclic shift by one position.
+    Shift,
+}
+
+impl Augmentation {
+    /// The full set of augmentation families.
+    pub const ALL: [Augmentation; 4] = [
+        Augmentation::Jitter,
+        Augmentation::Scale,
+        Augmentation::Dropout,
+        Augmentation::Shift,
+    ];
+
+    /// Applies the augmentation to every row of `x`.
+    pub fn apply<R: Rng + ?Sized>(self, x: &Tensor, rng: &mut R) -> Tensor {
+        let (n, d) = (x.nrows().expect("matrix"), x.ncols().unwrap());
+        let mut out = Vec::with_capacity(n * d);
+        match self {
+            Augmentation::Jitter => {
+                for &v in x.data() {
+                    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                    let u2: f32 = rng.gen_range(0.0f32..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+                    out.push(v + 0.1 * z);
+                }
+            }
+            Augmentation::Scale => {
+                for i in 0..n {
+                    let c = rng.gen_range(0.85f32..1.15);
+                    out.extend(x.row(i).unwrap().iter().map(|&v| v * c));
+                }
+            }
+            Augmentation::Dropout => {
+                for &v in x.data() {
+                    out.push(if rng.gen_range(0.0f32..1.0) < 0.1 {
+                        0.0
+                    } else {
+                        v
+                    });
+                }
+            }
+            Augmentation::Shift => {
+                for i in 0..n {
+                    let row = x.row(i).unwrap();
+                    for j in 0..d {
+                        out.push(row[(j + 1) % d]);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, d]).expect("same size")
+    }
+
+    /// Draws a random augmentation family.
+    pub fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::ALL[rng.gen_range(0..Self::ALL.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn augmentations_preserve_shape_and_are_mild() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let x = Tensor::randn(&mut rng, &[4, 16], 0.0, 1.0);
+        for aug in Augmentation::ALL {
+            let y = aug.apply(&x, &mut rng);
+            assert_eq!(y.dims(), x.dims(), "{aug:?}");
+            let dist = x.sub(&y).unwrap().l2_norm() / x.l2_norm();
+            assert!(dist < 2.0, "{aug:?} moved the input too far: {dist}");
+        }
+    }
+
+    #[test]
+    fn shift_is_cyclic() {
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let y = Augmentation::Shift.apply(&x, &mut rng);
+        assert_eq!(y.data(), &[2.0, 3.0, 1.0]);
+    }
+
+    #[test]
+    fn random_covers_all_families() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(format!("{:?}", Augmentation::random(&mut rng)));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

@@ -1,0 +1,205 @@
+//! Federated by-cause adaptation (the paper's stated future work).
+//!
+//! §6 of the paper: "Interesting avenues for future work are adapting Nazar
+//! to distributed federated learning, and developing techniques for improved
+//! user privacy." This module implements the natural first step: instead of
+//! uploading sampled *inputs* to the cloud, each affected device runs TENT
+//! locally on its own drifted data and uploads only its adapted **BN patch**;
+//! the cloud aggregates the patches FedAvg-style (weighted average of γ, β
+//! and running statistics) into one by-cause version.
+//!
+//! Raw inputs never leave the device — only 4·width scalars per BN layer do
+//! — which is exactly the privacy improvement the paper gestures at.
+
+use crate::tent::{tent_adapt, TentConfig};
+use crate::AdaptReport;
+use nazar_nn::{BnLayerState, BnPatch, MlpResNet};
+use nazar_tensor::Tensor;
+
+/// Aggregates BN patches from multiple devices into one patch by weighted
+/// averaging (FedAvg over the BN state).
+///
+/// `contributions` pairs each device's patch with its sample count (the
+/// FedAvg weight). All patches must share one layout.
+///
+/// # Panics
+///
+/// Panics if `contributions` is empty, weights are all zero, or the patches
+/// disagree on layout.
+pub fn average_patches(contributions: &[(BnPatch, usize)]) -> BnPatch {
+    assert!(
+        !contributions.is_empty(),
+        "federated aggregation needs at least one patch"
+    );
+    let total: usize = contributions.iter().map(|(_, w)| w).sum();
+    assert!(total > 0, "federated weights must not all be zero");
+    let layers = contributions[0].0.num_layers();
+    for (p, _) in contributions {
+        assert_eq!(p.num_layers(), layers, "patch layouts disagree");
+    }
+
+    let states: Vec<BnLayerState> = (0..layers)
+        .map(|li| {
+            let width = contributions[0].0.layers()[li].gamma.len();
+            let mut gamma = vec![0.0f32; width];
+            let mut beta = vec![0.0f32; width];
+            let mut mean = vec![0.0f32; width];
+            let mut var = vec![0.0f32; width];
+            for (patch, weight) in contributions {
+                let s = &patch.layers()[li];
+                assert_eq!(s.gamma.len(), width, "patch widths disagree at layer {li}");
+                let w = *weight as f32 / total as f32;
+                for (acc, v) in gamma.iter_mut().zip(s.gamma.data()) {
+                    *acc += w * v;
+                }
+                for (acc, v) in beta.iter_mut().zip(s.beta.data()) {
+                    *acc += w * v;
+                }
+                for (acc, v) in mean.iter_mut().zip(s.running_mean.data()) {
+                    *acc += w * v;
+                }
+                for (acc, v) in var.iter_mut().zip(s.running_var.data()) {
+                    *acc += w * v;
+                }
+            }
+            BnLayerState {
+                gamma: Tensor::from_vec(gamma, &[width]).expect("width"),
+                beta: Tensor::from_vec(beta, &[width]).expect("width"),
+                running_mean: Tensor::from_vec(mean, &[width]).expect("width"),
+                running_var: Tensor::from_vec(var, &[width]).expect("width"),
+            }
+        })
+        .collect();
+    BnPatch::from_layers(states)
+}
+
+/// One device's local contribution to a federated adaptation round.
+#[derive(Debug, Clone)]
+pub struct LocalUpdate {
+    /// The locally adapted BN patch.
+    pub patch: BnPatch,
+    /// How many local samples it was adapted on (the FedAvg weight).
+    pub samples: usize,
+    /// The local adaptation report.
+    pub report: AdaptReport,
+}
+
+/// Runs one device's local TENT round: adapt a copy of `base` on the
+/// device's own drifted inputs and return only the BN patch.
+pub fn local_tent_round(base: &MlpResNet, local_data: &Tensor, config: &TentConfig) -> LocalUpdate {
+    let mut model = base.clone();
+    let report = tent_adapt(&mut model, local_data, config);
+    LocalUpdate {
+        patch: BnPatch::extract(&mut model),
+        samples: local_data.nrows().unwrap_or(0),
+        report,
+    }
+}
+
+/// A full federated by-cause round: every affected device adapts locally,
+/// the cloud averages the patches. Devices' raw inputs never appear in the
+/// return value.
+pub fn federated_round(
+    base: &MlpResNet,
+    per_device_data: &[Tensor],
+    config: &TentConfig,
+) -> (BnPatch, Vec<AdaptReport>) {
+    assert!(
+        !per_device_data.is_empty(),
+        "federated round needs at least one device"
+    );
+    let updates: Vec<LocalUpdate> = per_device_data
+        .iter()
+        .map(|data| local_tent_round(base, data, config))
+        .collect();
+    let contributions: Vec<(BnPatch, usize)> = updates
+        .iter()
+        .map(|u| (u.patch.clone(), u.samples))
+        .collect();
+    let reports = updates.into_iter().map(|u| u.report).collect();
+    (average_patches(&contributions), reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{corrupt, trained_bed};
+    use nazar_data::Corruption;
+    use nazar_nn::train;
+
+    #[test]
+    fn average_of_identical_patches_is_identity() {
+        let bed = trained_bed();
+        let mut m = bed.model.clone();
+        let patch = BnPatch::extract(&mut m);
+        let avg = average_patches(&[(patch.clone(), 10), (patch.clone(), 30)]);
+        assert_eq!(avg, patch);
+    }
+
+    #[test]
+    fn weights_bias_the_average() {
+        let bed = trained_bed();
+        let fog = corrupt(&bed.clean_x, Corruption::Fog, 3, 1);
+        let contrast = corrupt(&bed.clean_x, Corruption::Contrast, 3, 2);
+        let cfg = TentConfig {
+            epochs: 2,
+            batch_size: 32,
+            ..TentConfig::default()
+        };
+        let a = local_tent_round(&bed.model, &fog, &cfg).patch;
+        let b = local_tent_round(&bed.model, &contrast, &cfg).patch;
+        // A heavily weighted average must be closer to the heavy side.
+        let avg = average_patches(&[(a.clone(), 99), (b.clone(), 1)]);
+        let dist = |x: &BnPatch, y: &BnPatch| -> f32 {
+            x.layers()
+                .iter()
+                .zip(y.layers())
+                .map(|(l, r)| {
+                    l.gamma
+                        .data()
+                        .iter()
+                        .zip(r.gamma.data())
+                        .map(|(p, q)| (p - q).abs())
+                        .sum::<f32>()
+                })
+                .sum()
+        };
+        assert!(dist(&avg, &a) < dist(&avg, &b));
+    }
+
+    #[test]
+    fn federated_round_recovers_accuracy_close_to_centralized() {
+        // The future-work claim made concrete: averaging per-device local
+        // TENT patches for one cause approaches centralized adaptation.
+        let bed = trained_bed();
+        let cfg = TentConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..TentConfig::default()
+        };
+        let test_x = corrupt(&bed.clean_x, Corruption::Fog, 3, 10);
+
+        // Three "devices", each with its own fog-drifted local data.
+        let device_data: Vec<Tensor> = (0..3)
+            .map(|d| corrupt(&bed.clean_x, Corruption::Fog, 3, 20 + d))
+            .collect();
+        let (fed_patch, reports) = federated_round(&bed.model, &device_data, &cfg);
+        assert_eq!(reports.len(), 3);
+
+        let mut base = bed.model.clone();
+        let before = train::evaluate(&mut base, &test_x, &bed.clean_y).accuracy;
+        let mut fed = bed.model.clone();
+        fed_patch.apply(&mut fed).unwrap();
+        let after = train::evaluate(&mut fed, &test_x, &bed.clean_y).accuracy;
+        assert!(
+            after > before,
+            "federated adaptation {after} should beat no-adapt {before}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one patch")]
+    fn empty_aggregation_rejected() {
+        let _ = average_patches(&[]);
+    }
+}

@@ -1,0 +1,197 @@
+//! TENT: fully test-time adaptation by entropy minimization.
+
+use crate::AdaptReport;
+use nazar_nn::{entropy_of_logits, mean_entropy, Adam, Layer, MlpResNet, Mode, Optimizer};
+use nazar_tensor::{Tape, Tensor};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`tent_adapt`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TentConfig {
+    /// Adam learning rate for the BN affine parameters.
+    pub lr: f32,
+    /// Batch size for entropy minimization. TENT requires batches > 1:
+    /// optimizing a single prediction has the trivial solution of assigning
+    /// probability 1 to the argmax class (§3.4).
+    pub batch_size: usize,
+    /// Number of passes over the adaptation data.
+    pub epochs: usize,
+}
+
+impl Default for TentConfig {
+    fn default() -> Self {
+        TentConfig {
+            lr: 1e-2,
+            batch_size: 64,
+            epochs: 1,
+        }
+    }
+}
+
+/// Adapts `model` to unlabeled `data` by entropy minimization on its BN
+/// layers (affine parameters via gradient; running statistics via exposure
+/// to the adaptation batches in [`Mode::Adapt`]).
+///
+/// All non-BN parameters are frozen for the duration and their trainability
+/// flags restored afterwards.
+///
+/// # Panics
+///
+/// Panics if `data` is not a non-empty `[n, d]` matrix or the batch size is
+/// smaller than 2.
+pub fn tent_adapt(model: &mut MlpResNet, data: &Tensor, config: &TentConfig) -> AdaptReport {
+    assert!(
+        config.batch_size >= 2,
+        "tent requires batches of at least 2 inputs"
+    );
+    let n = data.nrows().expect("adaptation data is [n, d]");
+    assert!(n > 0, "adaptation data must be non-empty");
+
+    let entropy_before = mean_entropy_of(model, data);
+
+    // TENT configuration: only γ/β receive gradients.
+    model.set_all_trainable(false);
+    model.set_bn_affine_trainable(true);
+
+    let mut opt = Adam::new(config.lr);
+    let mut steps = 0;
+    for _ in 0..config.epochs {
+        let mut start = 0;
+        while start < n {
+            let end = (start + config.batch_size).min(n);
+            if end - start < 2 {
+                break; // a trailing singleton batch has the trivial optimum
+            }
+            let idx: Vec<usize> = (start..end).collect();
+            let batch = data.select_rows(&idx).expect("rows in range");
+
+            let tape = Tape::new();
+            let xv = tape.leaf(batch);
+            let logits = model.forward(&tape, &xv, Mode::Adapt);
+            let loss = mean_entropy(&logits);
+            let grads = loss.backward();
+            model.collect_grads(&grads);
+            opt.step(model);
+            model.zero_grads();
+            steps += 1;
+            start = end;
+        }
+    }
+
+    model.set_all_trainable(true);
+    let entropy_after = mean_entropy_of(model, data);
+    AdaptReport {
+        entropy_before,
+        entropy_after,
+        steps,
+    }
+}
+
+/// Mean prediction entropy of `model` on `data` (eval mode, no adaptation).
+fn mean_entropy_of(model: &mut MlpResNet, data: &Tensor) -> f32 {
+    let logits = model.logits(data, Mode::Eval);
+    let h = entropy_of_logits(&logits);
+    h.iter().sum::<f32>() / h.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{corrupt, trained_bed};
+    use nazar_data::Corruption;
+    use nazar_nn::train;
+
+    #[test]
+    fn tent_reduces_entropy_on_drifted_data() {
+        let bed = trained_bed();
+        let drifted = corrupt(&bed.clean_x, Corruption::GaussianNoise, 3, 7);
+        let mut model = bed.model.clone();
+        let report = tent_adapt(&mut model, &drifted, &TentConfig::default());
+        assert!(report.entropy_after < report.entropy_before, "{report:?}");
+        assert!(report.steps > 0);
+    }
+
+    #[test]
+    fn tent_improves_accuracy_on_average_across_causes() {
+        // TENT is not guaranteed to help on every single corruption (the
+        // paper's Fig. 7 also shows near-ties), but on average over causes
+        // it must win, and it must never collapse accuracy.
+        let bed = trained_bed();
+        let mut gain_sum = 0.0f32;
+        for cause in [
+            Corruption::Fog,
+            Corruption::Contrast,
+            Corruption::DefocusBlur,
+        ] {
+            let drifted = corrupt(&bed.clean_x, cause, 3, 11);
+            let mut base = bed.model.clone();
+            let before = train::evaluate(&mut base, &drifted, &bed.clean_y).accuracy;
+            let mut adapted = bed.model.clone();
+            tent_adapt(
+                &mut adapted,
+                &drifted,
+                &TentConfig {
+                    epochs: 3,
+                    ..TentConfig::default()
+                },
+            );
+            let after = train::evaluate(&mut adapted, &drifted, &bed.clean_y).accuracy;
+            assert!(
+                after >= before - 0.05,
+                "{cause}: adapted {after} collapsed below non-adapted {before}"
+            );
+            gain_sum += after - before;
+        }
+        assert!(gain_sum > 0.0, "mean TENT gain {gain_sum} not positive");
+    }
+
+    #[test]
+    fn tent_leaves_linear_weights_untouched() {
+        let bed = trained_bed();
+        let drifted = corrupt(&bed.clean_x, Corruption::Frost, 3, 13);
+        let mut model = bed.model.clone();
+        let patch_before = nazar_nn::BnPatch::extract(&mut model);
+        tent_adapt(&mut model, &drifted, &TentConfig::default());
+        let patch_after = nazar_nn::BnPatch::extract(&mut model);
+        assert_ne!(patch_before, patch_after, "bn state must change");
+
+        // Zero out the BN difference: applying the pre-adaptation patch must
+        // fully restore the original predictions, proving nothing outside
+        // BN changed.
+        patch_before.apply(&mut model).unwrap();
+        let mut original = bed.model.clone();
+        let probe = corrupt(&bed.clean_x, Corruption::Frost, 2, 14);
+        let a = model.logits(&probe, Mode::Eval);
+        let b = original.logits(&probe, Mode::Eval);
+        assert!(
+            a.approx_eq(&b, 1e-4),
+            "non-BN parameters drifted during TENT"
+        );
+    }
+
+    #[test]
+    fn trainability_flags_are_restored() {
+        let bed = trained_bed();
+        let mut model = bed.model.clone();
+        let drifted = corrupt(&bed.clean_x, Corruption::Snow, 3, 15);
+        tent_adapt(&mut model, &drifted, &TentConfig::default());
+        let mut all_trainable = true;
+        model.visit_params(&mut |p| all_trainable &= p.trainable());
+        assert!(all_trainable);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_batches_rejected() {
+        let bed = trained_bed();
+        let mut model = bed.model.clone();
+        let _ = tent_adapt(
+            &mut model,
+            &bed.clean_x,
+            &TentConfig {
+                batch_size: 1,
+                ..TentConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Counterfactual analysis: filtering overlapping root causes.
+//!
+//! Set reduction removes attribute-subset redundancy but not *coverage*
+//! overlap: the drifted New York rows may be fully explained by `{snow}`
+//! even though `{new-york}` is not an attribute superset of it.
+//! Counterfactual analysis (§3.3, Figure 3c; Algorithm 1) accepts causes in
+//! rank order, flips the drift flags of the rows an accepted cause covers to
+//! "false", and keeps a lower-ranked cause only if it is *still*
+//! statistically significant against the modified flags.
+
+use crate::fim::RankedCause;
+use crate::metrics::{CauseStats, FimConfig};
+use crate::reduction::CoarseAssociation;
+use nazar_log::DriftLog;
+
+/// Runs Algorithm 1's main loop over the set-reduction output.
+///
+/// Returns the final root causes in acceptance order. The drift log itself
+/// is never modified — the counterfactual edits happen on a cloned mask.
+pub fn counterfactual_filter(
+    log: &DriftLog,
+    config: &FimConfig,
+    associations: Vec<CoarseAssociation>,
+) -> Vec<RankedCause> {
+    let total_rows = log.num_rows();
+    let mut mask = log.drift_mask();
+    let mut root_causes = Vec::new();
+
+    for assoc in associations {
+        let total_drifted = mask.iter().filter(|&&d| d).count();
+        if total_drifted == 0 {
+            break;
+        }
+        if passes_with_mask(log, config, &assoc.key, &mask, total_rows, total_drifted) {
+            // Accept the coarse cause and counterfactually mark the rows it
+            // covers as non-drift (Mark_No_Drift in Algorithm 1).
+            let rows = log.rows_matching(&assoc.key.attrs).expect("schema keys");
+            for row in rows {
+                mask[row] = false;
+            }
+            root_causes.push(assoc.key);
+        } else {
+            // The coarse key lost significance; its finer subsets may still
+            // be significant on the remaining drift (Algorithm 1, line 10).
+            for subset in assoc.subsets {
+                let remaining = mask.iter().filter(|&&d| d).count();
+                if remaining == 0 {
+                    break;
+                }
+                if passes_with_mask(log, config, &subset, &mask, total_rows, remaining) {
+                    let rows = log.rows_matching(&subset.attrs).expect("schema keys");
+                    for row in rows {
+                        mask[row] = false;
+                    }
+                    root_causes.push(subset);
+                }
+            }
+        }
+    }
+    root_causes
+}
+
+/// Recomputes a cause's metrics under a counterfactual drift mask and tests
+/// the four thresholds.
+fn passes_with_mask(
+    log: &DriftLog,
+    config: &FimConfig,
+    cause: &RankedCause,
+    mask: &[bool],
+    total_rows: usize,
+    total_drifted: usize,
+) -> bool {
+    let counts = log
+        .count_matching(&cause.attrs, Some(mask))
+        .expect("schema keys");
+    CauseStats::from_counts(counts, total_rows, total_drifted).passes(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fim::mine;
+    use crate::reduction::set_reduction;
+    use nazar_log::{Attribute, DriftLog, DriftLogEntry};
+
+    fn run(log: &DriftLog) -> Vec<RankedCause> {
+        let table = mine(log, &FimConfig::default());
+        counterfactual_filter(log, &FimConfig::default(), set_reduction(table.causes))
+    }
+
+    #[test]
+    fn paper_example_keeps_only_snow() {
+        // {new-york}'s drifted rows are covered by {snow} plus one false
+        // positive; after accepting {snow} it must lose significance.
+        let causes = run(&nazar_log::paper_example_log());
+        assert_eq!(causes.len(), 1, "{causes:?}");
+        assert_eq!(causes[0].attrs, vec![Attribute::new("weather", "snow")]);
+    }
+
+    #[test]
+    fn independent_causes_both_survive() {
+        // Two disjoint drift populations: fog in quebec, impulse noise on
+        // one specific device elsewhere.
+        let mut log = DriftLog::new(&["weather", "location", "device_id"]);
+        let mut ts = 0u64;
+        let mut push = |log: &mut DriftLog, w: &str, l: &str, d: &str, drift: bool| {
+            ts += 1;
+            log.push(DriftLogEntry::new(
+                ts,
+                &[("weather", w), ("location", l), ("device_id", d)],
+                drift,
+            ))
+            .unwrap();
+        };
+        for i in 0..20 {
+            push(&mut log, "fog", "quebec", &format!("q{}", i % 4), true);
+            push(
+                &mut log,
+                "clear-day",
+                "quebec",
+                &format!("q{}", i % 4),
+                false,
+            );
+            push(&mut log, "clear-day", "beijing", "broken-cam", true);
+            push(
+                &mut log,
+                "clear-day",
+                "beijing",
+                &format!("b{}", i % 4),
+                false,
+            );
+        }
+        let causes = run(&log);
+        let labels: Vec<String> = causes.iter().map(|c| c.label()).collect();
+        assert!(
+            labels.iter().any(|l| l.contains("weather=fog")),
+            "fog missing from {labels:?}"
+        );
+        assert!(
+            labels.iter().any(|l| l.contains("device_id=broken-cam")),
+            "broken camera missing from {labels:?}"
+        );
+    }
+
+    #[test]
+    fn covered_cause_is_filtered_out() {
+        // All drift in helsinki is foggy; {location=helsinki} must not
+        // survive once {weather=fog} is accepted.
+        let mut log = DriftLog::new(&["weather", "location"]);
+        for i in 0..30u64 {
+            let foggy = i % 3 == 0;
+            log.push(DriftLogEntry::new(
+                i,
+                &[
+                    ("weather", if foggy { "fog" } else { "clear-day" }),
+                    ("location", "helsinki"),
+                ],
+                foggy,
+            ))
+            .unwrap();
+            log.push(DriftLogEntry::new(
+                1000 + i,
+                &[("weather", "clear-day"), ("location", "oslo")],
+                false,
+            ))
+            .unwrap();
+        }
+        let causes = run(&log);
+        assert!(
+            causes
+                .iter()
+                .any(|c| c.attrs.contains(&Attribute::new("weather", "fog"))),
+            "{causes:?}"
+        );
+        assert!(
+            !causes
+                .iter()
+                .any(|c| c.attrs == vec![Attribute::new("location", "helsinki")]),
+            "helsinki should be explained away by fog: {causes:?}"
+        );
+    }
+
+    #[test]
+    fn empty_associations_yield_no_causes() {
+        let log = nazar_log::paper_example_log();
+        assert!(counterfactual_filter(&log, &FimConfig::default(), Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn log_is_not_mutated() {
+        let log = nazar_log::paper_example_log();
+        let before = log.num_drifted();
+        let _ = run(&log);
+        assert_eq!(log.num_drifted(), before);
+    }
+}

@@ -1,0 +1,291 @@
+//! Frequent-itemset mining with the apriori algorithm.
+//!
+//! Candidate root causes are sets of attribute values (at most one value per
+//! attribute key, at most [`FimConfig::max_attrs`] values total). Apriori
+//! grows candidates level by level: a set can only be frequent if all its
+//! subsets are, and our *occurrence* metric (drifted rows containing the set
+//! over all rows) is monotone non-increasing under set extension, so pruning
+//! by `min_occurrence` at every level is sound.
+//!
+//! Counting is delegated to [`DriftLog::count_matching`] — one linear scan
+//! per candidate, mirroring the paper's implementation of FIM as SQL `COUNT`
+//! aggregations.
+
+use crate::metrics::{CauseStats, FimConfig};
+use nazar_log::{Attribute, DriftLog};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// A candidate or accepted root cause: an attribute set plus its metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RankedCause {
+    /// The attribute set, sorted by key for canonical form.
+    pub attrs: Vec<Attribute>,
+    /// The four FIM metrics and raw counts.
+    pub stats: CauseStats,
+}
+
+impl RankedCause {
+    /// Whether `other`'s attribute set is a proper subset of this one's.
+    pub fn is_proper_superset_of(&self, other: &RankedCause) -> bool {
+        self.attrs.len() > other.attrs.len() && other.attrs.iter().all(|a| self.attrs.contains(a))
+    }
+
+    /// A compact human-readable form, e.g. `{weather=snow, location=nyc}`.
+    pub fn label(&self) -> String {
+        let parts: Vec<String> = self.attrs.iter().map(|a| a.to_string()).collect();
+        format!("{{{}}}", parts.join(", "))
+    }
+}
+
+/// The output of [`mine`]: scored itemsets, ranked by risk ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FimTable {
+    /// Itemsets passing all four thresholds, in rank order — the "possible
+    /// root causes" handed to set reduction.
+    pub causes: Vec<RankedCause>,
+    /// Every scored itemset (including threshold failures), in rank order —
+    /// what Table 3 of the paper displays.
+    pub all: Vec<RankedCause>,
+    /// Total rows in the analyzed log.
+    pub total_rows: usize,
+    /// Total drifted rows in the analyzed log.
+    pub total_drifted: usize,
+}
+
+/// Ranks causes by the configured metric (descending), then support, then
+/// occurrence, then fewer attributes, then lexicographic attribute order.
+pub(crate) fn rank_order_by(
+    metric: crate::metrics::RankingMetric,
+    a: &RankedCause,
+    b: &RankedCause,
+) -> std::cmp::Ordering {
+    metric
+        .key(&b.stats)
+        .partial_cmp(&metric.key(&a.stats))
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(
+            b.stats
+                .support
+                .partial_cmp(&a.stats.support)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+        .then(
+            b.stats
+                .occurrence
+                .partial_cmp(&a.stats.occurrence)
+                .unwrap_or(std::cmp::Ordering::Equal),
+        )
+        .then(a.attrs.len().cmp(&b.attrs.len()))
+        .then(a.attrs.cmp(&b.attrs))
+}
+
+/// The paper-default ranking (risk ratio first).
+pub(crate) fn rank_order(a: &RankedCause, b: &RankedCause) -> std::cmp::Ordering {
+    rank_order_by(crate::metrics::RankingMetric::RiskRatio, a, b)
+}
+
+/// Mines frequent itemsets associated with drift from `log`.
+///
+/// Returns an empty table for logs with no drifted rows.
+pub fn mine(log: &DriftLog, config: &FimConfig) -> FimTable {
+    let total_rows = log.num_rows();
+    let total_drifted = log.num_drifted();
+    if total_rows == 0 || total_drifted == 0 {
+        return FimTable {
+            causes: Vec::new(),
+            all: Vec::new(),
+            total_rows,
+            total_drifted,
+        };
+    }
+
+    // Level 1: one candidate per (key, value) with at least one drifted row.
+    let mut level: Vec<RankedCause> = Vec::new();
+    for key in log.schema() {
+        for (value, counts) in log.distinct_values(key).expect("schema key") {
+            if counts.drifted == 0 {
+                continue;
+            }
+            let stats = CauseStats::from_counts(counts, total_rows, total_drifted);
+            if stats.occurrence < config.min_occurrence {
+                continue;
+            }
+            level.push(RankedCause {
+                attrs: vec![Attribute::new(key.clone(), value)],
+                stats,
+            });
+        }
+    }
+    let singles = level.clone();
+    let mut all = level.clone();
+
+    // Levels 2..=max_attrs: extend by singletons on unused keys.
+    let mut seen: HashSet<Vec<Attribute>> = all.iter().map(|c| c.attrs.clone()).collect();
+    for _ in 2..=config.max_attrs {
+        let mut next: Vec<RankedCause> = Vec::new();
+        for base in &level {
+            for single in &singles {
+                let attr = &single.attrs[0];
+                if base.attrs.iter().any(|a| a.key == attr.key) {
+                    continue; // one value per key
+                }
+                let mut attrs = base.attrs.clone();
+                attrs.push(attr.clone());
+                attrs.sort();
+                if !seen.insert(attrs.clone()) {
+                    continue;
+                }
+                let counts = log.count_matching(&attrs, None).expect("schema keys");
+                if counts.drifted == 0 {
+                    continue;
+                }
+                let stats = CauseStats::from_counts(counts, total_rows, total_drifted);
+                if stats.occurrence < config.min_occurrence {
+                    continue;
+                }
+                next.push(RankedCause { attrs, stats });
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        all.extend(next.iter().cloned());
+        level = next;
+    }
+
+    all.sort_by(rank_order);
+    let causes = all
+        .iter()
+        .filter(|c| c.stats.passes(config))
+        .cloned()
+        .collect();
+    FimTable {
+        causes,
+        all,
+        total_rows,
+        total_drifted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> FimTable {
+        mine(&nazar_log::paper_example_log(), &FimConfig::default())
+    }
+
+    fn find<'t>(t: &'t FimTable, attrs: &[(&str, &str)]) -> &'t RankedCause {
+        let mut want: Vec<Attribute> = attrs.iter().map(|(k, v)| Attribute::new(*k, *v)).collect();
+        want.sort();
+        t.all
+            .iter()
+            .find(|c| c.attrs == want)
+            .unwrap_or_else(|| panic!("missing itemset {want:?}"))
+    }
+
+    #[test]
+    fn snow_is_rank_zero_with_paper_metrics() {
+        let t = table();
+        let top = &t.all[0];
+        assert_eq!(top.attrs, vec![Attribute::new("weather", "snow")]);
+        assert!((top.stats.occurrence - 0.4).abs() < 1e-9);
+        assert!((top.stats.support - 2.0 / 3.0).abs() < 1e-9);
+        assert!((top.stats.risk_ratio - 3.0).abs() < 1e-9);
+        assert!((top.stats.confidence - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table3_pairs_score_as_in_paper() {
+        let t = table();
+        for attrs in [
+            vec![("weather", "snow"), ("device_id", "android_21")],
+            vec![("weather", "snow"), ("device_id", "android_42")],
+            vec![("weather", "snow"), ("location", "new-york")],
+            vec![("weather", "snow"), ("location", "helsinki")],
+        ] {
+            let c = find(&t, &attrs);
+            assert!((c.stats.occurrence - 0.2).abs() < 1e-9, "{attrs:?}");
+            assert!((c.stats.support - 1.0 / 3.0).abs() < 1e-9);
+            assert!((c.stats.risk_ratio - 2.0).abs() < 1e-9);
+            assert!((c.stats.confidence - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table3_medium_rows() {
+        let t = table();
+        for attrs in [
+            vec![("device_id", "android_21")],
+            vec![("location", "new-york")],
+            vec![("location", "new-york"), ("device_id", "android_21")],
+        ] {
+            let c = find(&t, &attrs);
+            assert!((c.stats.risk_ratio - 4.0 / 3.0).abs() < 1e-9, "{attrs:?}");
+            assert!((c.stats.confidence - 2.0 / 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table3_failing_rows_are_scored_but_not_causes() {
+        let t = table();
+        let clear = find(&t, &[("weather", "clear-day")]);
+        assert!((clear.stats.risk_ratio - 1.0 / 3.0).abs() < 1e-9);
+        assert!(!clear.stats.passes(&FimConfig::default()));
+        assert!(!t.causes.iter().any(|c| c.attrs == clear.attrs));
+    }
+
+    #[test]
+    fn passing_causes_are_the_top_of_the_ranking() {
+        let t = table();
+        // {snow}, its four pairs, its two triples (all conf 1, RR >= 2), and
+        // the three android_21/new-york combinations (conf 0.67, RR 1.33)
+        // pass; everything below fails the confidence threshold.
+        assert_eq!(t.causes.len(), 10, "causes: {:#?}", t.causes);
+        for (a, b) in t.all.iter().zip(t.all.iter().skip(1)) {
+            assert!(
+                a.stats.risk_ratio >= b.stats.risk_ratio,
+                "ranking not sorted by risk ratio"
+            );
+        }
+    }
+
+    #[test]
+    fn max_attrs_caps_itemset_size() {
+        let cfg = FimConfig {
+            max_attrs: 1,
+            ..FimConfig::default()
+        };
+        let t = mine(&nazar_log::paper_example_log(), &cfg);
+        assert!(t.all.iter().all(|c| c.attrs.len() == 1));
+    }
+
+    #[test]
+    fn empty_and_driftless_logs_mine_nothing() {
+        let empty = nazar_log::DriftLog::new(&["k"]);
+        assert!(mine(&empty, &FimConfig::default()).all.is_empty());
+
+        let mut clean = nazar_log::DriftLog::new(&["k"]);
+        clean
+            .push(nazar_log::DriftLogEntry::new(0, &[("k", "v")], false))
+            .unwrap();
+        assert!(mine(&clean, &FimConfig::default()).all.is_empty());
+    }
+
+    #[test]
+    fn superset_relation() {
+        let t = table();
+        let snow = find(&t, &[("weather", "snow")]).clone();
+        let snow_ny = find(&t, &[("weather", "snow"), ("location", "new-york")]).clone();
+        assert!(snow_ny.is_proper_superset_of(&snow));
+        assert!(!snow.is_proper_superset_of(&snow_ny));
+        assert!(!snow.is_proper_superset_of(&snow));
+    }
+
+    #[test]
+    fn label_is_human_readable() {
+        let t = table();
+        assert_eq!(t.all[0].label(), "{weather=snow}");
+    }
+}

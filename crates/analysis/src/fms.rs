@@ -1,0 +1,127 @@
+//! Fowlkes–Mallows score for grading root-cause clusterings.
+//!
+//! §5.4 of the paper grades the root-cause analysis by treating the
+//! ground-truth drift causes and the discovered ones as two clusterings of
+//! the same items and computing `FMS = sqrt(TP/(TP+FP) · TP/(TP+FN))` over
+//! item *pairs*. We compute it from the contingency table in `O(items +
+//! clusters²)` rather than enumerating pairs.
+
+use std::collections::HashMap;
+
+/// Computes the Fowlkes–Mallows score between two cluster assignments.
+///
+/// `truth[i]` and `predicted[i]` are opaque cluster ids for item `i`. The
+/// score is in `[0, 1]`; 1 means identical clusterings.
+///
+/// # Panics
+///
+/// Panics if the two assignments differ in length.
+pub fn fowlkes_mallows(truth: &[usize], predicted: &[usize]) -> f64 {
+    assert_eq!(
+        truth.len(),
+        predicted.len(),
+        "assignments must cover the same items"
+    );
+    let n = truth.len();
+    if n < 2 {
+        return 1.0;
+    }
+
+    // Contingency counts n_ij plus marginals a_i (truth) and b_j (predicted).
+    let mut joint: HashMap<(usize, usize), u64> = HashMap::new();
+    let mut a: HashMap<usize, u64> = HashMap::new();
+    let mut b: HashMap<usize, u64> = HashMap::new();
+    for (&t, &p) in truth.iter().zip(predicted) {
+        *joint.entry((t, p)).or_insert(0) += 1;
+        *a.entry(t).or_insert(0) += 1;
+        *b.entry(p).or_insert(0) += 1;
+    }
+
+    let pairs = |c: u64| -> f64 { (c * c.saturating_sub(1)) as f64 / 2.0 };
+    let tp: f64 = joint.values().map(|&c| pairs(c)).sum();
+    let tp_fp: f64 = b.values().map(|&c| pairs(c)).sum();
+    let tp_fn: f64 = a.values().map(|&c| pairs(c)).sum();
+
+    if tp_fp == 0.0 || tp_fn == 0.0 {
+        // One of the clusterings is all-singletons; define FMS as 1 when
+        // both are, 0 otherwise (scikit-learn convention).
+        return if tp_fp == 0.0 && tp_fn == 0.0 {
+            1.0
+        } else {
+            0.0
+        };
+    }
+    ((tp / tp_fp) * (tp / tp_fn)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_clusterings_score_one() {
+        let labels = [0, 0, 1, 1, 2, 2, 2];
+        assert!((fowlkes_mallows(&labels, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relabeled_clusterings_score_one() {
+        let truth = [0, 0, 1, 1, 2];
+        let predicted = [7, 7, 3, 3, 9];
+        assert!((fowlkes_mallows(&truth, &predicted) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_value_from_hand_computation() {
+        // truth: {0,1} {2,3}; predicted: {0,1,2} {3}.
+        // TP pairs: (0,1) => 1. TP+FP: C(3,2)=3. TP+FN: 2.
+        // FMS = sqrt(1/3 * 1/2) = sqrt(1/6).
+        let truth = [0, 0, 1, 1];
+        let predicted = [0, 0, 0, 1];
+        let expected = (1.0f64 / 6.0).sqrt();
+        assert!((fowlkes_mallows(&truth, &predicted) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_clusterings_score_low() {
+        // truth groups pairs; prediction groups across them.
+        let truth = [0, 0, 1, 1];
+        let predicted = [0, 1, 0, 1];
+        let s = fowlkes_mallows(&truth, &predicted);
+        assert!(s < 0.01, "score {s}");
+    }
+
+    #[test]
+    fn singletons_conventions() {
+        let truth = [0, 1, 2, 3];
+        assert!((fowlkes_mallows(&truth, &truth) - 1.0).abs() < 1e-12);
+        let merged = [0, 0, 0, 0];
+        assert_eq!(fowlkes_mallows(&truth, &merged), 0.0);
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(fowlkes_mallows(&[], &[]), 1.0);
+        assert_eq!(fowlkes_mallows(&[0], &[5]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same items")]
+    fn length_mismatch_panics() {
+        let _ = fowlkes_mallows(&[0, 1], &[0]);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn score_is_symmetric_and_bounded(
+            labels in proptest::collection::vec((0usize..5, 0usize..5), 2..60)
+        ) {
+            let truth: Vec<usize> = labels.iter().map(|&(t, _)| t).collect();
+            let pred: Vec<usize> = labels.iter().map(|&(_, p)| p).collect();
+            let ab = fowlkes_mallows(&truth, &pred);
+            let ba = fowlkes_mallows(&pred, &truth);
+            proptest::prop_assert!((ab - ba).abs() < 1e-9);
+            proptest::prop_assert!((0.0..=1.0 + 1e-9).contains(&ab));
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! The four FIM metrics and their acceptance thresholds.
+
+use nazar_log::MatchCounts;
+use serde::{Deserialize, Serialize};
+
+/// Which metric ranks the mined causes.
+///
+/// The paper defaults to the risk ratio "because it measures the importance
+/// of a specific root cause" (§3.3); the alternatives are provided for the
+/// ranking ablation (`cargo run -p nazar-bench --bin ablation_ranking`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RankingMetric {
+    /// `P(drift | set) / P(drift | ¬set)` — the paper's default.
+    #[default]
+    RiskRatio,
+    /// Drifted rows containing the set over rows containing it.
+    Confidence,
+    /// Drifted rows containing the set over all drifted rows.
+    Support,
+}
+
+impl RankingMetric {
+    /// The primary sort key this metric extracts from a cause's stats.
+    pub fn key(self, stats: &CauseStats) -> f64 {
+        match self {
+            RankingMetric::RiskRatio => stats.risk_ratio,
+            RankingMetric::Confidence => stats.confidence,
+            RankingMetric::Support => stats.support,
+        }
+    }
+}
+
+/// Thresholds and limits for frequent-itemset mining.
+///
+/// Defaults follow the paper (§3.3): maximum 3 attributes per cause, and
+/// minimums of 0.01 / 0.01 / 0.51 / 1.1 for occurrence, support, confidence
+/// and risk ratio.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FimConfig {
+    /// Minimum occurrence (drifted rows containing the set / all rows).
+    pub min_occurrence: f64,
+    /// Minimum support (drifted rows containing the set / all drifted rows).
+    pub min_support: f64,
+    /// Minimum confidence (drifted rows containing the set / rows containing it).
+    pub min_confidence: f64,
+    /// Minimum risk ratio (`P(drift | set) / P(drift | ¬set)`).
+    pub min_risk_ratio: f64,
+    /// Maximum number of attributes per root cause.
+    pub max_attrs: usize,
+    /// Metric used to rank the mined causes.
+    #[serde(default)]
+    pub ranking: RankingMetric,
+}
+
+impl Default for FimConfig {
+    fn default() -> Self {
+        FimConfig {
+            min_occurrence: 0.01,
+            min_support: 0.01,
+            min_confidence: 0.51,
+            min_risk_ratio: 1.1,
+            max_attrs: 3,
+            ranking: RankingMetric::default(),
+        }
+    }
+}
+
+/// The four metrics of a candidate cause, plus the raw counts behind them.
+///
+/// Computed exactly as in Table 3 of the paper; see the unit tests, which
+/// assert the table's values verbatim.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CauseStats {
+    /// Drifted rows containing the set, over all rows.
+    pub occurrence: f64,
+    /// Drifted rows containing the set, over all drifted rows.
+    pub support: f64,
+    /// Drifted rows containing the set, over rows containing the set.
+    pub confidence: f64,
+    /// `P(drift | set) / P(drift | ¬set)`; infinite when the set covers
+    /// every row or every drifted row lies inside it.
+    pub risk_ratio: f64,
+    /// Rows containing the set.
+    pub occurrences: usize,
+    /// Drifted rows containing the set.
+    pub drifted: usize,
+}
+
+impl CauseStats {
+    /// Computes the metrics from counting-query results.
+    ///
+    /// `counts` are the rows matching the candidate set; `total_rows` and
+    /// `total_drifted` describe the whole log (or window).
+    pub fn from_counts(counts: MatchCounts, total_rows: usize, total_drifted: usize) -> Self {
+        let occ = counts.occurrences;
+        let dr = counts.drifted;
+        let occurrence = ratio(dr, total_rows);
+        let support = ratio(dr, total_drifted);
+        let confidence = ratio(dr, occ);
+        // P(drift | ¬set) = (D - dr) / (N - occ)
+        let rest_rows = total_rows.saturating_sub(occ);
+        let rest_drifted = total_drifted.saturating_sub(dr);
+        let p_rest = ratio(rest_drifted, rest_rows);
+        let risk_ratio = if confidence == 0.0 {
+            0.0
+        } else if p_rest == 0.0 {
+            f64::INFINITY
+        } else {
+            confidence / p_rest
+        };
+        CauseStats {
+            occurrence,
+            support,
+            confidence,
+            risk_ratio,
+            occurrences: occ,
+            drifted: dr,
+        }
+    }
+
+    /// Whether the cause passes all four thresholds
+    /// (`Passes_Drift_Threshold` in Algorithm 1).
+    pub fn passes(&self, config: &FimConfig) -> bool {
+        self.occurrence >= config.min_occurrence
+            && self.support >= config.min_support
+            && self.confidence >= config.min_confidence
+            && self.risk_ratio >= config.min_risk_ratio
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(occ: usize, dr: usize) -> CauseStats {
+        // The paper example log: 5 rows, 3 drifted.
+        CauseStats::from_counts(
+            MatchCounts {
+                occurrences: occ,
+                drifted: dr,
+            },
+            5,
+            3,
+        )
+    }
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn table3_rank0_snow() {
+        // {snow}: 2 rows, both drifted → Occ 0.4, Sup 0.67, RR 3, Conf 1.
+        let s = stats(2, 2);
+        assert!(close(s.occurrence, 0.4));
+        assert!(close(s.support, 2.0 / 3.0));
+        assert!(close(s.risk_ratio, 3.0));
+        assert!(close(s.confidence, 1.0));
+    }
+
+    #[test]
+    fn table3_rank1_snow_android21() {
+        // {snow, android_21}: 1 row, drifted → Occ 0.2, Sup 0.33, RR 2, Conf 1.
+        let s = stats(1, 1);
+        assert!(close(s.occurrence, 0.2));
+        assert!(close(s.support, 1.0 / 3.0));
+        assert!(close(s.risk_ratio, 2.0));
+        assert!(close(s.confidence, 1.0));
+    }
+
+    #[test]
+    fn table3_rank6_new_york() {
+        // {new-york}: 3 rows, 2 drifted → Occ 0.4, Sup 0.67, RR 1.33, Conf 0.67.
+        let s = stats(3, 2);
+        assert!(close(s.occurrence, 0.4));
+        assert!(close(s.support, 2.0 / 3.0));
+        assert!(close(s.risk_ratio, (2.0 / 3.0) / 0.5));
+        assert!(close(s.confidence, 2.0 / 3.0));
+    }
+
+    #[test]
+    fn table3_rank11_clear_day_android21() {
+        // {clear-day, android_21}: 2 rows, 1 drifted →
+        // Occ 0.2, Sup 0.33, RR 0.75, Conf 0.5.
+        let s = stats(2, 1);
+        assert!(close(s.occurrence, 0.2));
+        assert!(close(s.support, 1.0 / 3.0));
+        assert!(close(s.risk_ratio, 0.75));
+        assert!(close(s.confidence, 0.5));
+    }
+
+    #[test]
+    fn table3_rank15_clear_day() {
+        // {clear-day}: 3 rows, 1 drifted → Occ 0.2, Sup 0.33, RR 0.33, Conf 0.33.
+        let s = stats(3, 1);
+        assert!(close(s.occurrence, 0.2));
+        assert!(close(s.support, 1.0 / 3.0));
+        assert!(close(s.risk_ratio, 1.0 / 3.0));
+        assert!(close(s.confidence, 1.0 / 3.0));
+    }
+
+    #[test]
+    fn risk_ratio_edge_cases() {
+        // Set covering all drifted rows and all rows → infinite RR guard.
+        let all = CauseStats::from_counts(
+            MatchCounts {
+                occurrences: 5,
+                drifted: 3,
+            },
+            5,
+            3,
+        );
+        assert!(all.risk_ratio.is_infinite());
+        // Zero-confidence set → RR 0.
+        let none = CauseStats::from_counts(
+            MatchCounts {
+                occurrences: 2,
+                drifted: 0,
+            },
+            5,
+            3,
+        );
+        assert_eq!(none.risk_ratio, 0.0);
+        assert!(!none.passes(&FimConfig::default()));
+    }
+
+    #[test]
+    fn default_thresholds_accept_top_rows_and_reject_bottom() {
+        let cfg = FimConfig::default();
+        assert!(stats(2, 2).passes(&cfg)); // {snow}
+        assert!(stats(3, 2).passes(&cfg)); // {new-york}
+        assert!(!stats(2, 1).passes(&cfg)); // conf 0.5 < 0.51
+        assert!(!stats(3, 1).passes(&cfg)); // {clear-day}
+    }
+
+    #[test]
+    fn empty_log_yields_zero_stats() {
+        let s = CauseStats::from_counts(MatchCounts::default(), 0, 0);
+        assert_eq!(s.occurrence, 0.0);
+        assert_eq!(s.risk_ratio, 0.0);
+    }
+}

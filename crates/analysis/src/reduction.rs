@@ -1,0 +1,151 @@
+//! Set reduction: merging subset root causes into coarser ones.
+//!
+//! FIM output is full of redundancy: if `{snow}` is a cause then
+//! `{snow, new-york}` is too, but adapting to `{snow}` already covers it.
+//! Set reduction (§3.3, Figure 3b) merges every cause whose attribute set is
+//! a proper superset of another cause's into the *highest-ranked* such
+//! coarser cause, producing a mapping from coarse causes to the finer causes
+//! they subsume.
+
+use crate::fim::{rank_order_by, RankedCause};
+use crate::metrics::RankingMetric;
+
+/// One coarse cause plus the finer causes merged into it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoarseAssociation {
+    /// The representative (coarse-grained) cause.
+    pub key: RankedCause,
+    /// The finer causes subsumed by `key`, in rank order.
+    pub subsets: Vec<RankedCause>,
+}
+
+/// Reduces a ranked cause list to coarse associations.
+///
+/// A cause becomes a *key* if no other cause in the list is a proper
+/// attribute-subset of it; otherwise it is merged into the highest-ranked
+/// cause whose attribute set it extends. Keys are returned in rank order.
+pub fn set_reduction(ranked: Vec<RankedCause>) -> Vec<CoarseAssociation> {
+    set_reduction_with(RankingMetric::RiskRatio, ranked)
+}
+
+/// [`set_reduction`] under an explicit ranking metric (used by the ranking
+/// ablation; "ties between coarse-grained sets are broken by ranking").
+pub fn set_reduction_with(
+    metric: RankingMetric,
+    ranked: Vec<RankedCause>,
+) -> Vec<CoarseAssociation> {
+    let mut sorted = ranked;
+    sorted.sort_by(|a, b| rank_order_by(metric, a, b));
+
+    // A cause is coarse (a key) iff no other cause in the list is a proper
+    // attribute-subset of it — regardless of rank: even a finer cause that
+    // happens to out-rank its generalization (small-count noise inflates
+    // pair risk ratios) is merged into the coarser cause, as in Fig. 3b.
+    let is_key: Vec<bool> = sorted
+        .iter()
+        .map(|cause| {
+            !sorted
+                .iter()
+                .any(|other| cause.is_proper_superset_of(other))
+        })
+        .collect();
+
+    let mut keys: Vec<CoarseAssociation> = sorted
+        .iter()
+        .zip(&is_key)
+        .filter(|(_, &k)| k)
+        .map(|(cause, _)| CoarseAssociation {
+            key: cause.clone(),
+            subsets: Vec::new(),
+        })
+        .collect();
+
+    // Attach each finer cause to the highest-ranked key it extends
+    // ("ties between coarse-grained sets are broken by ranking").
+    for (cause, _) in sorted.iter().zip(&is_key).filter(|(_, &k)| !k) {
+        if let Some(assoc) = keys
+            .iter_mut()
+            .find(|assoc| cause.is_proper_superset_of(&assoc.key))
+        {
+            assoc.subsets.push(cause.clone());
+        }
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fim::mine;
+    use crate::metrics::FimConfig;
+    use nazar_log::Attribute;
+
+    fn paper_associations() -> Vec<CoarseAssociation> {
+        let table = mine(&nazar_log::paper_example_log(), &FimConfig::default());
+        set_reduction(table.causes)
+    }
+
+    #[test]
+    fn snow_absorbs_its_supersets() {
+        let assocs = paper_associations();
+        let snow = assocs
+            .iter()
+            .find(|a| a.key.attrs == vec![Attribute::new("weather", "snow")])
+            .expect("snow is a coarse cause");
+        // The four {snow, x} pairs and the two {snow, x, y} triples all
+        // merge into {snow}.
+        assert_eq!(snow.subsets.len(), 6, "subsets: {:?}", snow.subsets);
+        for sub in &snow.subsets {
+            assert!(sub.is_proper_superset_of(&snow.key));
+        }
+    }
+
+    #[test]
+    fn subset_merges_into_highest_ranked_generalizer() {
+        // Paper: "{snow, New York} is merged into {snow} instead of
+        // {New York}, because {snow} is ranked higher".
+        let assocs = paper_associations();
+        let ny = assocs
+            .iter()
+            .find(|a| a.key.attrs == vec![Attribute::new("location", "new-york")]);
+        if let Some(ny) = ny {
+            assert!(
+                !ny.subsets
+                    .iter()
+                    .any(|s| s.attrs.contains(&Attribute::new("weather", "snow"))),
+                "snow pairs must merge into {{snow}}, not {{new-york}}"
+            );
+        }
+    }
+
+    #[test]
+    fn keys_preserve_rank_order() {
+        let assocs = paper_associations();
+        for pair in assocs.windows(2) {
+            assert!(
+                pair[0].key.stats.risk_ratio >= pair[1].key.stats.risk_ratio,
+                "coarse keys out of rank order"
+            );
+        }
+        assert_eq!(assocs[0].key.attrs, vec![Attribute::new("weather", "snow")]);
+    }
+
+    #[test]
+    fn reduction_of_empty_list_is_empty() {
+        assert!(set_reduction(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn disjoint_causes_all_become_keys() {
+        let table = mine(&nazar_log::paper_example_log(), &FimConfig::default());
+        let singles: Vec<RankedCause> = table
+            .causes
+            .into_iter()
+            .filter(|c| c.attrs.len() == 1)
+            .collect();
+        let n = singles.len();
+        let assocs = set_reduction(singles);
+        assert_eq!(assocs.len(), n);
+        assert!(assocs.iter().all(|a| a.subsets.is_empty()));
+    }
+}

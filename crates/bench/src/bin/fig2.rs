@@ -1,0 +1,70 @@
+//! Figure 2: F1 of the KS-test detector vs batch size, against the MSP
+//! threshold (θ = 0.9) baseline at batch size 1.
+//!
+//! Paper shape: KS-test slightly beats the threshold once the batch size
+//! exceeds ~4, and is worse below that — which, combined with the
+//! awkwardness of batching on devices, is why Nazar picks the threshold.
+
+use nazar_bench::report::{num, Table};
+use nazar_bench::{animals_model, partitions};
+use nazar_data::AnimalsConfig;
+use nazar_detect::{eval, DriftDetector, KsTestDetector, MspThreshold};
+use nazar_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{seq::SliceRandom, SeedableRng};
+
+fn main() {
+    let config = AnimalsConfig::default();
+    let mut setup = animals_model("resnet50", &config);
+    let mut rng = SmallRng::seed_from_u64(2);
+
+    // Equal split: half the stream images drifted (all 16 types evenly),
+    // half clean, as in §3.2.2.
+    let pcfg = partitions::PartitionConfig {
+        n_adapt: 64,
+        n_test: 128,
+        ..partitions::PartitionConfig::default()
+    };
+    let parts = partitions::seventeen_partitions(&setup.dataset.space, &pcfg);
+    let clean = parts[0].test_x.clone();
+    let mut drifted_rows: Vec<Vec<f32>> = Vec::new();
+    let per_family = clean.nrows().unwrap() / 16;
+    for p in parts.iter().skip(1) {
+        for i in 0..per_family {
+            drifted_rows.push(p.test_x.row(i).unwrap().to_vec());
+        }
+    }
+    drifted_rows.shuffle(&mut rng);
+    let drifted = Tensor::stack_rows(&drifted_rows).expect("rows");
+
+    // Reference MSP scores for the KS test come from held-out clean data.
+    let reference = parts[0].adapt_x.clone();
+
+    let mut table = Table::new(
+        "Figure 2: KS-test F1 vs batch size (threshold@0.9 baseline at batch=1)",
+        &["batch size", "detector", "F1"],
+    );
+
+    let mut msp = MspThreshold::default();
+    let base = eval::evaluate_detector(&mut msp, &mut setup.model, &clean, &drifted);
+    table.row(&[
+        "1".into(),
+        "msp-threshold (0.9)".into(),
+        num(f64::from(base.f1()), 3),
+    ]);
+
+    for batch in [2usize, 4, 8, 16, 32, 64] {
+        let mut ks = KsTestDetector::fit(&mut setup.model, &reference, batch, 0.05);
+        let e = eval::evaluate_detector(&mut ks, &mut setup.model, &clean, &drifted);
+        table.row(&[
+            batch.to_string(),
+            "ks-test".into(),
+            num(f64::from(e.f1()), 3),
+        ]);
+    }
+    table.print();
+    println!(
+        "paper shape: KS-test ≥ threshold for batch sizes above ~4, below it for smaller batches."
+    );
+    let _ = msp.name();
+}

@@ -1,0 +1,49 @@
+//! Figure 9d: root-cause-analysis runtime vs drift-log size.
+//!
+//! Paper shape: "the relationship between the runtime and the number of
+//! rows in the drift log is completely linear" — FIM is one counting scan
+//! per candidate, and set reduction keeps the counterfactual candidate set
+//! small.
+
+use nazar_analysis::FimConfig;
+use nazar_bench::report::{num, Table};
+use nazar_cloud::timing::analysis_scaling;
+
+fn main() {
+    let rows = [10_000usize, 50_000, 100_000, 250_000, 500_000, 1_000_000];
+    let points = analysis_scaling(&rows, &FimConfig::default(), 42);
+
+    let mut t = Table::new(
+        "Figure 9d: root-cause analysis runtime vs drift-log rows",
+        &["rows", "runtime (ms)", "ms per 10k rows"],
+    );
+    for p in &points {
+        let ms = p.runtime.as_secs_f64() * 1e3;
+        t.row(&[
+            p.rows.to_string(),
+            num(ms, 1),
+            num(ms / (p.rows as f64 / 10_000.0), 2),
+        ]);
+    }
+    t.print();
+
+    // Linearity check: per-row cost must be flat (within noise) from the
+    // second point on.
+    let per_row: Vec<f64> = points
+        .iter()
+        .map(|p| p.runtime.as_secs_f64() / p.rows as f64)
+        .collect();
+    let (lo, hi) = per_row[1..]
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    println!(
+        "per-row cost spread (excluding smallest log): {:.2}x",
+        hi / lo
+    );
+    assert!(
+        hi / lo < 3.0,
+        "analysis is not linear: per-row cost spread {:.2}x",
+        hi / lo
+    );
+    println!("linear-scaling check passed.");
+}

@@ -1,0 +1,47 @@
+//! Development probe: per-weather detection/accuracy on the cityscapes-like
+//! workload (not a paper table).
+use nazar_data::{CityscapesConfig, CityscapesDataset};
+use nazar_detect::msp_of_logits;
+use nazar_nn::Mode;
+use nazar_tensor::Tensor;
+use std::collections::BTreeMap;
+
+fn main() {
+    let cfg = CityscapesConfig::default();
+    let data = CityscapesDataset::generate(&cfg);
+    let classes = data.space.num_classes();
+    let t = nazar_cloud::experiment::train_base_model(
+        &data.train,
+        &data.val,
+        nazar_nn::ModelArch::resnet50_analog(cfg.dim, classes),
+        cfg.seed,
+    );
+    let mut model = t.model;
+    println!("classes {classes} val {:.3}", t.val_accuracy);
+    let mut by_weather: BTreeMap<String, (usize, usize, usize)> = BTreeMap::new();
+    for s in &data.streams {
+        for item in s.items.iter().step_by(3) {
+            let x = Tensor::from_vec(item.features.clone(), &[1, item.features.len()]).unwrap();
+            let logits = model.logits(&x, Mode::Eval);
+            let msp = msp_of_logits(&logits)[0];
+            let pred = logits.argmax_axis1().unwrap()[0];
+            let e = by_weather
+                .entry(item.weather.name().to_string())
+                .or_default();
+            e.0 += 1;
+            if msp < 0.9 {
+                e.1 += 1;
+            }
+            if pred == item.label {
+                e.2 += 1;
+            }
+        }
+    }
+    for (w, (n, f, c)) in by_weather {
+        println!(
+            "{w:<10} n={n:<5} det={:.2} acc={:.2}",
+            f as f64 / n as f64,
+            c as f64 / n as f64
+        );
+    }
+}

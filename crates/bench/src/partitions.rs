@@ -1,0 +1,323 @@
+//! The 17-partition adaptation experiment of §5.5 / §5.6 (Table 4, Fig. 6/7).
+//!
+//! The streaming images are split into 17 partitions — one per corruption
+//! family plus one clean — and the adaptation mechanisms are isolated from
+//! detection/analysis noise by assuming oracle knowledge of each partition's
+//! cause:
+//!
+//! * **by-cause**: adapt one model per partition, test on that partition;
+//! * **adapt-all**: adapt a single model on the mixture of all partitions;
+//! * **no-adapt**: the pretrained model.
+//!
+//! Setting (a) uses the default severity 3 for both adaptation and test
+//! images; setting (b) draws each *test* image's severity from `N(3, 1)`
+//! (rounded, clipped), stressing robustness to severity mismatch.
+
+use nazar_adapt::{adapt_to_patch, AdaptMethod};
+use nazar_data::{ClassSpace, Corruption, Severity};
+use nazar_detect::{DriftDetector, MspThreshold};
+use nazar_nn::{train, MlpResNet};
+use nazar_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the partition experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionConfig {
+    /// Unlabeled adaptation images per partition.
+    pub n_adapt: usize,
+    /// Held-out test images per partition.
+    pub n_test: usize,
+    /// Severity of the adaptation images (and of test images in setting a).
+    pub severity: Severity,
+    /// Setting (b): draw test-image severities from `round(N(3,1))`.
+    pub vary_test_severity: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PartitionConfig {
+    fn default() -> Self {
+        PartitionConfig {
+            n_adapt: 128,
+            n_test: 128,
+            severity: Severity::DEFAULT,
+            vary_test_severity: false,
+            seed: 99,
+        }
+    }
+}
+
+/// One partition: a cause (or clean), its adaptation set and test set.
+#[derive(Debug, Clone)]
+pub struct CausePartition {
+    /// Cause name (`"clean"` for the uncorrupted partition).
+    pub name: String,
+    /// The corruption, if any.
+    pub cause: Option<Corruption>,
+    /// Unlabeled adaptation inputs.
+    pub adapt_x: Tensor,
+    /// Test inputs.
+    pub test_x: Tensor,
+    /// Test labels.
+    pub test_y: Vec<usize>,
+}
+
+/// Builds the 17 partitions from a class space.
+pub fn seventeen_partitions(space: &ClassSpace, config: &PartitionConfig) -> Vec<CausePartition> {
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let causes: Vec<Option<Corruption>> = std::iter::once(None)
+        .chain(Corruption::ALL.into_iter().map(Some))
+        .collect();
+    causes
+        .into_iter()
+        .map(|cause| {
+            let name = cause.map_or("clean".to_string(), |c| c.name().to_string());
+            let draw = |n: usize, rng: &mut SmallRng, vary: bool| -> (Tensor, Vec<usize>) {
+                let mut rows = Vec::with_capacity(n);
+                let mut labels = Vec::with_capacity(n);
+                for i in 0..n {
+                    let class = i % space.num_classes();
+                    let sample = space.sample(rng, class);
+                    let features = match cause {
+                        Some(c) => {
+                            let sev = if vary {
+                                Severity::sample_around_default(rng)
+                            } else {
+                                config.severity
+                            };
+                            c.apply(&sample.features, sev, rng)
+                        }
+                        None => sample.features,
+                    };
+                    rows.push(features);
+                    labels.push(class);
+                }
+                (Tensor::stack_rows(&rows).expect("uniform width"), labels)
+            };
+            let (adapt_x, _) = draw(config.n_adapt, &mut rng, false);
+            let (test_x, test_y) = draw(config.n_test, &mut rng, config.vary_test_severity);
+            CausePartition {
+                name,
+                cause,
+                adapt_x,
+                test_x,
+                test_y,
+            }
+        })
+        .collect()
+}
+
+/// Per-partition outcome of the adaptation comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOutcome {
+    /// Cause name.
+    pub name: String,
+    /// Accuracy of the non-adapted model.
+    pub no_adapt: f32,
+    /// Accuracy of the by-cause adapted model (adapted on this partition).
+    pub by_cause: f32,
+    /// Accuracy of the single adapt-all model.
+    pub adapt_all: f32,
+    /// MSP detection rate before adaptation (base model).
+    pub detection_before: f32,
+    /// MSP detection rate with the matching by-cause model.
+    pub detection_after: f32,
+}
+
+/// Mean of a field across outcomes.
+pub fn mean_of(outcomes: &[PartitionOutcome], f: impl Fn(&PartitionOutcome) -> f32) -> f32 {
+    if outcomes.is_empty() {
+        return 0.0;
+    }
+    outcomes.iter().map(f).sum::<f32>() / outcomes.len() as f32
+}
+
+/// Runs the full comparison for one adaptation method.
+pub fn run_partition_experiment(
+    base: &MlpResNet,
+    partitions: &[CausePartition],
+    method: &AdaptMethod,
+    seed: u64,
+) -> Vec<PartitionOutcome> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Adapt-all: one model on the shuffled mixture of every partition's
+    // adaptation data.
+    let mixture = {
+        let mut rows: Vec<Vec<f32>> = Vec::new();
+        for p in partitions {
+            for i in 0..p.adapt_x.nrows().expect("matrix") {
+                rows.push(p.adapt_x.row(i).expect("row").to_vec());
+            }
+        }
+        // Shuffle so adapt-all sees interleaved causes, as a real mixed
+        // stream would.
+        for i in (1..rows.len()).rev() {
+            rows.swap(i, rng.gen_range(0..=i));
+        }
+        Tensor::stack_rows(&rows).expect("uniform width")
+    };
+    let (adapt_all_patch, _) = adapt_to_patch(base, &mixture, method, &mut rng);
+    let mut adapt_all_model = base.clone();
+    adapt_all_patch
+        .apply(&mut adapt_all_model)
+        .expect("same architecture");
+
+    let mut detector = MspThreshold::default();
+    partitions
+        .iter()
+        .map(|p| {
+            let mut base_model = base.clone();
+            let no_adapt = train::evaluate(&mut base_model, &p.test_x, &p.test_y).accuracy;
+            let adapt_all = train::evaluate(&mut adapt_all_model, &p.test_x, &p.test_y).accuracy;
+
+            let (patch, _) = adapt_to_patch(base, &p.adapt_x, method, &mut rng);
+            let mut by_cause_model = base.clone();
+            patch.apply(&mut by_cause_model).expect("same architecture");
+            let by_cause = train::evaluate(&mut by_cause_model, &p.test_x, &p.test_y).accuracy;
+
+            let mut rate = |m: &mut MlpResNet, x: &Tensor| -> f32 {
+                let flags = detector.detect(m, x);
+                flags.iter().filter(|&&f| f).count() as f32 / flags.len().max(1) as f32
+            };
+            let detection_before = rate(&mut base_model, &p.test_x);
+            let detection_after = rate(&mut by_cause_model, &p.test_x);
+
+            PartitionOutcome {
+                name: p.name.clone(),
+                no_adapt,
+                by_cause,
+                adapt_all,
+                detection_before,
+                detection_after,
+            }
+        })
+        .collect()
+}
+
+/// Cross-cause probe (§3.4): accuracy of a model adapted to `adapted_on`
+/// when tested on every other partition.
+pub fn cross_cause_accuracy(
+    base: &MlpResNet,
+    partitions: &[CausePartition],
+    adapted_on: &str,
+    method: &AdaptMethod,
+    seed: u64,
+) -> Vec<(String, f32)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let source = partitions
+        .iter()
+        .find(|p| p.name == adapted_on)
+        .unwrap_or_else(|| panic!("unknown partition `{adapted_on}`"));
+    let (patch, _) = adapt_to_patch(base, &source.adapt_x, method, &mut rng);
+    let mut model = base.clone();
+    patch.apply(&mut model).expect("same architecture");
+    partitions
+        .iter()
+        .map(|p| {
+            (
+                p.name.clone(),
+                train::evaluate(&mut model, &p.test_x, &p.test_y).accuracy,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+
+    fn tiny_world() -> (ClassSpace, MlpResNet) {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let space = ClassSpace::new(&mut rng, 24, 4, 0.8, 0.5);
+        let samples = space.sample_balanced(&mut rng, 40);
+        let xs = Tensor::stack_rows(
+            &samples
+                .iter()
+                .map(|s| s.features.clone())
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let ys: Vec<usize> = samples.iter().map(|s| s.label).collect();
+        let mut model = nazar_nn::MlpResNet::new(nazar_nn::ModelArch::tiny(24, 4), &mut rng);
+        let mut opt = nazar_nn::Sgd::with_momentum(0.04, 0.9);
+        for _ in 0..15 {
+            train::train_epoch(&mut model, &mut opt, &xs, &ys, 32, &mut rng);
+        }
+        (space, model)
+    }
+
+    #[test]
+    fn partitions_have_expected_shape() {
+        let (space, _) = tiny_world();
+        let cfg = PartitionConfig {
+            n_adapt: 16,
+            n_test: 12,
+            ..PartitionConfig::default()
+        };
+        let parts = seventeen_partitions(&space, &cfg);
+        assert_eq!(parts.len(), 17);
+        assert_eq!(parts[0].name, "clean");
+        assert!(parts[0].cause.is_none());
+        for p in &parts {
+            assert_eq!(p.adapt_x.nrows().unwrap(), 16);
+            assert_eq!(p.test_x.nrows().unwrap(), 12);
+            assert_eq!(p.test_y.len(), 12);
+        }
+    }
+
+    #[test]
+    fn by_cause_beats_adapt_all_on_average() {
+        // The Table 4 shape, at miniature scale.
+        let (space, model) = tiny_world();
+        let cfg = PartitionConfig {
+            n_adapt: 48,
+            n_test: 32,
+            ..PartitionConfig::default()
+        };
+        let parts = seventeen_partitions(&space, &cfg);
+        let outcomes = run_partition_experiment(
+            &model,
+            &parts,
+            &AdaptMethod::Tent(nazar_adapt::TentConfig {
+                batch_size: 24,
+                epochs: 2,
+                ..nazar_adapt::TentConfig::default()
+            }),
+            3,
+        );
+        let by_cause = mean_of(&outcomes, |o| o.by_cause);
+        let adapt_all = mean_of(&outcomes, |o| o.adapt_all);
+        assert!(
+            by_cause > adapt_all,
+            "by-cause {by_cause} !> adapt-all {adapt_all}"
+        );
+    }
+
+    #[test]
+    fn cross_cause_model_underperforms_on_other_causes() {
+        let (space, model) = tiny_world();
+        let cfg = PartitionConfig {
+            n_adapt: 48,
+            n_test: 32,
+            ..PartitionConfig::default()
+        };
+        let parts = seventeen_partitions(&space, &cfg);
+        let method = AdaptMethod::Tent(nazar_adapt::TentConfig {
+            batch_size: 24,
+            epochs: 2,
+            ..nazar_adapt::TentConfig::default()
+        });
+        let results = cross_cause_accuracy(&model, &parts, "fog", &method, 4);
+        let own = results.iter().find(|(n, _)| n == "fog").unwrap().1;
+        let others: Vec<f32> = results
+            .iter()
+            .filter(|(n, _)| n != "fog" && n != "clean")
+            .map(|&(_, a)| a)
+            .collect();
+        let other_mean = others.iter().sum::<f32>() / others.len() as f32;
+        assert!(own > other_mean, "own {own} !> other causes {other_mean}");
+    }
+}

@@ -1,0 +1,116 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple aligned text table, printed to stdout by the experiment bins and
+/// pasted into EXPERIMENTS.md.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: appends a row of `&str` cells.
+    pub fn row_str(&mut self, cells: &[&str]) -> &mut Self {
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(display_width(h));
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(display_width(c));
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let pad = widths[i].saturating_sub(display_width(c));
+                let _ = write!(line, "{}{}  ", c, " ".repeat(pad));
+            }
+            line.trim_end().to_string()
+        };
+        if !self.headers.is_empty() {
+            let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+            let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+            let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        }
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Approximate display width (counts chars; the check/cross marks used in
+/// Table 1 are single-width).
+fn display_width(s: &str) -> usize {
+    s.chars().count()
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(x: f32) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a float with the given number of decimals.
+pub fn num(x: f64, decimals: usize) -> String {
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row_str(&["a", "1"]).row_str(&["longer-name", "22"]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("longer-name"));
+        let lines: Vec<&str> = r.lines().collect();
+        // Header, separator, two rows, plus the title line.
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    fn pct_and_num_format() {
+        assert_eq!(pct(0.615), "61.5%");
+        assert_eq!(num(3.14159, 2), "3.14");
+    }
+}

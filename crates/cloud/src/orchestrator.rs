@@ -1,0 +1,468 @@
+//! The windowed monitor → analyze → adapt → deploy loop.
+
+use nazar_adapt::{adapt_to_patch, AdaptMethod};
+use nazar_analysis::{analyze_variant_with, AnalysisVariant, FimAlgorithm, FimConfig, RankedCause};
+use nazar_device::{DeviceConfig, Fleet, UploadedSample, WindowStats, LOG_SCHEMA};
+use nazar_log::{DriftLog, DriftLogEntry};
+use nazar_nn::MlpResNet;
+use nazar_nn::{BnPatch, Layer};
+use nazar_registry::VersionMeta;
+use nazar_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Which system variant drives the fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Full Nazar: root-cause analysis plus by-cause adaptation.
+    Nazar,
+    /// The adapt-all baseline: one model continuously adapted on every
+    /// sampled input (what Ekya and prior self-supervised methods do).
+    AdaptAll,
+    /// The non-adapted pretrained model.
+    NoAdapt,
+}
+
+impl Strategy {
+    /// Human-readable name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Nazar => "nazar",
+            Strategy::AdaptAll => "adapt-all",
+            Strategy::NoAdapt => "no-adapt",
+        }
+    }
+}
+
+/// How much the ML-ops team is in the loop (§3.1 "Modes of operation").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OperationMode {
+    /// Monitoring, analysis and adaptation all run automatically.
+    #[default]
+    Autopilot,
+    /// Analysis raises [`DriftAlert`]s; adaptation waits for the ML-ops
+    /// team to approve each cause ([`Orchestrator::approve_alert`]).
+    Manual,
+}
+
+/// An alert raised for the ML-ops team in [`OperationMode::Manual`]:
+/// a discovered root cause with the evidence behind it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftAlert {
+    /// The window in which the cause was discovered.
+    pub window: usize,
+    /// The discovered cause and its metrics.
+    pub cause: RankedCause,
+    /// Number of sampled inputs available for adaptation.
+    pub sample_count: usize,
+    /// The retained samples (consumed on approval).
+    samples: Vec<Vec<f32>>,
+}
+
+impl DriftAlert {
+    /// A one-line human-readable description.
+    pub fn summary(&self) -> String {
+        format!(
+            "window {}: {} (risk ratio {:.2}, confidence {:.2}, {} samples)",
+            self.window + 1,
+            self.cause.label(),
+            self.cause.stats.risk_ratio,
+            self.cause.stats.confidence,
+            self.sample_count
+        )
+    }
+}
+
+/// Cloud-side configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudConfig {
+    /// Number of equal time windows (the paper defaults to 8, ablates 4).
+    pub windows: usize,
+    /// FIM thresholds for the root-cause analysis.
+    pub fim: FimConfig,
+    /// Self-supervised adaptation objective.
+    pub method: AdaptMethod,
+    /// Which prefix of the analysis pipeline to run (Table 5 / Fig. 8c
+    /// ablations use [`AnalysisVariant::FimOnly`]).
+    pub analysis_variant: AnalysisVariant,
+    /// Minimum sampled inputs a cause needs before adaptation is attempted.
+    pub min_samples_per_cause: usize,
+    /// Upper bound on causes adapted per window (keeps FIM-only ablations
+    /// from exploding).
+    pub max_causes_per_window: usize,
+    /// Whether to maintain a continuously-adapted "clean" fallback model.
+    pub adapt_clean: bool,
+    /// On-device configuration.
+    pub device: DeviceConfig,
+    /// Seed for the cloud's RNG (sampling, adaptation augmentation).
+    pub seed: u64,
+    /// Autopilot (default) or manual approval of adaptations.
+    #[serde(default)]
+    pub mode: OperationMode,
+    /// Ship location/device-scoped versions only to the devices that can
+    /// match them, instead of broadcasting to the whole fleet.
+    #[serde(default)]
+    pub targeted_deployment: bool,
+    /// Which FIM algorithm powers the analysis (apriori by default).
+    #[serde(default)]
+    pub algorithm: FimAlgorithm,
+}
+
+impl Default for CloudConfig {
+    fn default() -> Self {
+        CloudConfig {
+            windows: 8,
+            fim: FimConfig::default(),
+            method: AdaptMethod::default(),
+            analysis_variant: AnalysisVariant::Full,
+            min_samples_per_cause: 24,
+            max_causes_per_window: 16,
+            adapt_clean: true,
+            device: DeviceConfig::default(),
+            seed: 7,
+            mode: OperationMode::default(),
+            targeted_deployment: false,
+            algorithm: FimAlgorithm::default(),
+        }
+    }
+}
+
+/// The outcome of an end-to-end run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Per-window accuracy/detection statistics.
+    pub per_window: Vec<WindowStats>,
+    /// Maximum number of model versions on any device, after each window.
+    pub version_counts: Vec<usize>,
+    /// Labels of the causes adapted in each window.
+    pub causes_per_window: Vec<Vec<String>>,
+    /// Total wall-clock time spent in root-cause analysis.
+    pub analysis_time: Duration,
+    /// Total wall-clock time spent in model adaptation.
+    pub adapt_time: Duration,
+    /// Total drift-log rows ingested.
+    pub log_rows: usize,
+    /// Bytes shipped to devices as BN patches (4 bytes per scalar).
+    pub patch_bytes_shipped: u64,
+    /// Bytes the same deployments would have cost as full model pushes —
+    /// the §3.4 efficiency argument ("the BN layer is 217× smaller").
+    pub full_model_bytes_equivalent: u64,
+}
+
+impl RunResult {
+    /// Mean accuracy over the last `k` windows (the paper reports the last 7).
+    pub fn mean_accuracy_last(&self, k: usize) -> f32 {
+        mean(
+            self.per_window
+                .iter()
+                .rev()
+                .take(k)
+                .map(WindowStats::accuracy),
+        )
+    }
+
+    /// Mean drifted-data accuracy over the last `k` windows.
+    pub fn mean_drifted_accuracy_last(&self, k: usize) -> f32 {
+        mean(
+            self.per_window
+                .iter()
+                .rev()
+                .take(k)
+                .map(WindowStats::drifted_accuracy),
+        )
+    }
+
+    /// Network savings factor of BN-patch deployment over full-model pushes.
+    pub fn transfer_savings(&self) -> f64 {
+        if self.patch_bytes_shipped == 0 {
+            return 1.0;
+        }
+        self.full_model_bytes_equivalent as f64 / self.patch_bytes_shipped as f64
+    }
+
+    /// Cumulative (all data, drifted data) accuracy after each window —
+    /// the traces of Fig. 8d.
+    pub fn cumulative_accuracy(&self) -> Vec<(f32, f32)> {
+        let mut acc = WindowStats::default();
+        self.per_window
+            .iter()
+            .map(|w| {
+                acc.merge(w);
+                (acc.accuracy(), acc.drifted_accuracy())
+            })
+            .collect()
+    }
+}
+
+fn mean(values: impl Iterator<Item = f32>) -> f32 {
+    let v: Vec<f32> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f32>() / v.len() as f32
+    }
+}
+
+/// The cloud orchestrator: owns the fleet, the drift log, and the adaptation
+/// state for one strategy.
+#[derive(Debug)]
+pub struct Orchestrator {
+    strategy: Strategy,
+    config: CloudConfig,
+    base_model: MlpResNet,
+    /// The continuously-adapted model used by the adapt-all baseline and the
+    /// optional clean fallback of Nazar.
+    rolling_model: MlpResNet,
+    fleet: Fleet,
+    /// Cumulative drift log (all windows), as the paper's Aurora table.
+    drift_log: DriftLog,
+    rng: SmallRng,
+    /// Alerts awaiting ML-ops approval (manual mode only).
+    pending_alerts: Vec<DriftAlert>,
+    /// Scalar weights in the full model (for the transfer ledger).
+    model_scalars: u64,
+    /// Running transfer ledger (patch bytes, full-model-equivalent bytes).
+    ledger: (u64, u64),
+}
+
+impl Orchestrator {
+    /// Creates an orchestrator over a fleet built from `streams`.
+    pub fn new(
+        base_model: MlpResNet,
+        streams: &[nazar_data::LocationStream],
+        strategy: Strategy,
+        config: CloudConfig,
+    ) -> Self {
+        let fleet = Fleet::from_streams(streams, &base_model, &config.device);
+        let mut sizer = base_model.clone();
+        let model_scalars = sizer.num_params() as u64;
+        Orchestrator {
+            strategy,
+            rolling_model: base_model.clone(),
+            base_model,
+            fleet,
+            drift_log: DriftLog::new(&LOG_SCHEMA),
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            pending_alerts: Vec::new(),
+            model_scalars,
+            ledger: (0, 0),
+        }
+    }
+
+    /// Alerts awaiting approval (manual mode).
+    pub fn pending_alerts(&self) -> &[DriftAlert] {
+        &self.pending_alerts
+    }
+
+    /// Approves pending alert `index`: adapts to its cause on the retained
+    /// samples and deploys the patch. Returns the adapted cause.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn approve_alert(&mut self, index: usize) -> RankedCause {
+        let alert = self.pending_alerts.remove(index);
+        let data = Tensor::stack_rows(&alert.samples).expect("uniform feature width");
+        let (patch, _) =
+            adapt_to_patch(&self.base_model, &data, &self.config.method, &mut self.rng);
+        let meta = VersionMeta::new(alert.cause.attrs.clone(), alert.cause.stats.risk_ratio);
+        self.deploy(&meta, &patch);
+        alert.cause
+    }
+
+    /// Dismisses pending alert `index` without adapting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn dismiss_alert(&mut self, index: usize) {
+        self.pending_alerts.remove(index);
+    }
+
+    /// Deploys a patch (targeted or broadcast) and charges the ledger.
+    fn deploy(&mut self, meta: &VersionMeta, patch: &BnPatch) {
+        let devices = if self.config.targeted_deployment {
+            self.fleet.deploy_targeted(meta, patch) as u64
+        } else {
+            self.fleet.deploy(meta, patch);
+            self.fleet.len() as u64
+        };
+        self.ledger.0 += devices * patch.num_scalars() as u64 * 4;
+        self.ledger.1 += devices * self.model_scalars * 4;
+    }
+
+    /// The cumulative drift log (for inspection and scaling measurements).
+    pub fn drift_log(&self) -> &DriftLog {
+        &self.drift_log
+    }
+
+    /// Runs all windows of the workload and returns the collected results.
+    pub fn run(&mut self, streams: &[nazar_data::LocationStream]) -> RunResult {
+        let mut result = RunResult::default();
+        for w in 0..self.config.windows {
+            let output = self
+                .fleet
+                .process_window(streams, w, self.config.windows, &mut self.rng);
+            self.ingest(&output.entries);
+            result.log_rows = self.drift_log.num_rows();
+
+            let causes = match self.strategy {
+                Strategy::NoAdapt => Vec::new(),
+                Strategy::AdaptAll => {
+                    let t0 = Instant::now();
+                    self.adapt_all(&output.uploads);
+                    result.adapt_time += t0.elapsed();
+                    Vec::new()
+                }
+                Strategy::Nazar => {
+                    let (causes, analysis_d, adapt_d) =
+                        self.nazar_window(w, &output.entries, &output.uploads);
+                    result.analysis_time += analysis_d;
+                    result.adapt_time += adapt_d;
+                    causes
+                }
+            };
+
+            result
+                .causes_per_window
+                .push(causes.iter().map(RankedCause::label).collect());
+            result.version_counts.push(self.fleet.max_versions());
+            result.per_window.push(output.stats);
+        }
+        result.patch_bytes_shipped = self.ledger.0;
+        result.full_model_bytes_equivalent = self.ledger.1;
+        result
+    }
+
+    fn ingest(&mut self, entries: &[DriftLogEntry]) {
+        for e in entries {
+            self.drift_log
+                .push(e.clone())
+                .expect("device entries follow the schema");
+        }
+    }
+
+    /// The adapt-all baseline: continuously adapt one model on all uploads
+    /// and deploy it as the universal (empty-attribute) version.
+    fn adapt_all(&mut self, uploads: &[UploadedSample]) {
+        let Some(data) = stack_features(uploads) else {
+            return;
+        };
+        if data.nrows().unwrap_or(0) < self.config.min_samples_per_cause {
+            return;
+        }
+        let (patch, _) = adapt_to_patch(
+            &self.rolling_model,
+            &data,
+            &self.config.method,
+            &mut self.rng,
+        );
+        patch
+            .apply(&mut self.rolling_model)
+            .expect("patch from same architecture");
+        self.deploy(&VersionMeta::clean(), &patch);
+    }
+
+    /// One Nazar analysis + by-cause adaptation round.
+    fn nazar_window(
+        &mut self,
+        window: usize,
+        entries: &[DriftLogEntry],
+        uploads: &[UploadedSample],
+    ) -> (Vec<RankedCause>, Duration, Duration) {
+        // Root-cause analysis over this window's entries (the Lambda run).
+        let t0 = Instant::now();
+        let mut window_log = DriftLog::new(&LOG_SCHEMA);
+        for e in entries {
+            window_log.push(e.clone()).expect("schema");
+        }
+        let mut causes = analyze_variant_with(
+            &window_log,
+            &self.config.fim,
+            self.config.analysis_variant,
+            self.config.algorithm,
+        );
+        causes.truncate(self.config.max_causes_per_window);
+        let analysis_time = t0.elapsed();
+
+        // By-cause adaptation on the sampled inputs matching each cause.
+        let t1 = Instant::now();
+        let mut adapted = Vec::new();
+        let mut covered = vec![false; uploads.len()];
+        for cause in causes {
+            let matching: Vec<usize> = uploads
+                .iter()
+                .enumerate()
+                .filter(|(_, u)| cause.attrs.iter().all(|a| u.attrs.contains(a)))
+                .map(|(i, _)| i)
+                .collect();
+            if matching.len() < self.config.min_samples_per_cause {
+                continue;
+            }
+            for &i in &matching {
+                covered[i] = true;
+            }
+            let rows: Vec<Vec<f32>> = matching
+                .iter()
+                .map(|&i| uploads[i].features.clone())
+                .collect();
+            if self.config.mode == OperationMode::Manual {
+                // Raise an alert and wait for the ML-ops team instead of
+                // adapting automatically (§3.1).
+                self.pending_alerts.push(DriftAlert {
+                    window,
+                    sample_count: rows.len(),
+                    samples: rows,
+                    cause,
+                });
+                continue;
+            }
+            let data = Tensor::stack_rows(&rows).expect("uniform feature width");
+            let (patch, _) =
+                adapt_to_patch(&self.base_model, &data, &self.config.method, &mut self.rng);
+            let meta = VersionMeta::new(cause.attrs.clone(), cause.stats.risk_ratio);
+            self.deploy(&meta, &patch);
+            adapted.push(cause);
+        }
+
+        // The continuously-adapted clean fallback: inputs not covered by any
+        // adapted cause (§3.3: Nazar "filters a set of images that are
+        // 'clean' when they are not associated with previously discovered
+        // root causes").
+        if self.config.adapt_clean {
+            let clean_rows: Vec<Vec<f32>> = uploads
+                .iter()
+                .zip(&covered)
+                .filter(|(_, &c)| !c)
+                .map(|(u, _)| u.features.clone())
+                .collect();
+            if clean_rows.len() >= self.config.min_samples_per_cause {
+                let data = Tensor::stack_rows(&clean_rows).expect("uniform feature width");
+                let (patch, _) = adapt_to_patch(
+                    &self.rolling_model,
+                    &data,
+                    &self.config.method,
+                    &mut self.rng,
+                );
+                patch
+                    .apply(&mut self.rolling_model)
+                    .expect("same architecture");
+                self.deploy(&VersionMeta::clean(), &patch);
+            }
+        }
+        let adapt_time = t1.elapsed();
+        (adapted, analysis_time, adapt_time)
+    }
+}
+
+/// Stacks upload features into a matrix; `None` when empty.
+fn stack_features(uploads: &[UploadedSample]) -> Option<Tensor> {
+    if uploads.is_empty() {
+        return None;
+    }
+    let rows: Vec<Vec<f32>> = uploads.iter().map(|u| u.features.clone()).collect();
+    Tensor::stack_rows(&rows).ok()
+}

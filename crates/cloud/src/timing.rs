@@ -1,0 +1,94 @@
+//! Runtime and scalability measurements (§5.8, Fig. 9d).
+
+use nazar_analysis::{analyze, FimConfig};
+use nazar_log::{DriftLog, DriftLogEntry};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Generates a synthetic drift log of `rows` rows with a realistic attribute
+/// mix: 4 weather values, 10 locations, 100 devices, ~30% drift driven by a
+/// planted weather cause plus detector noise.
+pub fn synthetic_drift_log(rows: usize, seed: u64) -> DriftLog {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let weathers = ["clear-day", "rain", "snow", "fog"];
+    let locations: Vec<String> = (0..10).map(|i| format!("loc-{i}")).collect();
+    let mut log = DriftLog::new(&["weather", "location", "device_id"]);
+    for ts in 0..rows {
+        let w = weathers[rng.gen_range(0..weathers.len())];
+        let loc = &locations[rng.gen_range(0..locations.len())];
+        let dev = format!("{loc}-dev{:02}", rng.gen_range(0..10));
+        // Planted ground truth: weather drifts detect at 80%, clean days
+        // false-positive at 10%.
+        let drift = if w == "clear-day" {
+            rng.gen_range(0.0f64..1.0) < 0.10
+        } else {
+            rng.gen_range(0.0f64..1.0) < 0.80
+        };
+        log.push(DriftLogEntry::new(
+            ts as u64,
+            &[("weather", w), ("location", loc), ("device_id", &dev)],
+            drift,
+        ))
+        .expect("schema matches");
+    }
+    log
+}
+
+/// One point of the Fig. 9d scaling curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScalingPoint {
+    /// Drift-log rows analyzed.
+    pub rows: usize,
+    /// Wall-clock runtime of the full analysis pipeline.
+    pub runtime: Duration,
+}
+
+/// Measures full root-cause-analysis runtime across log sizes.
+pub fn analysis_scaling(row_counts: &[usize], config: &FimConfig, seed: u64) -> Vec<ScalingPoint> {
+    row_counts
+        .iter()
+        .map(|&rows| {
+            let log = synthetic_drift_log(rows, seed);
+            let t0 = Instant::now();
+            let causes = analyze(&log, config);
+            let runtime = t0.elapsed();
+            // Keep the optimizer from discarding the analysis.
+            assert!(causes.len() < rows.max(1));
+            ScalingPoint { rows, runtime }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_log_has_planted_weather_causes() {
+        let log = synthetic_drift_log(4_000, 0);
+        assert_eq!(log.num_rows(), 4_000);
+        let frac = log.num_drifted() as f64 / log.num_rows() as f64;
+        assert!((0.5..0.8).contains(&frac), "drift fraction {frac}");
+        let causes = analyze(&log, &FimConfig::default());
+        let labels: Vec<String> = causes.iter().map(|c| c.label()).collect();
+        assert!(
+            labels.iter().any(|l| l.contains("weather=")),
+            "expected weather causes, got {labels:?}"
+        );
+        assert!(
+            !labels.iter().any(|l| l.contains("clear-day")),
+            "clean weather must not be a cause: {labels:?}"
+        );
+    }
+
+    #[test]
+    fn analysis_scaling_is_roughly_linear() {
+        let points = analysis_scaling(&[2_000, 8_000], &FimConfig::default(), 1);
+        assert_eq!(points.len(), 2);
+        let r = points[1].runtime.as_secs_f64() / points[0].runtime.as_secs_f64().max(1e-9);
+        // 4x the rows should cost no more than ~10x (linear with overheads;
+        // generous bound to stay robust on loaded CI machines).
+        assert!(r < 10.0, "scaling ratio {r}");
+    }
+}

@@ -1,0 +1,330 @@
+//! The Cityscapes end-to-end workload (DESIGN.md substitution S2).
+//!
+//! Emulates the paper's self-driving-car object-classification dataset:
+//! temporally-ordered streams of traffic-object images from European cities,
+//! split 14% / 6% / 80% into train / validation / stream, submitted "in
+//! equal intervals" across January 1 – April 21, 2020, with weather-driven
+//! corruptions from the [`WeatherModel`] trace.
+
+use crate::corruptions::Severity;
+use crate::sampling::seed_from_labels;
+use crate::space::ClassSpace;
+use crate::stream::{LabeledSet, LocationStream, StreamItem};
+use crate::timeline::SimDate;
+use crate::weather::WeatherModel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// European cities used for the default configuration (a subset of the 50
+/// Cityscapes cities; `CityscapesConfig::paper()` uses more).
+pub const CITYSCAPES_CITIES: [&str; 12] = [
+    "hamburg",
+    "zurich",
+    "strasbourg",
+    "cologne",
+    "krefeld",
+    "weimar",
+    "tubingen",
+    "stuttgart",
+    "darmstadt",
+    "aachen",
+    "jena",
+    "bremen",
+];
+
+/// Traffic-object classes of the preprocessed dataset.
+///
+/// The Ekya-style preprocessing crops individual objects out of the scene
+/// segmentation; we keep the fine-grained subtype labels that preprocessing
+/// yields (24 classes), which also places the classifier's confidence in
+/// the operating regime the paper's detector assumes.
+pub const CITYSCAPES_CLASSES: [&str; 32] = [
+    "car-sedan",
+    "car-suv",
+    "car-van",
+    "car-taxi",
+    "person-adult",
+    "person-child",
+    "person-worker",
+    "bicycle",
+    "cargo-bike",
+    "truck-box",
+    "truck-semi",
+    "truck-pickup",
+    "bus-city",
+    "bus-coach",
+    "bus-school",
+    "motorcycle",
+    "moped",
+    "rider-cyclist",
+    "rider-motorcyclist",
+    "train-tram",
+    "train-regional",
+    "traffic-sign-regulatory",
+    "traffic-sign-warning",
+    "traffic-sign-guide",
+    "traffic-light",
+    "trailer",
+    "caravan",
+    "e-scooter",
+    "delivery-van",
+    "police-car",
+    "ambulance",
+    "street-cleaner",
+];
+
+/// Configuration for [`CityscapesDataset::generate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityscapesConfig {
+    /// Master seed.
+    pub seed: u64,
+    /// Feature dimensionality.
+    pub dim: usize,
+    /// Number of cities to emulate (cycled through a fixed name list).
+    pub cities: usize,
+    /// Total images, split 14% / 6% / 80% as in the paper.
+    pub total_images: usize,
+    /// Vehicles (devices) per city.
+    pub vehicles_per_city: usize,
+    /// Severity of weather corruptions.
+    pub severity: Severity,
+    /// Base sampling noise of the class space.
+    pub base_noise: f32,
+    /// Per-class difficulty spread.
+    pub difficulty_spread: f32,
+}
+
+impl Default for CityscapesConfig {
+    fn default() -> Self {
+        CityscapesConfig {
+            seed: 19_55,
+            dim: 64,
+            cities: 12,
+            total_images: 9_000,
+            vehicles_per_city: 3,
+            severity: Severity::DEFAULT,
+            base_noise: 0.75,
+            difficulty_spread: 0.8,
+        }
+    }
+}
+
+impl CityscapesConfig {
+    /// A reduced configuration for unit tests.
+    pub fn small() -> Self {
+        CityscapesConfig {
+            cities: 4,
+            total_images: 1_500,
+            ..CityscapesConfig::default()
+        }
+    }
+
+    /// The paper-scale configuration: 27,604 images across 50 cities.
+    pub fn paper() -> Self {
+        CityscapesConfig {
+            cities: 50,
+            total_images: 27_604,
+            ..CityscapesConfig::default()
+        }
+    }
+
+    fn city_name(&self, index: usize) -> String {
+        let base = CITYSCAPES_CITIES[index % CITYSCAPES_CITIES.len()];
+        if index < CITYSCAPES_CITIES.len() {
+            base.to_string()
+        } else {
+            format!("{base}-{}", index / CITYSCAPES_CITIES.len())
+        }
+    }
+}
+
+/// The generated Cityscapes workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CityscapesDataset {
+    /// The generative model.
+    pub space: ClassSpace,
+    /// Training split (14% of images).
+    pub train: LabeledSet,
+    /// Validation split (6% of images).
+    pub val: LabeledSet,
+    /// Per-city streams (80% of images), in temporal order.
+    pub streams: Vec<LocationStream>,
+    /// The weather trace.
+    pub weather: WeatherModel,
+    /// The configuration used.
+    pub config: CityscapesConfig,
+}
+
+impl CityscapesDataset {
+    /// Generates the full workload deterministically from `config.seed`.
+    pub fn generate(config: &CityscapesConfig) -> Self {
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let classes = CITYSCAPES_CLASSES.len();
+        let space = ClassSpace::new(
+            &mut rng,
+            config.dim,
+            classes,
+            config.base_noise,
+            config.difficulty_spread,
+        );
+
+        let train_n = config.total_images * 14 / 100;
+        let val_n = config.total_images * 6 / 100;
+        let stream_n = config.total_images - train_n - val_n;
+
+        let mut train = LabeledSet::new();
+        for i in 0..train_n {
+            let s = space.sample(&mut rng, i % classes);
+            train.push(s.features, s.label);
+        }
+        let mut val = LabeledSet::new();
+        for i in 0..val_n {
+            let s = space.sample(&mut rng, i % classes);
+            val.push(s.features, s.label);
+        }
+
+        let weather = WeatherModel::new(config.seed ^ 0x5c5c);
+        let per_city = stream_n / config.cities.max(1);
+        let streams = (0..config.cities)
+            .map(|ci| generate_city(&config.city_name(ci), per_city, &space, &weather, config))
+            .collect();
+
+        CityscapesDataset {
+            space,
+            train,
+            val,
+            streams,
+            weather,
+            config: config.clone(),
+        }
+    }
+
+    /// Total number of streamed items across all cities.
+    pub fn stream_len(&self) -> usize {
+        self.streams.iter().map(|s| s.items.len()).sum()
+    }
+}
+
+fn generate_city(
+    city: &str,
+    count: usize,
+    space: &ClassSpace,
+    weather: &WeatherModel,
+    config: &CityscapesConfig,
+) -> LocationStream {
+    let mut rng = SmallRng::seed_from_u64(seed_from_labels(&[
+        &config.seed.to_string(),
+        city,
+        "stream",
+    ]));
+    let classes = space.num_classes();
+    let mut items = Vec::with_capacity(count);
+    for i in 0..count {
+        // "Images are submitted for inference in equal intervals across
+        // these dates" (§5.1): spread indices uniformly over the range.
+        let day = (i as u64 * u64::from(SimDate::TOTAL_DAYS) / count.max(1) as u64) as u16;
+        let date = SimDate::new(day.min(SimDate::TOTAL_DAYS - 1));
+        let w = weather.weather(city, date);
+        let class = rng.gen_range(0..classes);
+        let sample = space.sample(&mut rng, class);
+        let (features, cause, severity) = match w.corruption() {
+            Some(c) => (
+                c.apply(&sample.features, config.severity, &mut rng),
+                Some(c),
+                config.severity,
+            ),
+            None => (sample.features, None, Severity::NONE),
+        };
+        let vehicle = i % config.vehicles_per_city.max(1);
+        items.push(StreamItem {
+            features,
+            label: sample.label,
+            date,
+            location: city.to_string(),
+            device_id: format!("{city}-veh{vehicle:02}"),
+            weather: w,
+            true_cause: cause,
+            severity,
+        });
+    }
+    LocationStream {
+        location: city.to_string(),
+        items,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_ratios_match_paper() {
+        let cfg = CityscapesConfig::small();
+        let d = CityscapesDataset::generate(&cfg);
+        let total = cfg.total_images as f64;
+        assert!((d.train.len() as f64 / total - 0.14).abs() < 0.01);
+        assert!((d.val.len() as f64 / total - 0.06).abs() < 0.01);
+        assert!((d.stream_len() as f64 / total - 0.80).abs() < 0.02);
+    }
+
+    #[test]
+    fn streams_cover_the_full_date_range() {
+        let d = CityscapesDataset::generate(&CityscapesConfig::small());
+        for s in &d.streams {
+            let first = s.items.first().unwrap().date;
+            let last = s.items.last().unwrap().date;
+            assert_eq!(first, SimDate::new(0));
+            assert!(last.day_index() >= SimDate::TOTAL_DAYS - 2, "last {last}");
+            for pair in s.items.windows(2) {
+                assert!(pair[0].date <= pair[1].date);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CityscapesConfig::small();
+        assert_eq!(
+            CityscapesDataset::generate(&cfg),
+            CityscapesDataset::generate(&cfg)
+        );
+    }
+
+    #[test]
+    fn city_names_extend_beyond_base_list() {
+        let cfg = CityscapesConfig {
+            cities: 15,
+            ..CityscapesConfig::small()
+        };
+        assert_eq!(cfg.city_name(0), "hamburg");
+        assert_eq!(cfg.city_name(12), "hamburg-1");
+        let d = CityscapesDataset::generate(&cfg);
+        assert_eq!(d.streams.len(), 15);
+    }
+
+    #[test]
+    fn weather_drift_rate_is_plausible() {
+        let d = CityscapesDataset::generate(&CityscapesConfig::small());
+        let total = d.stream_len() as f64;
+        let drifted = d
+            .streams
+            .iter()
+            .flat_map(|s| &s.items)
+            .filter(|i| i.is_drifted())
+            .count() as f64;
+        let frac = drifted / total;
+        assert!((0.18..=0.42).contains(&frac), "drift fraction {frac}");
+    }
+
+    #[test]
+    fn vehicles_rotate_within_city() {
+        let d = CityscapesDataset::generate(&CityscapesConfig::small());
+        let devices: std::collections::HashSet<&str> = d.streams[0]
+            .items
+            .iter()
+            .map(|i| i.device_id.as_str())
+            .collect();
+        assert_eq!(devices.len(), d.config.vehicles_per_city);
+    }
+}

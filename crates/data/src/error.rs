@@ -1,0 +1,38 @@
+//! Error type for dataset configuration.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Errors raised by dataset and generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// A configuration field was invalid.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// A severity outside the supported `0..=5` range was requested.
+    InvalidSeverity {
+        /// The requested severity.
+        severity: u8,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::InvalidConfig { field, reason } => {
+                write!(f, "invalid config field `{field}`: {reason}")
+            }
+            DataError::InvalidSeverity { severity } => {
+                write!(f, "severity {severity} outside supported range 0..=5")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

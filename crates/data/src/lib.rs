@@ -1,0 +1,54 @@
+//! Synthetic vision datasets, corruptions, and weather traces.
+//!
+//! The paper evaluates Nazar on two computer-vision datasets (Cityscapes and
+//! an ImageNet-derived "Animals" dataset) corrupted with the ImageNet-C
+//! suite according to historical 2020 weather. None of those inputs are
+//! available here, so this crate builds faithful synthetic equivalents
+//! (DESIGN.md substitutions S2–S6):
+//!
+//! * [`ClassSpace`] — a prototype-based generative model of "images"
+//!   (feature vectors) with per-class difficulty, giving the same per-class
+//!   accuracy variability the paper measures (Fig. 5b).
+//! * [`Corruption`] — sixteen parameterized corruption families with
+//!   severity 0–5, mutually divergent by construction, including the three
+//!   weather corruptions (rain / snow / fog) used end-to-end.
+//! * [`WeatherModel`] — deterministic per-(location, day) weather traces for
+//!   January 1 – April 21, 2020, calibrated to the paper's drift rates.
+//! * [`AnimalsDataset`] / [`CityscapesDataset`] — the two end-to-end
+//!   workloads, streaming [`StreamItem`]s tagged with device, location,
+//!   date, weather and ground-truth drift cause.
+//! * [`real_rain`] — the "real rainy images" stand-in (camera-statistics
+//!   shift composed with rain) used to stress the detector (§5.3).
+//!
+//! # Example
+//!
+//! ```
+//! use nazar_data::{AnimalsConfig, AnimalsDataset};
+//!
+//! let dataset = AnimalsDataset::generate(&AnimalsConfig::small());
+//! assert!(!dataset.train.features.is_empty());
+//! assert_eq!(dataset.train.features.len(), dataset.train.labels.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod animals;
+mod cityscapes;
+mod corruptions;
+mod error;
+pub mod real_rain;
+pub mod sampling;
+mod space;
+mod stream;
+mod timeline;
+mod weather;
+
+pub use animals::{AnimalsConfig, AnimalsDataset, ANIMAL_LOCATIONS};
+pub use cityscapes::{CityscapesConfig, CityscapesDataset, CITYSCAPES_CITIES, CITYSCAPES_CLASSES};
+pub use corruptions::{Corruption, Severity};
+pub use error::{DataError, Result};
+pub use space::{ClassSpace, Sample};
+pub use stream::{LabeledSet, LocationStream, StreamItem};
+pub use timeline::SimDate;
+pub use weather::{Weather, WeatherModel};

@@ -1,0 +1,201 @@
+//! Samplers built from `rand` primitives.
+//!
+//! The paper's workloads need Poisson arrivals (inference requests per
+//! device per day), Zipf class skew (Fig. 5c / 9c), and categorical draws
+//! (per-location species distributions). These are implemented here rather
+//! than pulled from `rand_distr` to keep the dependency set at the allowed
+//! baseline.
+
+use rand::Rng;
+
+/// Draws a Poisson-distributed count with the given mean (Knuth's method).
+///
+/// Suitable for the small rates used here (λ ≤ ~30); for larger rates the
+/// loop cost grows linearly with λ.
+///
+/// # Panics
+///
+/// Panics if `lambda` is not finite and positive.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u32 {
+    assert!(
+        lambda.is_finite() && lambda > 0.0,
+        "lambda must be positive"
+    );
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Draws an index from an explicit categorical distribution.
+///
+/// Weights need not be normalized; zero-weight categories are never drawn.
+///
+/// # Panics
+///
+/// Panics if `weights` is empty or sums to zero.
+pub fn categorical<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(
+        !weights.is_empty(),
+        "categorical requires at least one weight"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0,
+        "categorical weights must sum to a positive value"
+    );
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// A Zipf distribution over `n` ranks with exponent `alpha`.
+///
+/// `alpha == 0` is uniform; larger `alpha` concentrates probability on the
+/// first ranks — exactly the knob the paper turns to create class skew.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zipf {
+    probs: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution `p(k) ∝ 1 / (k+1)^alpha` over `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative or non-finite.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "zipf requires at least one rank");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and non-negative"
+        );
+        let mut probs: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(alpha)).collect();
+        let total: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= total;
+        }
+        Zipf { probs }
+    }
+
+    /// Probability of rank `k` (0-based).
+    pub fn prob(&self, k: usize) -> f64 {
+        self.probs.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// The full probability vector.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Samples a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        categorical(rng, &self.probs)
+    }
+}
+
+/// Deterministically hashes a set of labels into a 64-bit seed (FNV-1a).
+///
+/// Used to derive per-(location, day) and per-corruption seeds so that
+/// generated data is reproducible regardless of iteration order.
+pub fn seed_from_labels(parts: &[&str]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for part in parts {
+        for b in part.as_bytes() {
+            hash ^= u64::from(*b);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        hash ^= 0xff;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut rng, 2.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let weights = [1.0, 3.0];
+        let n = 20_000;
+        let ones = (0..n)
+            .filter(|_| categorical(&mut rng, &weights) == 1)
+            .count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn categorical_skips_zero_weight() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(categorical(&mut rng, &[0.0, 1.0, 0.0]), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.prob(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_alpha_one_concentrates_head() {
+        let z = Zipf::new(10, 1.0);
+        assert!(z.prob(0) > z.prob(1));
+        assert!(z.prob(0) > 3.0 * z.prob(9));
+        let total: f64 = z.probs().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seed_from_labels_is_order_sensitive_and_stable() {
+        let a = seed_from_labels(&["new-york", "2020-01-18"]);
+        let b = seed_from_labels(&["new-york", "2020-01-18"]);
+        let c = seed_from_labels(&["2020-01-18", "new-york"]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn zipf_probs_sum_to_one(n in 1usize..50, alpha in 0.0f64..3.0) {
+            let z = Zipf::new(n, alpha);
+            let total: f64 = z.probs().iter().sum();
+            proptest::prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn zipf_is_monotone_nonincreasing(n in 2usize..50, alpha in 0.0f64..3.0) {
+            let z = Zipf::new(n, alpha);
+            for k in 1..n {
+                proptest::prop_assert!(z.prob(k) <= z.prob(k - 1) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Streaming data structures shared by the end-to-end datasets.
+
+use crate::corruptions::{Corruption, Severity};
+use crate::space::Sample;
+use crate::timeline::SimDate;
+use crate::weather::Weather;
+use serde::{Deserialize, Serialize};
+
+/// A set of labeled examples (training or validation split).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LabeledSet {
+    /// Feature vectors, one per example.
+    pub features: Vec<Vec<f32>>,
+    /// Class labels, parallel to `features`.
+    pub labels: Vec<usize>,
+}
+
+impl LabeledSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        LabeledSet::default()
+    }
+
+    /// Builds a set from samples.
+    pub fn from_samples(samples: Vec<Sample>) -> Self {
+        let mut set = LabeledSet::new();
+        for s in samples {
+            set.features.push(s.features);
+            set.labels.push(s.label);
+        }
+        set
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Appends one example.
+    pub fn push(&mut self, features: Vec<f32>, label: usize) {
+        self.features.push(features);
+        self.labels.push(label);
+    }
+}
+
+impl Extend<Sample> for LabeledSet {
+    fn extend<T: IntoIterator<Item = Sample>>(&mut self, iter: T) {
+        for s in iter {
+            self.push(s.features, s.label);
+        }
+    }
+}
+
+impl FromIterator<Sample> for LabeledSet {
+    fn from_iter<T: IntoIterator<Item = Sample>>(iter: T) -> Self {
+        let mut set = LabeledSet::new();
+        set.extend(iter);
+        set
+    }
+}
+
+/// One streamed inference request, as seen by a device.
+///
+/// Carries the (possibly corrupted) input plus everything the simulation
+/// knows about its provenance: where and when it was taken, the weather at
+/// that time, and — for evaluation only — the ground-truth drift cause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamItem {
+    /// The input feature vector, after any corruption.
+    pub features: Vec<f32>,
+    /// Ground-truth class (never shown to Nazar; used for accuracy metrics).
+    pub label: usize,
+    /// Simulated capture date.
+    pub date: SimDate,
+    /// Location attribute (city or region).
+    pub location: String,
+    /// Device identifier attribute.
+    pub device_id: String,
+    /// Weather at (location, date).
+    pub weather: Weather,
+    /// Ground-truth corruption applied, if any (evaluation only).
+    pub true_cause: Option<Corruption>,
+    /// Severity of the applied corruption ([`Severity::NONE`] if clean).
+    pub severity: Severity,
+}
+
+impl StreamItem {
+    /// Whether the item is drifted in the ground truth.
+    pub fn is_drifted(&self) -> bool {
+        self.true_cause.is_some()
+    }
+}
+
+/// The stream of one location, in (date, arrival) order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LocationStream {
+    /// Location attribute shared by all items.
+    pub location: String,
+    /// Items ordered by date.
+    pub items: Vec<StreamItem>,
+}
+
+impl LocationStream {
+    /// Items falling into window `w` of `windows` equal windows.
+    pub fn window_items(&self, w: usize, windows: usize) -> impl Iterator<Item = &StreamItem> {
+        self.items
+            .iter()
+            .filter(move |item| item.date.window(windows) == w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(day: u16, cause: Option<Corruption>) -> StreamItem {
+        StreamItem {
+            features: vec![0.0; 4],
+            label: 0,
+            date: SimDate::new(day),
+            location: "x".into(),
+            device_id: "d0".into(),
+            weather: Weather::Clear,
+            true_cause: cause,
+            severity: if cause.is_some() {
+                Severity::DEFAULT
+            } else {
+                Severity::NONE
+            },
+        }
+    }
+
+    #[test]
+    fn labeled_set_collects_samples() {
+        let set: LabeledSet = vec![
+            Sample {
+                features: vec![1.0],
+                label: 0,
+            },
+            Sample {
+                features: vec![2.0],
+                label: 1,
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn window_items_filters_by_date() {
+        let stream = LocationStream {
+            location: "x".into(),
+            items: vec![
+                item(0, None),
+                item(60, Some(Corruption::Fog)),
+                item(111, None),
+            ],
+        };
+        assert_eq!(stream.window_items(0, 8).count(), 1);
+        assert_eq!(stream.window_items(7, 8).count(), 1);
+        let mid: Vec<_> = stream.window_items(SimDate::new(60).window(8), 8).collect();
+        assert_eq!(mid.len(), 1);
+        assert!(mid[0].is_drifted());
+    }
+}

@@ -1,0 +1,81 @@
+//! Detector requirement flags (the rows of Table 1).
+
+use serde::{Deserialize, Serialize};
+
+/// What a detection algorithm needs beyond the deployed model's inference
+/// output. The paper rules out any detector that needs a secondary dataset
+/// (users cannot provide drift data), a secondary model (devices are
+/// resource-constrained), or backpropagation (triples inference time);
+/// batching is workable but raises awkward windowing questions (§3.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DetectorCapabilities {
+    /// Requires a dataset of drifted examples at training time.
+    pub needs_secondary_dataset: bool,
+    /// Requires an auxiliary model at inference time.
+    pub needs_secondary_model: bool,
+    /// Requires backpropagation at inference time.
+    pub needs_backprop: bool,
+    /// Requires batching inference outputs.
+    pub needs_batching: bool,
+}
+
+impl DetectorCapabilities {
+    /// The empty requirement set (what Nazar's MSP threshold needs).
+    pub const NONE: DetectorCapabilities = DetectorCapabilities {
+        needs_secondary_dataset: false,
+        needs_secondary_model: false,
+        needs_backprop: false,
+        needs_batching: false,
+    };
+
+    /// Whether the detector is deployable under Nazar's constraints
+    /// (lightweight, self-supervised, per-inference).
+    pub fn deployable_on_device(&self) -> bool {
+        !self.needs_secondary_dataset
+            && !self.needs_secondary_model
+            && !self.needs_backprop
+            && !self.needs_batching
+    }
+
+    /// Renders the four Table 1 cells ("✓" when the requirement is absent,
+    /// "✗" when present) in row order: no secondary dataset, no secondary
+    /// model, no backpropagation, no batching.
+    pub fn table1_cells(&self) -> [&'static str; 4] {
+        let mark = |needs: bool| if needs { "✗" } else { "✓" };
+        [
+            mark(self.needs_secondary_dataset),
+            mark(self.needs_secondary_model),
+            mark(self.needs_backprop),
+            mark(self.needs_batching),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_deployable() {
+        assert!(DetectorCapabilities::NONE.deployable_on_device());
+        assert_eq!(
+            DetectorCapabilities::NONE.table1_cells(),
+            ["✓", "✓", "✓", "✓"]
+        );
+    }
+
+    #[test]
+    fn any_requirement_blocks_deployment() {
+        for i in 0..4 {
+            let mut c = DetectorCapabilities::NONE;
+            match i {
+                0 => c.needs_secondary_dataset = true,
+                1 => c.needs_secondary_model = true,
+                2 => c.needs_backprop = true,
+                _ => c.needs_batching = true,
+            }
+            assert!(!c.deployable_on_device());
+            assert_eq!(c.table1_cells().iter().filter(|&&m| m == "✗").count(), 1);
+        }
+    }
+}

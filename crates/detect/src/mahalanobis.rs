@@ -1,0 +1,217 @@
+//! Mahalanobis-distance drift detection on penultimate features.
+//!
+//! Lee et al. 2018: fit class-conditional Gaussians over the network's
+//! penultimate features with a shared covariance (diagonal here, for
+//! device-plausible cost), and score an input by its distance to the
+//! *nearest* class mean. Threshold calibration requires drifted examples,
+//! which is why Table 1 marks the method as needing a secondary dataset.
+
+use crate::capabilities::DetectorCapabilities;
+use crate::DriftDetector;
+use nazar_nn::MlpResNet;
+use nazar_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Mahalanobis-distance detector over penultimate-layer features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mahalanobis {
+    class_means: Vec<Vec<f32>>,
+    /// Shared inverse variance per feature (diagonal covariance).
+    inv_var: Vec<f32>,
+    /// Flag inputs whose minimum class distance exceeds this.
+    pub threshold: f32,
+}
+
+impl Mahalanobis {
+    /// Fits class means and the shared diagonal covariance on labeled
+    /// training data, leaving the threshold at the 95th percentile of the
+    /// training distances (callers with drift data should [`Self::calibrate`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train_x` is empty or labels exceed `num_classes`.
+    pub fn fit(
+        model: &mut MlpResNet,
+        train_x: &Tensor,
+        train_y: &[usize],
+        num_classes: usize,
+    ) -> Self {
+        let features = model.features(train_x);
+        let (n, d) = (
+            features.nrows().expect("train matrix"),
+            features.ncols().unwrap(),
+        );
+        assert!(n > 0, "training data must be non-empty");
+        assert_eq!(n, train_y.len(), "one label per training row");
+
+        let mut sums = vec![vec![0.0f64; d]; num_classes];
+        let mut counts = vec![0usize; num_classes];
+        for (i, &y) in train_y.iter().enumerate() {
+            assert!(y < num_classes, "label {y} out of range");
+            counts[y] += 1;
+            for (j, &v) in features.row(i).unwrap().iter().enumerate() {
+                sums[y][j] += f64::from(v);
+            }
+        }
+        let class_means: Vec<Vec<f32>> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(s, &c)| s.iter().map(|&v| (v / c.max(1) as f64) as f32).collect())
+            .collect();
+
+        // Shared diagonal covariance of centered features.
+        let mut var = vec![0.0f64; d];
+        for (i, &y) in train_y.iter().enumerate() {
+            for (j, (&v, &m)) in features
+                .row(i)
+                .unwrap()
+                .iter()
+                .zip(&class_means[y])
+                .enumerate()
+            {
+                var[j] += f64::from(v - m) * f64::from(v - m);
+            }
+        }
+        let inv_var: Vec<f32> = var
+            .iter()
+            .map(|&v| (1.0 / (v / n as f64 + 1e-6)) as f32)
+            .collect();
+
+        let mut detector = Mahalanobis {
+            class_means,
+            inv_var,
+            threshold: f32::MAX,
+        };
+        let mut train_scores = detector.feature_scores(&features);
+        train_scores.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let p95 = train_scores[(train_scores.len() * 95 / 100).min(train_scores.len() - 1)];
+        detector.threshold = p95;
+        detector
+    }
+
+    /// Calibrates the threshold to maximize F1 on a labeled clean/drifted
+    /// split (the secondary dataset Table 1 charges this method with).
+    pub fn calibrate(&mut self, model: &mut MlpResNet, clean: &Tensor, drifted: &Tensor) {
+        let mut scores = self.scores_internal(model, drifted);
+        let n_drift = scores.len();
+        scores.extend(self.scores_internal(model, clean));
+        let truth: Vec<bool> = (0..scores.len()).map(|i| i < n_drift).collect();
+
+        let mut candidates: Vec<f32> = scores.clone();
+        candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut best = (self.threshold, -1.0f32);
+        for &t in &candidates {
+            let decisions: Vec<bool> = scores.iter().map(|&s| s > t).collect();
+            let f1 = crate::eval::DetectionEval::from_decisions(&decisions, &truth).f1();
+            if f1 > best.1 {
+                best = (t, f1);
+            }
+        }
+        self.threshold = best.0;
+    }
+
+    fn feature_scores(&self, features: &Tensor) -> Vec<f32> {
+        let n = features.nrows().expect("feature matrix");
+        (0..n)
+            .map(|i| {
+                let f = features.row(i).unwrap();
+                self.class_means
+                    .iter()
+                    .map(|mean| {
+                        f.iter()
+                            .zip(mean)
+                            .zip(&self.inv_var)
+                            .map(|((&v, &m), &iv)| (v - m) * (v - m) * iv)
+                            .sum::<f32>()
+                    })
+                    .fold(f32::INFINITY, f32::min)
+            })
+            .collect()
+    }
+
+    fn scores_internal(&self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
+        self.feature_scores(&model.features(x))
+    }
+}
+
+impl DriftDetector for Mahalanobis {
+    fn name(&self) -> &'static str {
+        "mahalanobis"
+    }
+
+    fn capabilities(&self) -> DetectorCapabilities {
+        DetectorCapabilities {
+            needs_secondary_dataset: true,
+            ..DetectorCapabilities::NONE
+        }
+    }
+
+    fn scores(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
+        self.scores_internal(model, x)
+    }
+
+    fn detect(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<bool> {
+        let t = self.threshold;
+        self.scores(model, x).into_iter().map(|s| s > t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::test_support::{trained_model_and_data, TestBed};
+
+    fn fitted() -> (Mahalanobis, TestBed) {
+        let bed = trained_model_and_data();
+        let mut model = bed.model.clone();
+        let det = Mahalanobis::fit(&mut model, &bed.train_x, &bed.train_y, 6);
+        (det, bed)
+    }
+
+    #[test]
+    fn drifted_inputs_score_farther_than_clean() {
+        let (mut det, mut bed) = fitted();
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        let sc = mean(&det.scores(&mut bed.model, &bed.clean));
+        let sd = mean(&det.scores(&mut bed.model, &bed.drifted));
+        assert!(sd > sc, "drift {sd} !> clean {sc}");
+    }
+
+    #[test]
+    fn calibration_improves_or_maintains_f1() {
+        let (mut det, mut bed) = fitted();
+        let before = crate::eval::evaluate_detector(
+            &mut det.clone(),
+            &mut bed.model,
+            &bed.clean,
+            &bed.drifted,
+        )
+        .f1();
+        det.calibrate(&mut bed.model, &bed.clean, &bed.drifted);
+        let after =
+            crate::eval::evaluate_detector(&mut det, &mut bed.model, &bed.clean, &bed.drifted).f1();
+        assert!(
+            after >= before - 1e-6,
+            "calibrated f1 {after} < default {before}"
+        );
+        assert!(after > 0.6, "calibrated f1 {after}");
+    }
+
+    #[test]
+    fn capability_profile_matches_table1() {
+        let (det, _) = fitted();
+        let caps = det.capabilities();
+        assert!(caps.needs_secondary_dataset);
+        assert!(!caps.needs_secondary_model);
+        assert!(!caps.needs_backprop);
+        assert!(!caps.needs_batching);
+    }
+
+    #[test]
+    fn default_threshold_keeps_most_training_data_clean() {
+        let (mut det, mut bed) = fitted();
+        let flags = det.detect(&mut bed.model, &bed.train_x);
+        let rate = flags.iter().filter(|&&f| f).count() as f32 / flags.len() as f32;
+        assert!(rate < 0.12, "training false-positive rate {rate}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Output-score detectors: MSP threshold, entropy, energy, max-logit.
+//!
+//! These apply a metric to the logit vector the model already produced, so
+//! their on-device cost is negligible — the property that makes the MSP
+//! threshold Nazar's detector of choice (§3.2.2).
+
+use crate::capabilities::DetectorCapabilities;
+use crate::{msp_of_logits, DriftDetector};
+use nazar_nn::{entropy_of_logits, MlpResNet, Mode};
+use nazar_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The MSP (maximum softmax probability) threshold detector — Nazar's
+/// default. An input is flagged as drifted when the model's top softmax
+/// probability falls below the threshold (0.9 by default, validated in
+/// Fig. 5a of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MspThreshold {
+    /// Flag inputs whose MSP is below this value.
+    pub threshold: f32,
+}
+
+impl Default for MspThreshold {
+    fn default() -> Self {
+        MspThreshold { threshold: 0.9 }
+    }
+}
+
+impl MspThreshold {
+    /// Creates the detector with an explicit threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `threshold` lies in `(0, 1]`.
+    pub fn new(threshold: f32) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "msp threshold must be in (0, 1]"
+        );
+        MspThreshold { threshold }
+    }
+}
+
+impl DriftDetector for MspThreshold {
+    fn name(&self) -> &'static str {
+        "msp-threshold"
+    }
+
+    fn capabilities(&self) -> DetectorCapabilities {
+        DetectorCapabilities::NONE
+    }
+
+    fn scores(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
+        let logits = model.logits(x, Mode::Eval);
+        msp_of_logits(&logits)
+            .into_iter()
+            .map(|p| 1.0 - p)
+            .collect()
+    }
+
+    fn detect(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<bool> {
+        self.scores(model, x)
+            .into_iter()
+            .map(|s| s > 1.0 - self.threshold)
+            .collect()
+    }
+}
+
+/// Prediction-entropy threshold detector: flags inputs whose softmax entropy
+/// exceeds a threshold. Performs "almost identically to MSP" (§3.2.1); the
+/// threshold is in nats and therefore less convenient to tune.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntropyThreshold {
+    /// Flag inputs whose prediction entropy (nats) exceeds this value.
+    pub threshold: f32,
+}
+
+impl Default for EntropyThreshold {
+    fn default() -> Self {
+        EntropyThreshold { threshold: 0.5 }
+    }
+}
+
+impl DriftDetector for EntropyThreshold {
+    fn name(&self) -> &'static str {
+        "entropy-threshold"
+    }
+
+    fn capabilities(&self) -> DetectorCapabilities {
+        DetectorCapabilities::NONE
+    }
+
+    fn scores(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
+        entropy_of_logits(&model.logits(x, Mode::Eval))
+    }
+
+    fn detect(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<bool> {
+        self.scores(model, x)
+            .into_iter()
+            .map(|s| s > self.threshold)
+            .collect()
+    }
+}
+
+/// Energy-based detector (Liu et al. 2020): score is the negative
+/// temperature-scaled log-sum-exp of the logits; drifted inputs have higher
+/// (less negative) energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyScore {
+    /// Softmax temperature.
+    pub temperature: f32,
+    /// Flag inputs whose energy exceeds this value.
+    pub threshold: f32,
+}
+
+impl Default for EnergyScore {
+    fn default() -> Self {
+        EnergyScore {
+            temperature: 1.0,
+            threshold: 0.0,
+        }
+    }
+}
+
+impl EnergyScore {
+    /// Calibrates the decision threshold to maximize F1 on a labeled
+    /// clean/drifted split. Energy is measured in logit units, so unlike
+    /// the normalized MSP a useful threshold depends on the model.
+    pub fn calibrated(model: &mut MlpResNet, clean: &Tensor, drifted: &Tensor) -> Self {
+        let mut det = EnergyScore::default();
+        let mut scores = det.scores(model, drifted);
+        let n_drift = scores.len();
+        scores.extend(det.scores(model, clean));
+        let truth: Vec<bool> = (0..scores.len()).map(|i| i < n_drift).collect();
+        let mut candidates = scores.clone();
+        candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite energy"));
+        let mut best = (det.threshold, -1.0f32);
+        for &t in &candidates {
+            let decisions: Vec<bool> = scores.iter().map(|&s| s > t).collect();
+            let f1 = crate::eval::DetectionEval::from_decisions(&decisions, &truth).f1();
+            if f1 > best.1 {
+                best = (t, f1);
+            }
+        }
+        det.threshold = best.0;
+        det
+    }
+}
+
+impl DriftDetector for EnergyScore {
+    fn name(&self) -> &'static str {
+        "energy-score"
+    }
+
+    fn capabilities(&self) -> DetectorCapabilities {
+        DetectorCapabilities::NONE
+    }
+
+    fn scores(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
+        let logits = model.logits(x, Mode::Eval);
+        let (n, c) = (logits.nrows().unwrap(), logits.ncols().unwrap());
+        let t = self.temperature;
+        (0..n)
+            .map(|i| {
+                let row = &logits.data()[i * c..(i + 1) * c];
+                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = row.iter().map(|&v| ((v - max) / t).exp()).sum::<f32>().ln() * t + max;
+                -lse // energy: higher = more drifted
+            })
+            .collect()
+    }
+
+    fn detect(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<bool> {
+        self.scores(model, x)
+            .into_iter()
+            .map(|s| s > self.threshold)
+            .collect()
+    }
+}
+
+/// Max-logit detector: score is the negated maximum raw logit.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MaxLogitScore {
+    /// Flag inputs whose negated max logit exceeds this value.
+    pub threshold: f32,
+}
+
+impl DriftDetector for MaxLogitScore {
+    fn name(&self) -> &'static str {
+        "max-logit"
+    }
+
+    fn capabilities(&self) -> DetectorCapabilities {
+        DetectorCapabilities::NONE
+    }
+
+    fn scores(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
+        let logits = model.logits(x, Mode::Eval);
+        logits
+            .max_axis1()
+            .expect("logits matrix")
+            .into_data()
+            .into_iter()
+            .map(|m| -m)
+            .collect()
+    }
+
+    fn detect(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<bool> {
+        self.scores(model, x)
+            .into_iter()
+            .map(|s| s > self.threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::test_support::{trained_model_and_data, TestBed};
+
+    #[test]
+    fn msp_flags_drifted_more_than_clean() {
+        let TestBed {
+            mut model,
+            clean,
+            drifted,
+            ..
+        } = trained_model_and_data();
+        let mut det = MspThreshold::default();
+        let clean_rate = det
+            .detect(&mut model, &clean)
+            .iter()
+            .filter(|&&d| d)
+            .count();
+        let drift_rate = det
+            .detect(&mut model, &drifted)
+            .iter()
+            .filter(|&&d| d)
+            .count();
+        assert!(
+            drift_rate > clean_rate,
+            "drifted flags {drift_rate} !> clean flags {clean_rate}"
+        );
+    }
+
+    #[test]
+    fn all_output_score_detectors_separate_distributions() {
+        let TestBed {
+            mut model,
+            clean,
+            drifted,
+            ..
+        } = trained_model_and_data();
+        let detectors: Vec<Box<dyn DriftDetector>> = vec![
+            Box::new(MspThreshold::default()),
+            Box::new(EntropyThreshold::default()),
+            Box::new(EnergyScore::default()),
+            Box::new(MaxLogitScore::default()),
+        ];
+        for mut det in detectors {
+            let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+            let sc = mean(&det.scores(&mut model, &clean));
+            let sd = mean(&det.scores(&mut model, &drifted));
+            assert!(
+                sd > sc,
+                "{}: drift score {sd} !> clean score {sc}",
+                det.name()
+            );
+            assert!(det.capabilities().deployable_on_device(), "{}", det.name());
+        }
+    }
+
+    #[test]
+    fn msp_threshold_validation() {
+        assert_eq!(MspThreshold::new(0.9).threshold, 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn msp_threshold_rejects_out_of_range() {
+        let _ = MspThreshold::new(1.5);
+    }
+}

@@ -1,0 +1,181 @@
+//! Streaming per-device drift monitoring.
+//!
+//! The MSP threshold fires per inference and is noisy (§3.3: "the detection
+//! algorithm is somewhat noisy for each individual detection"); Nazar
+//! absorbs the noise in the cloud with FIM over many devices. This module
+//! adds the complementary *device-local* smoother: an exponentially
+//! weighted moving average (EWMA) of the MSP with an alarm when the smoothed
+//! confidence stays below the threshold — useful for devices that want a
+//! low-churn local signal (e.g. to raise their upload sampling rate while
+//! drifting) without waiting for a cloud round trip.
+
+use serde::{Deserialize, Serialize};
+
+/// EWMA monitor over a device's MSP stream.
+///
+/// # Example
+///
+/// ```
+/// use nazar_detect::StreamingMsp;
+///
+/// let mut monitor = StreamingMsp::new(0.2, 0.9, 5);
+/// // Confident inferences keep the monitor quiet...
+/// for _ in 0..20 {
+///     assert!(!monitor.observe(0.99));
+/// }
+/// // ...a sustained confidence collapse raises the alarm.
+/// let mut alarmed = false;
+/// for _ in 0..30 {
+///     alarmed |= monitor.observe(0.4);
+/// }
+/// assert!(alarmed);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingMsp {
+    alpha: f32,
+    threshold: f32,
+    patience: usize,
+    ewma: Option<f32>,
+    below_streak: usize,
+    observations: u64,
+}
+
+impl StreamingMsp {
+    /// Creates a monitor.
+    ///
+    /// * `alpha` — EWMA weight of the newest observation, in `(0, 1]`.
+    /// * `threshold` — MSP level considered drifting (paper default 0.9).
+    /// * `patience` — consecutive below-threshold EWMA updates before the
+    ///   alarm raises (absorbs isolated low-confidence inferences).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`, `threshold` outside `(0, 1]`,
+    /// or `patience` is zero.
+    pub fn new(alpha: f32, threshold: f32, patience: usize) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        assert!(
+            threshold > 0.0 && threshold <= 1.0,
+            "threshold must be in (0, 1]"
+        );
+        assert!(patience > 0, "patience must be nonzero");
+        StreamingMsp {
+            alpha,
+            threshold,
+            patience,
+            ewma: None,
+            below_streak: 0,
+            observations: 0,
+        }
+    }
+
+    /// Feeds one inference's MSP; returns `true` while the alarm is raised.
+    pub fn observe(&mut self, msp: f32) -> bool {
+        self.observations += 1;
+        let e = match self.ewma {
+            Some(prev) => prev + self.alpha * (msp - prev),
+            None => msp,
+        };
+        self.ewma = Some(e);
+        if e < self.threshold {
+            self.below_streak += 1;
+        } else {
+            self.below_streak = 0;
+        }
+        self.is_alarmed()
+    }
+
+    /// Whether the alarm is currently raised.
+    pub fn is_alarmed(&self) -> bool {
+        self.below_streak >= self.patience
+    }
+
+    /// The current smoothed MSP, if any observation has arrived.
+    pub fn smoothed(&self) -> Option<f32> {
+        self.ewma
+    }
+
+    /// Total observations fed so far.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Resets the monitor (e.g. after an adapted model version arrives).
+    pub fn reset(&mut self) {
+        self.ewma = None;
+        self.below_streak = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_dips_do_not_alarm() {
+        let mut m = StreamingMsp::new(0.3, 0.9, 4);
+        for i in 0..50 {
+            // Warm up confident, then dip once every ten inferences.
+            let msp = if i % 10 == 5 { 0.2 } else { 0.99 };
+            assert!(!m.observe(msp), "alarmed at step {i}");
+        }
+    }
+
+    #[test]
+    fn sustained_collapse_alarms_and_reset_clears() {
+        let mut m = StreamingMsp::new(0.3, 0.9, 3);
+        for _ in 0..10 {
+            m.observe(0.98);
+        }
+        let mut raised_at = None;
+        for i in 0..20 {
+            if m.observe(0.3) && raised_at.is_none() {
+                raised_at = Some(i);
+            }
+        }
+        let raised = raised_at.expect("alarm must raise");
+        assert!(
+            raised >= 2,
+            "patience must delay the alarm, raised at {raised}"
+        );
+        assert!(m.is_alarmed());
+        m.reset();
+        assert!(!m.is_alarmed());
+        assert_eq!(m.smoothed(), None);
+    }
+
+    #[test]
+    fn recovery_clears_the_streak() {
+        let mut m = StreamingMsp::new(0.5, 0.9, 3);
+        m.observe(0.5);
+        m.observe(0.5);
+        assert!(!m.is_alarmed());
+        // Recovery resets the streak before patience is reached.
+        for _ in 0..8 {
+            m.observe(0.99);
+        }
+        m.observe(0.5);
+        assert!(!m.is_alarmed());
+    }
+
+    #[test]
+    fn ewma_tracks_toward_observations() {
+        let mut m = StreamingMsp::new(0.5, 0.9, 100);
+        m.observe(1.0);
+        m.observe(0.0);
+        assert!((m.smoothed().unwrap() - 0.5).abs() < 1e-6);
+        assert_eq!(m.observations(), 2);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn smoothed_value_stays_in_observed_range(values in proptest::collection::vec(0.0f32..=1.0, 1..100)) {
+            let mut m = StreamingMsp::new(0.2, 0.9, 3);
+            for &v in &values {
+                m.observe(v);
+            }
+            let e = m.smoothed().unwrap();
+            proptest::prop_assert!((0.0..=1.0).contains(&e));
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! A single simulated mobile device.
+
+use crate::item_attributes;
+use nazar_data::{Corruption, SimDate, StreamItem};
+use nazar_detect::MspThreshold;
+use nazar_log::{Attribute, DriftLogEntry};
+use nazar_nn::{BnPatch, MlpResNet};
+use nazar_registry::{DeployOutcome, ModelPool, VersionMeta};
+use nazar_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-device configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceConfig {
+    /// Fraction of inputs uploaded to the cloud for adaptation (§3.1: "the
+    /// device samples a percentage of the actual input data").
+    pub sample_rate: f64,
+    /// MSP detection threshold (paper default 0.9).
+    pub detection_threshold: f32,
+    /// Maximum stored model versions (`None` disables the cap, as in the
+    /// Fig. 8c experiment).
+    pub pool_capacity: Option<usize>,
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        DeviceConfig {
+            sample_rate: 0.3,
+            detection_threshold: 0.9,
+            pool_capacity: Some(8),
+        }
+    }
+}
+
+/// An input sampled for upload, tagged with its metadata.
+///
+/// `label` and `true_cause` ride along for evaluation only — Nazar itself
+/// never reads them (its adaptation is self-supervised).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UploadedSample {
+    /// The raw input features.
+    pub features: Vec<f32>,
+    /// Metadata attributes in schema order.
+    pub attrs: Vec<Attribute>,
+    /// Capture date.
+    pub date: SimDate,
+    /// Ground-truth label (evaluation only).
+    pub label: usize,
+    /// Ground-truth drift cause (evaluation only).
+    pub true_cause: Option<Corruption>,
+}
+
+/// The result of processing one inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceOutput {
+    /// The drift-log entry to ship to the cloud.
+    pub entry: DriftLogEntry,
+    /// The sampled upload, if this input was selected.
+    pub sample: Option<UploadedSample>,
+    /// The model's prediction.
+    pub prediction: usize,
+    /// Whether the prediction matched the ground-truth label.
+    pub correct: bool,
+    /// Id of the model version used (`None` = base model).
+    pub version_used: Option<u64>,
+}
+
+/// A simulated mobile device running Nazar's on-device loop.
+#[derive(Debug, Clone)]
+pub struct Device {
+    id: String,
+    location: String,
+    base_patch: BnPatch,
+    active_model: MlpResNet,
+    active_version: Option<u64>,
+    pool: ModelPool<BnPatch>,
+    detector: MspThreshold,
+    config: DeviceConfig,
+    seq: u64,
+}
+
+impl Device {
+    /// Creates a device with the given base model.
+    pub fn new(
+        id: impl Into<String>,
+        location: impl Into<String>,
+        mut base_model: MlpResNet,
+        config: DeviceConfig,
+    ) -> Self {
+        let base_patch = BnPatch::extract(&mut base_model);
+        Device {
+            id: id.into(),
+            location: location.into(),
+            base_patch,
+            active_model: base_model,
+            active_version: None,
+            pool: ModelPool::new(config.pool_capacity),
+            detector: MspThreshold::new(config.detection_threshold),
+            config,
+            seq: 0,
+        }
+    }
+
+    /// The device identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The device's location attribute.
+    pub fn location(&self) -> &str {
+        &self.location
+    }
+
+    /// Number of stored model versions.
+    pub fn num_versions(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Installs a new model version pushed from the cloud.
+    pub fn install(&mut self, meta: VersionMeta, patch: BnPatch) -> DeployOutcome {
+        let outcome = self.pool.deploy(meta, patch);
+        // The active version may have been evicted or replaced; force a
+        // re-selection on the next inference.
+        self.activate_base();
+        outcome
+    }
+
+    fn activate_base(&mut self) {
+        self.base_patch
+            .apply(&mut self.active_model)
+            .expect("base patch fits its own model");
+        self.active_version = None;
+    }
+
+    fn activate(&mut self, attrs: &[Attribute]) {
+        let selected = self.pool.select(attrs).map(|v| (v.id, v.payload.clone()));
+        match selected {
+            Some((id, patch)) => {
+                if self.active_version != Some(id) {
+                    patch
+                        .apply(&mut self.active_model)
+                        .expect("pool patches fit the base model");
+                    self.active_version = Some(id);
+                }
+            }
+            None => {
+                if self.active_version.is_some() {
+                    self.activate_base();
+                }
+            }
+        }
+    }
+
+    /// Runs the full on-device loop for one inference request.
+    pub fn process<R: Rng + ?Sized>(&mut self, item: &StreamItem, rng: &mut R) -> DeviceOutput {
+        let attrs = item_attributes(item);
+        self.activate(&attrs);
+
+        let x = Tensor::from_vec(item.features.clone(), &[1, item.features.len()])
+            .expect("one feature row");
+        // One forward pass serves both the prediction and the MSP detector —
+        // the reason the paper picks this detector ("the logit scores are
+        // computed by the inference anyways").
+        let logits = self.active_model.logits(&x, nazar_nn::Mode::Eval);
+        let prediction = logits.argmax_axis1().expect("logit row")[0];
+        let msp = nazar_detect::msp_of_logits(&logits)[0];
+        let drift = msp < self.detector.threshold;
+
+        self.seq += 1;
+        let timestamp = u64::from(item.date.day_index()) * 86_400 + self.seq % 86_400;
+        let entry = DriftLogEntry {
+            timestamp,
+            attrs: attrs.clone(),
+            drift,
+        };
+
+        let sample = if rng.gen_range(0.0f64..1.0) < self.config.sample_rate {
+            Some(UploadedSample {
+                features: item.features.clone(),
+                attrs,
+                date: item.date,
+                label: item.label,
+                true_cause: item.true_cause,
+            })
+        } else {
+            None
+        };
+
+        DeviceOutput {
+            entry,
+            sample,
+            prediction,
+            correct: prediction == item.label,
+            version_used: self.active_version,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nazar_data::{Severity, Weather};
+    use nazar_nn::ModelArch;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn item(weather: Weather, device: &str) -> StreamItem {
+        StreamItem {
+            features: vec![0.1; 8],
+            label: 0,
+            date: SimDate::new(5),
+            location: "quebec".into(),
+            device_id: device.into(),
+            weather,
+            true_cause: weather.corruption(),
+            severity: if weather.is_drifting() {
+                Severity::DEFAULT
+            } else {
+                Severity::NONE
+            },
+        }
+    }
+
+    fn device() -> Device {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let model = MlpResNet::new(ModelArch::tiny(8, 3), &mut rng);
+        Device::new("quebec-dev00", "quebec", model, DeviceConfig::default())
+    }
+
+    #[test]
+    fn process_emits_schema_conformant_entries() {
+        let mut d = device();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = d.process(&item(Weather::Snow, "quebec-dev00"), &mut rng);
+        assert_eq!(out.entry.attr("weather"), Some("snow"));
+        assert_eq!(out.entry.attr("location"), Some("quebec"));
+        assert_eq!(out.entry.attr("device_id"), Some("quebec-dev00"));
+        assert!(out.version_used.is_none(), "no versions installed yet");
+    }
+
+    #[test]
+    fn installed_version_is_used_for_matching_inputs_only() {
+        let mut d = device();
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Manufacture a distinct snow patch by perturbing the base state.
+        let mut donor = {
+            let mut r = SmallRng::seed_from_u64(0);
+            MlpResNet::new(ModelArch::tiny(8, 3), &mut r)
+        };
+        let x = Tensor::rand_uniform(&mut rng, &[16, 8], -1.0, 1.0);
+        let _ = donor.logits(&x, nazar_nn::Mode::Train);
+        let patch = BnPatch::extract(&mut donor);
+
+        let meta = VersionMeta::new(vec![Attribute::new("weather", "snow")], 3.0);
+        d.install(meta, patch);
+
+        let snow_out = d.process(&item(Weather::Snow, "quebec-dev00"), &mut rng);
+        assert!(snow_out.version_used.is_some());
+        let clear_out = d.process(&item(Weather::Clear, "quebec-dev00"), &mut rng);
+        assert!(clear_out.version_used.is_none());
+        // Switching back must restore base behaviour exactly.
+        let again = d.process(&item(Weather::Snow, "quebec-dev00"), &mut rng);
+        assert_eq!(again.version_used, snow_out.version_used);
+    }
+
+    #[test]
+    fn sampling_rate_is_respected() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let model = MlpResNet::new(ModelArch::tiny(8, 3), &mut rng);
+        let mut d = Device::new(
+            "x",
+            "quebec",
+            model,
+            DeviceConfig {
+                sample_rate: 0.5,
+                ..DeviceConfig::default()
+            },
+        );
+        let n = 400;
+        let sampled = (0..n)
+            .filter(|_| {
+                d.process(&item(Weather::Clear, "x"), &mut rng)
+                    .sample
+                    .is_some()
+            })
+            .count();
+        let frac = sampled as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.1, "sampled fraction {frac}");
+    }
+
+    #[test]
+    fn zero_sample_rate_uploads_nothing() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let model = MlpResNet::new(ModelArch::tiny(8, 3), &mut rng);
+        let mut d = Device::new(
+            "x",
+            "quebec",
+            model,
+            DeviceConfig {
+                sample_rate: 0.0,
+                ..DeviceConfig::default()
+            },
+        );
+        for _ in 0..50 {
+            assert!(d
+                .process(&item(Weather::Rain, "x"), &mut rng)
+                .sample
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn pool_capacity_bounds_versions() {
+        let mut d = device();
+        let patch = {
+            let mut r = SmallRng::seed_from_u64(0);
+            let mut m = MlpResNet::new(ModelArch::tiny(8, 3), &mut r);
+            BnPatch::extract(&mut m)
+        };
+        for i in 0..20 {
+            d.install(
+                VersionMeta::new(vec![Attribute::new("device_id", format!("d{i}"))], 1.0),
+                patch.clone(),
+            );
+        }
+        assert!(d.num_versions() <= DeviceConfig::default().pool_capacity.unwrap());
+    }
+}

@@ -1,0 +1,331 @@
+//! A fleet of devices replaying the generated streams.
+
+use crate::device::{Device, DeviceConfig, UploadedSample};
+use nazar_data::{Corruption, LocationStream};
+use nazar_log::DriftLogEntry;
+use nazar_nn::{BnPatch, MlpResNet};
+use nazar_registry::VersionMeta;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Accuracy and volume statistics of one processed window.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Inference requests processed.
+    pub total: usize,
+    /// Correct predictions.
+    pub correct: usize,
+    /// Requests whose input was drifted in the ground truth.
+    pub drifted_total: usize,
+    /// Correct predictions among drifted inputs.
+    pub drifted_correct: usize,
+    /// Requests the on-device detector flagged as drift.
+    pub flagged: usize,
+    /// Per-cause `(correct, total)` tallies, keyed by corruption name.
+    pub per_cause: BTreeMap<String, (usize, usize)>,
+}
+
+impl WindowStats {
+    /// Overall accuracy in `[0, 1]`.
+    pub fn accuracy(&self) -> f32 {
+        ratio(self.correct, self.total)
+    }
+
+    /// Accuracy restricted to drifted inputs.
+    pub fn drifted_accuracy(&self) -> f32 {
+        ratio(self.drifted_correct, self.drifted_total)
+    }
+
+    /// Fraction of inputs flagged as drift by the on-device detector.
+    pub fn detection_rate(&self) -> f32 {
+        ratio(self.flagged, self.total)
+    }
+
+    /// Accuracy on one cause, if observed.
+    pub fn cause_accuracy(&self, cause: Corruption) -> Option<f32> {
+        self.per_cause.get(cause.name()).map(|&(c, t)| ratio(c, t))
+    }
+
+    /// Merges another window's statistics into this one.
+    pub fn merge(&mut self, other: &WindowStats) {
+        self.total += other.total;
+        self.correct += other.correct;
+        self.drifted_total += other.drifted_total;
+        self.drifted_correct += other.drifted_correct;
+        self.flagged += other.flagged;
+        for (k, &(c, t)) in &other.per_cause {
+            let e = self.per_cause.entry(k.clone()).or_insert((0, 0));
+            e.0 += c;
+            e.1 += t;
+        }
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f32 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f32 / den as f32
+    }
+}
+
+/// The result of replaying one window through the fleet.
+#[derive(Debug, Clone, Default)]
+pub struct WindowOutput {
+    /// Drift-log entries emitted by all devices.
+    pub entries: Vec<DriftLogEntry>,
+    /// Inputs sampled for upload.
+    pub uploads: Vec<UploadedSample>,
+    /// Aggregated accuracy statistics.
+    pub stats: WindowStats,
+}
+
+/// A fleet of simulated devices, one per distinct `device_id` in the
+/// streams.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    devices: BTreeMap<String, Device>,
+}
+
+impl Fleet {
+    /// Builds one device per distinct device id in `streams`, each holding a
+    /// clone of `base_model`.
+    pub fn from_streams(
+        streams: &[LocationStream],
+        base_model: &MlpResNet,
+        config: &DeviceConfig,
+    ) -> Self {
+        let mut devices = BTreeMap::new();
+        for stream in streams {
+            for item in &stream.items {
+                devices.entry(item.device_id.clone()).or_insert_with(|| {
+                    Device::new(
+                        item.device_id.clone(),
+                        item.location.clone(),
+                        base_model.clone(),
+                        config.clone(),
+                    )
+                });
+            }
+        }
+        Fleet { devices }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Maximum number of model versions stored on any device.
+    pub fn max_versions(&self) -> usize {
+        self.devices
+            .values()
+            .map(|d| d.num_versions())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Pushes a model version to every device (the cloud's deployment step).
+    pub fn deploy(&mut self, meta: &VersionMeta, patch: &BnPatch) {
+        for device in self.devices.values_mut() {
+            device.install(meta.clone(), patch.clone());
+        }
+    }
+
+    /// Pushes a model version only to the devices its cause can ever match:
+    /// if the cause names a `location` or `device_id`, other devices never
+    /// select the version, so shipping it to them wastes network and pool
+    /// slots. Returns how many devices received the version.
+    pub fn deploy_targeted(&mut self, meta: &VersionMeta, patch: &BnPatch) -> usize {
+        let location = meta
+            .attrs
+            .iter()
+            .find(|a| a.key == "location")
+            .map(|a| a.value.clone());
+        let device_id = meta
+            .attrs
+            .iter()
+            .find(|a| a.key == "device_id")
+            .map(|a| a.value.clone());
+        let mut installed = 0;
+        for device in self.devices.values_mut() {
+            let location_ok = location.as_deref().is_none_or(|l| device.location() == l);
+            let device_ok = device_id.as_deref().is_none_or(|d| device.id() == d);
+            if location_ok && device_ok {
+                device.install(meta.clone(), patch.clone());
+                installed += 1;
+            }
+        }
+        installed
+    }
+
+    /// Replays window `w` of `windows` from all streams through the fleet.
+    pub fn process_window<R: Rng + ?Sized>(
+        &mut self,
+        streams: &[LocationStream],
+        w: usize,
+        windows: usize,
+        rng: &mut R,
+    ) -> WindowOutput {
+        let mut out = WindowOutput::default();
+        for stream in streams {
+            for item in stream.window_items(w, windows) {
+                let device = self
+                    .devices
+                    .get_mut(&item.device_id)
+                    .expect("fleet built from these streams");
+                let result = device.process(item, rng);
+
+                out.stats.total += 1;
+                if result.correct {
+                    out.stats.correct += 1;
+                }
+                if result.entry.drift {
+                    out.stats.flagged += 1;
+                }
+                if let Some(cause) = item.true_cause {
+                    out.stats.drifted_total += 1;
+                    if result.correct {
+                        out.stats.drifted_correct += 1;
+                    }
+                    let e = out
+                        .stats
+                        .per_cause
+                        .entry(cause.name().to_string())
+                        .or_insert((0, 0));
+                    e.1 += 1;
+                    if result.correct {
+                        e.0 += 1;
+                    }
+                }
+                out.entries.push(result.entry);
+                if let Some(sample) = result.sample {
+                    out.uploads.push(sample);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nazar_data::{AnimalsConfig, AnimalsDataset};
+    use nazar_nn::ModelArch;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn small_world() -> (AnimalsDataset, Fleet) {
+        let cfg = AnimalsConfig {
+            devices_per_location: 2,
+            arrivals_per_day: 0.5,
+            ..AnimalsConfig::small()
+        };
+        let data = AnimalsDataset::generate(&cfg);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let model = MlpResNet::new(ModelArch::tiny(cfg.dim, cfg.classes), &mut rng);
+        let fleet = Fleet::from_streams(&data.streams, &model, &DeviceConfig::default());
+        (data, fleet)
+    }
+
+    #[test]
+    fn fleet_builds_one_device_per_id() {
+        let (data, fleet) = small_world();
+        let mut ids = std::collections::HashSet::new();
+        for s in &data.streams {
+            for item in &s.items {
+                ids.insert(item.device_id.clone());
+            }
+        }
+        assert_eq!(fleet.len(), ids.len());
+    }
+
+    #[test]
+    fn window_outputs_cover_all_items_in_window() {
+        let (data, mut fleet) = small_world();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let expected: usize = data
+            .streams
+            .iter()
+            .map(|s| s.window_items(0, 8).count())
+            .sum();
+        let out = fleet.process_window(&data.streams, 0, 8, &mut rng);
+        assert_eq!(out.stats.total, expected);
+        assert_eq!(out.entries.len(), expected);
+        assert!(out.stats.correct <= out.stats.total);
+        assert!(out.stats.drifted_correct <= out.stats.drifted_total);
+    }
+
+    #[test]
+    fn stats_merge_adds_counts() {
+        let mut a = WindowStats {
+            total: 10,
+            correct: 5,
+            ..WindowStats::default()
+        };
+        a.per_cause.insert("fog".into(), (1, 2));
+        let mut b = WindowStats {
+            total: 6,
+            correct: 3,
+            ..WindowStats::default()
+        };
+        b.per_cause.insert("fog".into(), (2, 3));
+        a.merge(&b);
+        assert_eq!(a.total, 16);
+        assert_eq!(a.per_cause["fog"], (3, 5));
+        assert!((a.accuracy() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn targeted_deploy_installs_only_on_matching_devices() {
+        let (data, mut fleet) = small_world();
+        let patch = {
+            let mut rng = SmallRng::seed_from_u64(0);
+            let mut m = MlpResNet::new(ModelArch::tiny(32, 8), &mut rng);
+            nazar_nn::BnPatch::extract(&mut m)
+        };
+        // A cause scoped to one location reaches only that location's devices.
+        let location = data.streams[0].location.clone();
+        let meta = VersionMeta::new(
+            vec![
+                nazar_log::Attribute::new("weather", "snow"),
+                nazar_log::Attribute::new("location", location.clone()),
+            ],
+            2.0,
+        );
+        let installed = fleet.deploy_targeted(&meta, &patch);
+        let expected = fleet
+            .devices
+            .values()
+            .filter(|d| d.location() == location)
+            .count();
+        assert_eq!(installed, expected);
+        assert!(installed < fleet.len(), "must not broadcast");
+        // A location-free cause broadcasts.
+        let broad = VersionMeta::new(vec![nazar_log::Attribute::new("weather", "fog")], 2.0);
+        assert_eq!(fleet.deploy_targeted(&broad, &patch), fleet.len());
+    }
+
+    #[test]
+    fn deploy_reaches_every_device() {
+        let (_data, mut fleet) = small_world();
+        let patch = {
+            let mut rng = SmallRng::seed_from_u64(0);
+            let mut m = MlpResNet::new(ModelArch::tiny(32, 8), &mut rng);
+            nazar_nn::BnPatch::extract(&mut m)
+        };
+        fleet.deploy(
+            &VersionMeta::new(vec![nazar_log::Attribute::new("weather", "fog")], 2.0),
+            &patch,
+        );
+        assert!(fleet.devices.values().all(|d| d.num_versions() == 1));
+        assert_eq!(fleet.max_versions(), 1);
+    }
+}

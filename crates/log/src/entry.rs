@@ -1,0 +1,98 @@
+//! Drift-log rows and attribute values.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `(key, value)` attribute, e.g. `weather = snow`.
+///
+/// Attributes are the vocabulary of root causes: a root cause is a *set* of
+/// attributes that frequently co-occurs with detected drift.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute key (column name), e.g. `"weather"`.
+    pub key: String,
+    /// Attribute value, e.g. `"snow"`.
+    pub value: String,
+}
+
+impl Attribute {
+    /// Creates an attribute from key and value.
+    pub fn new(key: impl Into<String>, value: impl Into<String>) -> Self {
+        Attribute {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.key, self.value)
+    }
+}
+
+/// One drift-log row: what a device reports to the cloud after an inference.
+///
+/// Contains only metadata and the boolean detection result — never the input
+/// itself (inputs are sampled separately for adaptation).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DriftLogEntry {
+    /// Event timestamp (opaque; larger is later).
+    pub timestamp: u64,
+    /// Attribute values, one per schema column.
+    pub attrs: Vec<Attribute>,
+    /// The on-device drift detector's verdict for this inference.
+    pub drift: bool,
+}
+
+impl DriftLogEntry {
+    /// Creates an entry from `(key, value)` pairs.
+    pub fn new(timestamp: u64, attrs: &[(&str, &str)], drift: bool) -> Self {
+        DriftLogEntry {
+            timestamp,
+            attrs: attrs.iter().map(|(k, v)| Attribute::new(*k, *v)).collect(),
+            drift,
+        }
+    }
+
+    /// Looks up the value of an attribute key, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|a| a.key == key)
+            .map(|a| a.value.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_display() {
+        assert_eq!(
+            Attribute::new("weather", "snow").to_string(),
+            "weather=snow"
+        );
+    }
+
+    #[test]
+    fn entry_attr_lookup() {
+        let e = DriftLogEntry::new(5, &[("weather", "fog"), ("location", "quebec")], true);
+        assert_eq!(e.attr("weather"), Some("fog"));
+        assert_eq!(e.attr("missing"), None);
+        assert!(e.drift);
+    }
+
+    #[test]
+    fn attributes_order_deterministically() {
+        let mut attrs = vec![
+            Attribute::new("b", "2"),
+            Attribute::new("a", "9"),
+            Attribute::new("a", "1"),
+        ];
+        attrs.sort();
+        assert_eq!(attrs[0], Attribute::new("a", "1"));
+        assert_eq!(attrs[2], Attribute::new("b", "2"));
+    }
+}

@@ -1,0 +1,545 @@
+//! Columnar drift-log store with dictionary encoding.
+
+use crate::entry::{Attribute, DriftLogEntry};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, LogError>;
+
+/// Errors raised by drift-log operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogError {
+    /// An entry's attributes do not cover the log's schema.
+    SchemaMismatch {
+        /// The missing or unexpected key.
+        key: String,
+    },
+    /// A query referenced an attribute key absent from the schema.
+    UnknownKey {
+        /// The offending key.
+        key: String,
+    },
+    /// A row index was out of range.
+    RowOutOfRange {
+        /// The offending row.
+        row: usize,
+        /// Number of rows in the log.
+        rows: usize,
+    },
+}
+
+impl fmt::Display for LogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogError::SchemaMismatch { key } => {
+                write!(f, "entry does not match log schema at key `{key}`")
+            }
+            LogError::UnknownKey { key } => write!(f, "unknown attribute key `{key}`"),
+            LogError::RowOutOfRange { row, rows } => {
+                write!(f, "row {row} out of range for log of {rows} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogError {}
+
+/// Result of a counting query over the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MatchCounts {
+    /// Rows whose attributes contain the queried set.
+    pub occurrences: usize,
+    /// Of those, rows flagged as drift.
+    pub drifted: usize,
+}
+
+/// Per-column dictionary of attribute values.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+struct Dict {
+    values: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, u32>,
+}
+
+impl Dict {
+    fn intern(&mut self, value: &str) -> u32 {
+        if self.index.is_empty() && !self.values.is_empty() {
+            self.rebuild_index();
+        }
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(value.to_string());
+        self.index.insert(value.to_string(), id);
+        id
+    }
+
+    fn lookup(&self, value: &str) -> Option<u32> {
+        if self.index.is_empty() && !self.values.is_empty() {
+            // Deserialized dictionaries fall back to a linear probe.
+            return self
+                .values
+                .iter()
+                .position(|v| v == value)
+                .map(|i| i as u32);
+        }
+        self.index.get(value).copied()
+    }
+
+    fn rebuild_index(&mut self) {
+        self.index = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
+    }
+}
+
+/// The global drift log: one dictionary-encoded column per attribute key,
+/// plus the drift flags and timestamps (DESIGN.md substitution S7 for the
+/// paper's Aurora table).
+///
+/// All counting queries are single linear scans over `u32` columns, which is
+/// what makes the root-cause analysis runtime linear in the number of rows
+/// (the property measured in Fig. 9d).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DriftLog {
+    schema: Vec<String>,
+    columns: Vec<Vec<u32>>,
+    dicts: Vec<Dict>,
+    drift: Vec<bool>,
+    timestamps: Vec<u64>,
+}
+
+impl DriftLog {
+    /// Creates an empty log over the given attribute keys.
+    pub fn new(schema: &[&str]) -> Self {
+        DriftLog {
+            schema: schema.iter().map(|s| s.to_string()).collect(),
+            columns: vec![Vec::new(); schema.len()],
+            dicts: vec![Dict::default(); schema.len()],
+            drift: Vec::new(),
+            timestamps: Vec::new(),
+        }
+    }
+
+    /// The attribute keys (column names).
+    pub fn schema(&self) -> &[String] {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.drift.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.drift.is_empty()
+    }
+
+    /// Number of rows flagged as drift.
+    pub fn num_drifted(&self) -> usize {
+        self.drift.iter().filter(|&&d| d).count()
+    }
+
+    /// The drift flags as a mask (row-indexed). Counterfactual analysis
+    /// clones this, clears the bits covered by an accepted cause, and
+    /// re-runs counting queries with the modified mask.
+    pub fn drift_mask(&self) -> Vec<bool> {
+        self.drift.clone()
+    }
+
+    /// Appends one entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::SchemaMismatch`] if the entry does not provide a
+    /// value for every schema key (extra keys are also rejected).
+    pub fn push(&mut self, entry: DriftLogEntry) -> Result<()> {
+        if entry.attrs.len() != self.schema.len() {
+            let key = entry
+                .attrs
+                .iter()
+                .map(|a| a.key.clone())
+                .find(|k| !self.schema.contains(k))
+                .unwrap_or_else(|| "<missing>".to_string());
+            return Err(LogError::SchemaMismatch { key });
+        }
+        // Resolve values in schema order.
+        let mut ids = Vec::with_capacity(self.schema.len());
+        for (ci, key) in self.schema.iter().enumerate() {
+            let Some(value) = entry.attrs.iter().find(|a| &a.key == key) else {
+                return Err(LogError::SchemaMismatch { key: key.clone() });
+            };
+            ids.push((ci, self.dicts[ci].intern(&value.value)));
+        }
+        for (ci, id) in ids {
+            self.columns[ci].push(id);
+        }
+        self.drift.push(entry.drift);
+        self.timestamps.push(entry.timestamp);
+        Ok(())
+    }
+
+    /// Appends many entries.
+    ///
+    /// # Errors
+    ///
+    /// Fails on the first mismatching entry; earlier entries stay appended.
+    pub fn extend(&mut self, entries: impl IntoIterator<Item = DriftLogEntry>) -> Result<()> {
+        for e in entries {
+            self.push(e)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstructs row `row` as an entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::RowOutOfRange`] for invalid rows.
+    pub fn entry(&self, row: usize) -> Result<DriftLogEntry> {
+        if row >= self.num_rows() {
+            return Err(LogError::RowOutOfRange {
+                row,
+                rows: self.num_rows(),
+            });
+        }
+        let attrs = self
+            .schema
+            .iter()
+            .enumerate()
+            .map(|(ci, key)| {
+                Attribute::new(
+                    key.clone(),
+                    self.dicts[ci].values[self.columns[ci][row] as usize].clone(),
+                )
+            })
+            .collect();
+        Ok(DriftLogEntry {
+            timestamp: self.timestamps[row],
+            attrs,
+            drift: self.drift[row],
+        })
+    }
+
+    /// Distinct values of column `key`, with per-value `(occurrences,
+    /// drifted)` counts — the first stage of apriori.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnknownKey`] for keys outside the schema.
+    pub fn distinct_values(&self, key: &str) -> Result<Vec<(String, MatchCounts)>> {
+        let ci = self.column_index(key)?;
+        let mut counts = vec![MatchCounts::default(); self.dicts[ci].values.len()];
+        for (row, &vid) in self.columns[ci].iter().enumerate() {
+            counts[vid as usize].occurrences += 1;
+            if self.drift[row] {
+                counts[vid as usize].drifted += 1;
+            }
+        }
+        Ok(self.dicts[ci].values.iter().cloned().zip(counts).collect())
+    }
+
+    /// `COUNT(*)` and `COUNT(*) WHERE drift` for rows containing every
+    /// attribute in `set`. A `mask` overrides the stored drift flags
+    /// (counterfactual analysis); `None` uses the stored flags.
+    ///
+    /// Attributes whose value never occurs in the log yield zero counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnknownKey`] if an attribute key is not in the
+    /// schema.
+    pub fn count_matching(&self, set: &[Attribute], mask: Option<&[bool]>) -> Result<MatchCounts> {
+        let mut preds = Vec::with_capacity(set.len());
+        for attr in set {
+            let ci = self.column_index(&attr.key)?;
+            match self.dicts[ci].lookup(&attr.value) {
+                Some(vid) => preds.push((ci, vid)),
+                None => return Ok(MatchCounts::default()),
+            }
+        }
+        let drift = mask.unwrap_or(&self.drift);
+        let mut counts = MatchCounts::default();
+        'rows: for row in 0..self.num_rows() {
+            for &(ci, vid) in &preds {
+                if self.columns[ci][row] != vid {
+                    continue 'rows;
+                }
+            }
+            counts.occurrences += 1;
+            if drift.get(row).copied().unwrap_or(false) {
+                counts.drifted += 1;
+            }
+        }
+        Ok(counts)
+    }
+
+    /// Row indices of entries containing every attribute in `set`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnknownKey`] for keys outside the schema.
+    pub fn rows_matching(&self, set: &[Attribute]) -> Result<Vec<usize>> {
+        let mut preds = Vec::with_capacity(set.len());
+        for attr in set {
+            let ci = self.column_index(&attr.key)?;
+            match self.dicts[ci].lookup(&attr.value) {
+                Some(vid) => preds.push((ci, vid)),
+                None => return Ok(Vec::new()),
+            }
+        }
+        let mut rows = Vec::new();
+        'rows: for row in 0..self.num_rows() {
+            for &(ci, vid) in &preds {
+                if self.columns[ci][row] != vid {
+                    continue 'rows;
+                }
+            }
+            rows.push(row);
+        }
+        Ok(rows)
+    }
+
+    /// Retains only the rows with `timestamp` in `[t0, t1)`; returns the new
+    /// log (the original is untouched). Used for windowed analysis.
+    pub fn window(&self, t0: u64, t1: u64) -> DriftLog {
+        let mut out = DriftLog::new(&self.schema.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+        for row in 0..self.num_rows() {
+            let ts = self.timestamps[row];
+            if ts >= t0 && ts < t1 {
+                out.push(self.entry(row).expect("row in range"))
+                    .expect("same schema");
+            }
+        }
+        out
+    }
+
+    /// Per-value `(occurrences, drifted)` counts of `key`, grouped — the
+    /// `GROUP BY` companion to [`DriftLog::distinct_values`] that skips
+    /// zero-occurrence values and sorts by occurrence (descending), which is
+    /// what an ops dashboard renders.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnknownKey`] for keys outside the schema.
+    pub fn group_counts(&self, key: &str) -> Result<Vec<(String, MatchCounts)>> {
+        let mut values = self.distinct_values(key)?;
+        values.retain(|(_, c)| c.occurrences > 0);
+        values.sort_by(|a, b| b.1.occurrences.cmp(&a.1.occurrences).then(a.0.cmp(&b.0)));
+        Ok(values)
+    }
+
+    /// Drops all rows except the most recent `n` (by insertion order) —
+    /// the retention policy a production drift log needs to bound storage.
+    pub fn retain_last(&mut self, n: usize) {
+        let rows = self.num_rows();
+        if rows <= n {
+            return;
+        }
+        let drop = rows - n;
+        for column in &mut self.columns {
+            column.drain(0..drop);
+        }
+        self.drift.drain(0..drop);
+        self.timestamps.drain(0..drop);
+    }
+
+    fn column_index(&self, key: &str) -> Result<usize> {
+        self.schema
+            .iter()
+            .position(|k| k == key)
+            .ok_or_else(|| LogError::UnknownKey {
+                key: key.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> DriftLog {
+        crate::paper_example_log()
+    }
+
+    #[test]
+    fn push_rejects_schema_mismatch() {
+        let mut log = DriftLog::new(&["weather"]);
+        let bad = DriftLogEntry::new(0, &[("location", "x")], false);
+        assert!(matches!(
+            log.push(bad),
+            Err(LogError::SchemaMismatch { .. })
+        ));
+        let too_many = DriftLogEntry::new(0, &[("weather", "x"), ("extra", "y")], false);
+        assert!(log.push(too_many).is_err());
+        assert_eq!(log.num_rows(), 0);
+    }
+
+    #[test]
+    fn entry_round_trip() {
+        let log = sample_log();
+        let e = log.entry(3).unwrap();
+        assert_eq!(e.attr("weather"), Some("snow"));
+        assert_eq!(e.attr("location"), Some("new-york"));
+        assert!(e.drift);
+        assert!(log.entry(99).is_err());
+    }
+
+    #[test]
+    fn count_matching_reproduces_paper_counts() {
+        let log = sample_log();
+        // {snow}: 2 occurrences, both drifted (Table 3 row 0 inputs).
+        let c = log
+            .count_matching(&[Attribute::new("weather", "snow")], None)
+            .unwrap();
+        assert_eq!((c.occurrences, c.drifted), (2, 2));
+        // {new-york}: 3 occurrences, 2 drifted (Table 3 rank 6).
+        let c = log
+            .count_matching(&[Attribute::new("location", "new-york")], None)
+            .unwrap();
+        assert_eq!((c.occurrences, c.drifted), (3, 2));
+        // {snow, new-york}: 1 occurrence, drifted.
+        let c = log
+            .count_matching(
+                &[
+                    Attribute::new("weather", "snow"),
+                    Attribute::new("location", "new-york"),
+                ],
+                None,
+            )
+            .unwrap();
+        assert_eq!((c.occurrences, c.drifted), (1, 1));
+    }
+
+    #[test]
+    fn count_matching_with_mask_override() {
+        let log = sample_log();
+        let mut mask = log.drift_mask();
+        mask.iter_mut().for_each(|m| *m = false);
+        let c = log
+            .count_matching(&[Attribute::new("weather", "snow")], Some(&mask))
+            .unwrap();
+        assert_eq!((c.occurrences, c.drifted), (2, 0));
+    }
+
+    #[test]
+    fn count_matching_unknown_value_is_zero_unknown_key_errors() {
+        let log = sample_log();
+        let c = log
+            .count_matching(&[Attribute::new("weather", "hail")], None)
+            .unwrap();
+        assert_eq!(c, MatchCounts::default());
+        assert!(matches!(
+            log.count_matching(&[Attribute::new("nope", "x")], None),
+            Err(LogError::UnknownKey { .. })
+        ));
+    }
+
+    #[test]
+    fn distinct_values_counts() {
+        let log = sample_log();
+        let values = log.distinct_values("weather").unwrap();
+        let snow = values.iter().find(|(v, _)| v == "snow").unwrap();
+        assert_eq!((snow.1.occurrences, snow.1.drifted), (2, 2));
+        let clear = values.iter().find(|(v, _)| v == "clear-day").unwrap();
+        assert_eq!((clear.1.occurrences, clear.1.drifted), (3, 1));
+    }
+
+    #[test]
+    fn rows_matching_returns_indices() {
+        let log = sample_log();
+        let rows = log
+            .rows_matching(&[Attribute::new("device_id", "android_21")])
+            .unwrap();
+        assert_eq!(rows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn window_filters_by_timestamp() {
+        let log = sample_log();
+        let morning = log.window(0, 7 * 3600);
+        assert_eq!(morning.num_rows(), 3);
+        assert_eq!(morning.num_drifted(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_queries() {
+        let log = sample_log();
+        let json = serde_json::to_string(&log).unwrap();
+        let back: DriftLog = serde_json::from_str(&json).unwrap();
+        let c = back
+            .count_matching(&[Attribute::new("weather", "snow")], None)
+            .unwrap();
+        assert_eq!((c.occurrences, c.drifted), (2, 2));
+        assert_eq!(back.num_rows(), 5);
+    }
+
+    #[test]
+    fn deserialized_log_accepts_new_rows() {
+        let log = sample_log();
+        let json = serde_json::to_string(&log).unwrap();
+        let mut back: DriftLog = serde_json::from_str(&json).unwrap();
+        back.push(DriftLogEntry::new(
+            99,
+            &[
+                ("weather", "snow"),
+                ("location", "tibet"),
+                ("device_id", "android_1"),
+            ],
+            true,
+        ))
+        .unwrap();
+        // Interning must still unify with pre-existing dictionary entries.
+        let c = back
+            .count_matching(&[Attribute::new("weather", "snow")], None)
+            .unwrap();
+        assert_eq!(c.occurrences, 3);
+    }
+
+    #[test]
+    fn group_counts_sorts_by_occurrence() {
+        let log = sample_log();
+        let groups = log.group_counts("weather").unwrap();
+        assert_eq!(groups[0].0, "clear-day");
+        assert_eq!(groups[0].1.occurrences, 3);
+        assert_eq!(groups[1].0, "snow");
+        for pair in groups.windows(2) {
+            assert!(pair[0].1.occurrences >= pair[1].1.occurrences);
+        }
+    }
+
+    #[test]
+    fn retain_last_keeps_newest_rows() {
+        let mut log = sample_log();
+        log.retain_last(2);
+        assert_eq!(log.num_rows(), 2);
+        // The two snow rows (the most recent) survive.
+        let c = log
+            .count_matching(&[Attribute::new("weather", "snow")], None)
+            .unwrap();
+        assert_eq!(c.occurrences, 2);
+        // Retaining more than present is a no-op.
+        log.retain_last(10);
+        assert_eq!(log.num_rows(), 2);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn counts_never_exceed_rows(drifts in proptest::collection::vec(proptest::bool::ANY, 1..60)) {
+            let mut log = DriftLog::new(&["k"]);
+            for (i, d) in drifts.iter().enumerate() {
+                log.push(DriftLogEntry::new(i as u64, &[("k", if i % 3 == 0 { "a" } else { "b" })], *d)).unwrap();
+            }
+            let c = log.count_matching(&[Attribute::new("k", "a")], None).unwrap();
+            proptest::prop_assert!(c.drifted <= c.occurrences);
+            proptest::prop_assert!(c.occurrences <= log.num_rows());
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for model construction and patch application.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+/// Errors raised by model configuration, training and patching.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// A BN patch was applied to a model with a different BN layout.
+    PatchLayoutMismatch {
+        /// Number of BN layers the patch carries.
+        patch_layers: usize,
+        /// Number of BN layers the model has.
+        model_layers: usize,
+    },
+    /// A BN patch layer had the wrong width for the model's layer.
+    PatchWidthMismatch {
+        /// Index of the offending BN layer.
+        layer: usize,
+        /// Width carried by the patch.
+        patch_width: usize,
+        /// Width of the model's layer.
+        model_width: usize,
+    },
+    /// An architecture parameter was invalid (zero classes, zero width, ...).
+    InvalidArch {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+    /// Inputs and targets disagree on the number of examples.
+    BatchMismatch {
+        /// Rows in the input matrix.
+        inputs: usize,
+        /// Length of the target vector.
+        targets: usize,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::PatchLayoutMismatch {
+                patch_layers,
+                model_layers,
+            } => write!(
+                f,
+                "bn patch has {patch_layers} layers but the model has {model_layers}"
+            ),
+            NnError::PatchWidthMismatch {
+                layer,
+                patch_width,
+                model_width,
+            } => write!(
+                f,
+                "bn patch layer {layer} has width {patch_width} but the model expects {model_width}"
+            ),
+            NnError::InvalidArch { reason } => write!(f, "invalid architecture: {reason}"),
+            NnError::BatchMismatch { inputs, targets } => {
+                write!(f, "{inputs} input rows but {targets} targets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NnError {}

@@ -1,0 +1,64 @@
+//! Weight initialization schemes.
+
+use nazar_tensor::Tensor;
+use rand::Rng;
+
+/// Weight-initialization scheme for [`crate::Linear`] layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Init {
+    /// He/Kaiming-normal initialization — `N(0, 2 / fan_in)` — appropriate
+    /// before ReLU nonlinearities. The default.
+    #[default]
+    KaimingNormal,
+    /// Xavier/Glorot-uniform initialization — `U(±sqrt(6 / (fan_in + fan_out)))`.
+    XavierUniform,
+    /// All-zero initialization (used for biases and tests).
+    Zeros,
+}
+
+impl Init {
+    /// Samples a `[fan_in, fan_out]` weight matrix under this scheme.
+    pub fn sample<R: Rng + ?Sized>(self, rng: &mut R, fan_in: usize, fan_out: usize) -> Tensor {
+        match self {
+            Init::KaimingNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                Tensor::randn(rng, &[fan_in, fan_out], 0.0, std)
+            }
+            Init::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Tensor::rand_uniform(rng, &[fan_in, fan_out], -bound, bound)
+            }
+            Init::Zeros => Tensor::zeros(&[fan_in, fan_out]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn kaiming_variance_scales_with_fan_in() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let w = Init::KaimingNormal.sample(&mut rng, 200, 100);
+        let mean = w.mean_all().unwrap();
+        let var = w.map(|x| (x - mean) * (x - mean)).mean_all().unwrap();
+        assert!((var - 0.01).abs() < 0.002, "var {var}");
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let w = Init::XavierUniform.sample(&mut rng, 30, 30);
+        let bound = (6.0f32 / 60.0).sqrt();
+        assert!(w.data().iter().all(|x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert_eq!(Init::Zeros.sample(&mut rng, 3, 4).sum_all(), 0.0);
+    }
+}

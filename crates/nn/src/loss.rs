@@ -1,0 +1,159 @@
+//! Loss functions used in training and self-supervised adaptation.
+
+use nazar_tensor::{Tensor, Var};
+
+/// Cross-entropy loss over raw logits.
+///
+/// Equivalent to `log_softmax` followed by negative log-likelihood, which is
+/// both numerically stable and differentiable on the tape.
+///
+/// # Panics
+///
+/// Panics if `targets.len()` differs from the logit row count (propagated
+/// from [`Var::nll_loss`]).
+pub fn cross_entropy(logits: &Var, targets: &[usize]) -> Var {
+    logits.log_softmax().nll_loss(targets)
+}
+
+/// Cross-entropy with label smoothing: the target distribution places
+/// `1 - epsilon` on the true class and spreads `epsilon` uniformly over all
+/// classes. Smoothing regularizes confidence — useful when a deployment
+/// wants the MSP detector's operating range widened.
+///
+/// # Panics
+///
+/// Panics if `epsilon` is outside `[0, 1)` or targets mismatch the batch.
+pub fn cross_entropy_smoothed(logits: &Var, targets: &[usize], epsilon: f32) -> Var {
+    assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0, 1)");
+    let lp = logits.log_softmax();
+    let hard = lp.nll_loss(targets);
+    if epsilon == 0.0 {
+        return hard;
+    }
+    // Uniform component: -(1/C) Σ log p, averaged over the batch.
+    let uniform = lp.mean_all().scale(-1.0);
+    hard.scale(1.0 - epsilon).add(&uniform.scale(epsilon))
+}
+
+/// Mean prediction entropy over a batch of logits — the TENT objective
+/// (Eq. 2 of the paper): `H(θ; x) = -Σ_c p_θ(ŷ_c|x) log p_θ(ŷ_c|x)`,
+/// averaged over the batch.
+///
+/// # Panics
+///
+/// Panics if `logits` is not a non-empty `[n, c]` matrix.
+pub fn mean_entropy(logits: &Var) -> Var {
+    let n = logits
+        .value()
+        .nrows()
+        .expect("mean_entropy expects [n, c] logits") as f32;
+    let lp = logits.log_softmax();
+    let p = lp.exp();
+    p.mul(&lp).sum_all().scale(-1.0 / n)
+}
+
+/// Entropy of each row of a (non-differentiable) logit matrix, in nats.
+///
+/// Used by entropy-score drift detectors, which only need values.
+///
+/// # Panics
+///
+/// Panics if `logits` is not an `[n, c]` matrix.
+pub fn entropy_of_logits(logits: &Tensor) -> Vec<f32> {
+    let lp = logits
+        .log_softmax_rows()
+        .expect("entropy_of_logits expects [n, c] logits");
+    let (n, c) = (lp.nrows().unwrap(), lp.ncols().unwrap());
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let row = &lp.data()[i * c..(i + 1) * c];
+        out.push(-row.iter().map(|&l| l.exp() * l).sum::<f32>());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nazar_tensor::Tape;
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let tape = Tape::new();
+        let confident = tape.leaf(Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]).unwrap());
+        let loss = cross_entropy(&confident, &[0]).value().item().unwrap();
+        assert!(loss < 1e-3, "loss {loss}");
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_ln_c() {
+        let tape = Tape::new();
+        let uniform = tape.leaf(Tensor::zeros(&[1, 4]));
+        let loss = cross_entropy(&uniform, &[2]).value().item().unwrap();
+        assert!((loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn smoothing_zero_equals_plain_cross_entropy() {
+        let tape = Tape::new();
+        let logits = tape.leaf(Tensor::from_vec(vec![2.0, 0.5, -1.0], &[1, 3]).unwrap());
+        let a = cross_entropy(&logits, &[0]).value().item().unwrap();
+        let b = cross_entropy_smoothed(&logits, &[0], 0.0)
+            .value()
+            .item()
+            .unwrap();
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smoothing_penalizes_overconfidence() {
+        // For a very confident correct prediction, the smoothed loss is
+        // higher than the hard loss (the uniform component bites).
+        let tape = Tape::new();
+        let confident = tape.leaf(Tensor::from_vec(vec![30.0, 0.0, 0.0], &[1, 3]).unwrap());
+        let hard = cross_entropy(&confident, &[0]).value().item().unwrap();
+        let smoothed = cross_entropy_smoothed(&confident, &[0], 0.1)
+            .value()
+            .item()
+            .unwrap();
+        assert!(smoothed > hard + 0.1, "smoothed {smoothed} vs hard {hard}");
+    }
+
+    #[test]
+    fn mean_entropy_is_maximal_for_uniform_logits() {
+        let tape = Tape::new();
+        let uniform = tape.leaf(Tensor::zeros(&[2, 4]));
+        let h = mean_entropy(&uniform).value().item().unwrap();
+        assert!((h - 4.0f32.ln()).abs() < 1e-5);
+
+        let confident = tape.leaf(Tensor::from_vec(vec![30.0, 0.0, 0.0, 0.0], &[1, 4]).unwrap());
+        let h2 = mean_entropy(&confident).value().item().unwrap();
+        assert!(h2 < 1e-3);
+    }
+
+    #[test]
+    fn entropy_gradient_reduces_entropy() {
+        // One TENT-style gradient step on raw logits must lower entropy.
+        let tape = Tape::new();
+        let logits0 = Tensor::from_vec(vec![1.0, 0.5, 0.0], &[1, 3]).unwrap();
+        let x = tape.leaf(logits0.clone());
+        let h = mean_entropy(&x);
+        let grads = h.backward();
+        let g = grads.get(&x).unwrap();
+        let stepped = logits0.sub(&g.scale(0.5)).unwrap();
+
+        let before = entropy_of_logits(&logits0)[0];
+        let after = entropy_of_logits(&stepped)[0];
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn entropy_of_logits_matches_mean_entropy() {
+        let tape = Tape::new();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let per_row = entropy_of_logits(&logits);
+        let mean = per_row.iter().sum::<f32>() / 2.0;
+        let v = mean_entropy(&tape.leaf(logits)).value().item().unwrap();
+        assert!((mean - v).abs() < 1e-5);
+    }
+}

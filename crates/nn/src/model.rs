@@ -1,0 +1,378 @@
+//! Residual MLP classifiers standing in for the paper's ResNet models.
+
+use crate::error::{NnError, Result};
+use crate::init::Init;
+use crate::layers::{BatchNorm1d, Layer, Linear, Mode};
+use crate::param::Param;
+use nazar_tensor::{Tape, Tensor, Var};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Architecture description for an [`MlpResNet`].
+///
+/// The three `resnet*_analog` presets preserve the *capacity ordering* of
+/// ResNet18/34/50 (the property the paper's Figure 8b relies on: smaller
+/// models generalize worse over mixed distributions) without pretending to
+/// be convolutional networks — see DESIGN.md substitution S1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelArch {
+    /// Input feature width.
+    pub input_dim: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Hidden width of the residual trunk.
+    pub hidden: usize,
+    /// Number of residual blocks.
+    pub blocks: usize,
+    /// Human-readable architecture name (e.g. `"resnet50-analog"`).
+    pub name: String,
+}
+
+impl ModelArch {
+    /// A tiny architecture for unit tests and doc examples.
+    pub fn tiny(input_dim: usize, num_classes: usize) -> Self {
+        ModelArch {
+            input_dim,
+            num_classes,
+            hidden: 16,
+            blocks: 1,
+            name: "tiny".into(),
+        }
+    }
+
+    /// Analog of ResNet18 (smallest capacity).
+    pub fn resnet18_analog(input_dim: usize, num_classes: usize) -> Self {
+        ModelArch {
+            input_dim,
+            num_classes,
+            hidden: 64,
+            blocks: 2,
+            name: "resnet18-analog".into(),
+        }
+    }
+
+    /// Analog of ResNet34 (middle capacity).
+    pub fn resnet34_analog(input_dim: usize, num_classes: usize) -> Self {
+        ModelArch {
+            input_dim,
+            num_classes,
+            hidden: 96,
+            blocks: 3,
+            name: "resnet34-analog".into(),
+        }
+    }
+
+    /// Analog of ResNet50 (largest capacity; the paper's default model).
+    pub fn resnet50_analog(input_dim: usize, num_classes: usize) -> Self {
+        ModelArch {
+            input_dim,
+            num_classes,
+            hidden: 128,
+            blocks: 4,
+            name: "resnet50-analog".into(),
+        }
+    }
+
+    /// Validates the architecture parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArch`] when any dimension is zero.
+    pub fn validate(&self) -> Result<()> {
+        for (what, v) in [
+            ("input_dim", self.input_dim),
+            ("num_classes", self.num_classes),
+            ("hidden", self.hidden),
+        ] {
+            if v == 0 {
+                return Err(NnError::InvalidArch {
+                    reason: format!("{what} must be nonzero"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A pre-activation-style residual block: two Linear+BN stages with a skip
+/// connection, mirroring the basic block of a ResNet.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResidualBlock {
+    lin1: Linear,
+    bn1: BatchNorm1d,
+    lin2: Linear,
+    bn2: BatchNorm1d,
+}
+
+impl ResidualBlock {
+    /// Creates a width-preserving residual block.
+    pub fn new<R: Rng + ?Sized>(rng: &mut R, width: usize) -> Self {
+        ResidualBlock {
+            lin1: Linear::new(rng, width, width, Init::KaimingNormal),
+            bn1: BatchNorm1d::new(width),
+            lin2: Linear::new(rng, width, width, Init::KaimingNormal),
+            bn2: BatchNorm1d::new(width),
+        }
+    }
+
+    fn visit_bn(&mut self, f: &mut dyn FnMut(&mut BatchNorm1d)) {
+        f(&mut self.bn1);
+        f(&mut self.bn2);
+    }
+}
+
+impl Layer for ResidualBlock {
+    fn forward(&mut self, tape: &Tape, x: &Var, mode: Mode) -> Var {
+        let h = self.lin1.forward(tape, x, mode);
+        let h = self.bn1.forward(tape, &h, mode).relu();
+        let h = self.lin2.forward(tape, &h, mode);
+        let h = self.bn2.forward(tape, &h, mode);
+        h.add(x).relu()
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.lin1.visit_params(f);
+        self.bn1.visit_params(f);
+        self.lin2.visit_params(f);
+        self.bn2.visit_params(f);
+    }
+}
+
+/// A residual MLP image classifier.
+///
+/// The structure is `stem Linear → BN → ReLU → residual blocks → head`,
+/// i.e. a ResNet with 1-D "images". Exposes the penultimate features for
+/// Mahalanobis-style detectors and the BN state for [`crate::BnPatch`]es.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MlpResNet {
+    arch: ModelArch,
+    stem: Linear,
+    stem_bn: BatchNorm1d,
+    blocks: Vec<ResidualBlock>,
+    head: Linear,
+}
+
+impl MlpResNet {
+    /// Builds a freshly initialized model for the given architecture.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture fails [`ModelArch::validate`]; construct
+    /// presets via [`ModelArch`] to avoid invalid configurations.
+    pub fn new<R: Rng + ?Sized>(arch: ModelArch, rng: &mut R) -> Self {
+        arch.validate().expect("invalid model architecture");
+        let stem = Linear::new(rng, arch.input_dim, arch.hidden, Init::KaimingNormal);
+        let stem_bn = BatchNorm1d::new(arch.hidden);
+        let blocks = (0..arch.blocks)
+            .map(|_| ResidualBlock::new(rng, arch.hidden))
+            .collect();
+        let head = Linear::new(rng, arch.hidden, arch.num_classes, Init::XavierUniform);
+        MlpResNet {
+            arch,
+            stem,
+            stem_bn,
+            blocks,
+            head,
+        }
+    }
+
+    /// The architecture this model was built from.
+    pub fn arch(&self) -> &ModelArch {
+        &self.arch
+    }
+
+    /// Forward pass returning `(penultimate_features, logits)`.
+    pub fn forward_with_features(&mut self, tape: &Tape, x: &Var, mode: Mode) -> (Var, Var) {
+        let h = self.stem.forward(tape, x, mode);
+        let mut h = self.stem_bn.forward(tape, &h, mode).relu();
+        for block in &mut self.blocks {
+            h = block.forward(tape, &h, mode);
+        }
+        let logits = self.head.forward(tape, &h, mode);
+        (h, logits)
+    }
+
+    /// Convenience inference: logits for a batch, in the given mode.
+    ///
+    /// Most callers want [`Mode::Eval`]; adaptation passes [`Mode::Adapt`].
+    pub fn logits(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let (_, logits) = self.forward_with_features(&tape, &xv, mode);
+        logits.value()
+    }
+
+    /// Penultimate-layer features for a batch (eval mode).
+    pub fn features(&mut self, x: &Tensor) -> Tensor {
+        let tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let (features, _) = self.forward_with_features(&tape, &xv, Mode::Eval);
+        features.value()
+    }
+
+    /// Softmax probabilities for a batch (eval mode).
+    pub fn predict_proba(&mut self, x: &Tensor) -> Tensor {
+        self.logits(x, Mode::Eval)
+            .softmax_rows()
+            .expect("logits are a matrix")
+    }
+
+    /// Argmax class predictions for a batch (eval mode).
+    pub fn predict(&mut self, x: &Tensor) -> Vec<usize> {
+        self.logits(x, Mode::Eval)
+            .argmax_axis1()
+            .expect("logits are a matrix")
+    }
+
+    /// Visits every BN layer in a deterministic order (stem first).
+    pub fn visit_bn(&mut self, f: &mut dyn FnMut(&mut BatchNorm1d)) {
+        f(&mut self.stem_bn);
+        for block in &mut self.blocks {
+            block.visit_bn(f);
+        }
+    }
+
+    /// Number of BN layers.
+    pub fn num_bn_layers(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_bn(&mut |_| n += 1);
+        n
+    }
+
+    /// Number of scalar weights living in BN layers (γ, β only).
+    pub fn num_bn_params(&mut self) -> usize {
+        let mut n = 0;
+        self.visit_bn(&mut |bn| n += bn.width() * 2);
+        n
+    }
+
+    /// Freezes or unfreezes every parameter in the model.
+    pub fn set_all_trainable(&mut self, trainable: bool) {
+        self.visit_params(&mut |p| p.set_trainable(trainable));
+    }
+
+    /// Freezes or unfreezes only the BN affine parameters.
+    ///
+    /// `model.set_all_trainable(false)` followed by
+    /// `model.set_bn_affine_trainable(true)` is the TENT configuration.
+    pub fn set_bn_affine_trainable(&mut self, trainable: bool) {
+        self.visit_bn(&mut |bn| bn.set_affine_trainable(trainable));
+    }
+}
+
+impl Layer for MlpResNet {
+    fn forward(&mut self, tape: &Tape, x: &Var, mode: Mode) -> Var {
+        self.forward_with_features(tape, x, mode).1
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.stem.visit_params(f);
+        self.stem_bn.visit_params(f);
+        for block in &mut self.blocks {
+            block.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn model() -> MlpResNet {
+        let mut rng = SmallRng::seed_from_u64(3);
+        MlpResNet::new(ModelArch::resnet18_analog(8, 5), &mut rng)
+    }
+
+    #[test]
+    fn arch_presets_preserve_capacity_ordering() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut m18 = MlpResNet::new(ModelArch::resnet18_analog(16, 10), &mut rng);
+        let mut m34 = MlpResNet::new(ModelArch::resnet34_analog(16, 10), &mut rng);
+        let mut m50 = MlpResNet::new(ModelArch::resnet50_analog(16, 10), &mut rng);
+        assert!(m18.num_params() < m34.num_params());
+        assert!(m34.num_params() < m50.num_params());
+    }
+
+    #[test]
+    fn validate_rejects_zero_dims() {
+        assert!(ModelArch {
+            input_dim: 0,
+            ..ModelArch::tiny(4, 2)
+        }
+        .validate()
+        .is_err());
+        assert!(ModelArch {
+            num_classes: 0,
+            ..ModelArch::tiny(4, 2)
+        }
+        .validate()
+        .is_err());
+        assert!(ModelArch::tiny(4, 2).validate().is_ok());
+    }
+
+    #[test]
+    fn logits_shape_matches_classes() {
+        let mut m = model();
+        let x = Tensor::zeros(&[3, 8]);
+        let logits = m.logits(&x, Mode::Eval);
+        assert_eq!(logits.dims(), &[3, 5]);
+        assert_eq!(m.predict(&x).len(), 3);
+    }
+
+    #[test]
+    fn bn_params_are_small_fraction_of_model() {
+        // The paper's efficiency argument (§3.4): BN layers are a tiny
+        // fraction of model weights (217x smaller for ResNet50).
+        let mut m = MlpResNet::new(
+            ModelArch::resnet50_analog(64, 40),
+            &mut SmallRng::seed_from_u64(0),
+        );
+        let total = m.num_params();
+        let bn = m.num_bn_params();
+        assert!(
+            bn * 20 < total,
+            "bn {bn} should be well under 5% of {total}"
+        );
+    }
+
+    #[test]
+    fn num_bn_layers_counts_stem_and_blocks() {
+        let mut m = model(); // resnet18-analog: 2 blocks * 2 + stem = 5
+        assert_eq!(m.num_bn_layers(), 5);
+    }
+
+    #[test]
+    fn tent_freeze_configuration() {
+        let mut m = model();
+        m.set_all_trainable(false);
+        m.set_bn_affine_trainable(true);
+        let mut trainable = 0;
+        m.visit_params(&mut |p| {
+            if p.trainable() {
+                trainable += p.len();
+            }
+        });
+        assert_eq!(trainable, m.num_bn_params());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_predictions() {
+        let mut m = model();
+        let x = Tensor::from_vec((0..16).map(|i| i as f32 / 8.0).collect(), &[2, 8]).unwrap();
+        let before = m.logits(&x, Mode::Eval);
+        let json = serde_json::to_string(&m).unwrap();
+        let mut m2: MlpResNet = serde_json::from_str(&json).unwrap();
+        let after = m2.logits(&x, Mode::Eval);
+        assert!(before.approx_eq(&after, 1e-6));
+    }
+
+    #[test]
+    fn features_have_hidden_width() {
+        let mut m = model();
+        let f = m.features(&Tensor::zeros(&[2, 8]));
+        assert_eq!(f.dims(), &[2, 64]);
+    }
+}

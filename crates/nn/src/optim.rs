@@ -1,0 +1,263 @@
+//! First-order optimizers over a model's parameter list.
+
+use crate::layers::Layer;
+use crate::param::Param;
+use nazar_tensor::Tensor;
+
+/// A first-order optimizer.
+///
+/// Optimizer state (momentum buffers, Adam moments) is keyed by parameter
+/// *position* in the model's `visit_params` traversal, which is stable for
+/// the lifetime of a model.
+pub trait Optimizer {
+    /// Applies one update step to every trainable parameter with a gradient,
+    /// then leaves gradients untouched (call [`Layer::zero_grads`] after).
+    fn step(&mut self, model: &mut dyn Layer);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (e.g. for simple schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Option<Tensor>>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            momentum,
+            ..Sgd::new(lr)
+        }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Layer) {
+        let mut idx = 0;
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        model.visit_params(&mut |p: &mut Param| {
+            let i = idx;
+            idx += 1;
+            if velocity.len() <= i {
+                velocity.resize(i + 1, None);
+            }
+            if !p.trainable() {
+                return;
+            }
+            let Some(grad) = p.grad().cloned() else {
+                return;
+            };
+            let grad = if wd > 0.0 {
+                grad.add(&p.value().scale(wd)).expect("weight decay shape")
+            } else {
+                grad
+            };
+            let update = if momentum > 0.0 {
+                let v = match velocity[i].take() {
+                    Some(v) => v.scale(momentum).add(&grad).expect("momentum shape"),
+                    None => grad,
+                };
+                velocity[i] = Some(v.clone());
+                v
+            } else {
+                grad
+            };
+            let new_value = p.value().sub(&update.scale(lr)).expect("sgd update shape");
+            *p.value_mut() = new_value;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam optimizer (Kingma & Ba), the paper's choice for TENT adaptation.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Option<Tensor>>,
+    v: Vec<Option<Tensor>>,
+}
+
+impl Adam {
+    /// Adam with standard betas (0.9, 0.999).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let (b1, b2, eps, lr, t) = (self.beta1, self.beta2, self.eps, self.lr, self.t);
+        let bias1 = 1.0 - b1.powi(t as i32);
+        let bias2 = 1.0 - b2.powi(t as i32);
+        let mut idx = 0;
+        let (ms, vs) = (&mut self.m, &mut self.v);
+        model.visit_params(&mut |p: &mut Param| {
+            let i = idx;
+            idx += 1;
+            if ms.len() <= i {
+                ms.resize(i + 1, None);
+                vs.resize(i + 1, None);
+            }
+            if !p.trainable() {
+                return;
+            }
+            let Some(grad) = p.grad().cloned() else {
+                return;
+            };
+            let m = match ms[i].take() {
+                Some(m) => m
+                    .scale(b1)
+                    .add(&grad.scale(1.0 - b1))
+                    .expect("adam m shape"),
+                None => grad.scale(1.0 - b1),
+            };
+            let g2 = grad.mul(&grad).expect("adam g^2 shape");
+            let v = match vs[i].take() {
+                Some(v) => v.scale(b2).add(&g2.scale(1.0 - b2)).expect("adam v shape"),
+                None => g2.scale(1.0 - b2),
+            };
+            let m_hat = m.scale(1.0 / bias1);
+            let v_hat = v.scale(1.0 / bias2);
+            let denom = v_hat.map(|x| x.sqrt() + eps);
+            let update = m_hat.div(&denom).expect("adam update shape").scale(lr);
+            let new_value = p.value().sub(&update).expect("adam step shape");
+            *p.value_mut() = new_value;
+            ms[i] = Some(m);
+            vs[i] = Some(v);
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Linear, Mode};
+    use nazar_tensor::{Tape, Tensor};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Runs `steps` optimization steps of `||xW + b - target||^2`.
+    fn fit_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut lin = Linear::new(&mut rng, 2, 1, Init::KaimingNormal);
+        let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]).unwrap();
+        let target = Tensor::from_vec(vec![2.0, -1.0, 1.0], &[3, 1]).unwrap();
+        let mut last = f32::INFINITY;
+        for _ in 0..steps {
+            let tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let tv = tape.leaf(target.clone());
+            let y = lin.forward(&tape, &xv, Mode::Train);
+            let diff = y.sub(&tv);
+            let loss = diff.mul(&diff).mean_all();
+            last = loss.value().item().unwrap();
+            let grads = loss.backward();
+            lin.collect_grads(&grads);
+            opt.step(&mut lin);
+            lin.zero_grads();
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_converges_on_least_squares() {
+        let mut opt = Sgd::new(0.1);
+        assert!(fit_quadratic(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain() {
+        let plain = fit_quadratic(&mut Sgd::new(0.02), 50);
+        let momentum = fit_quadratic(&mut Sgd::with_momentum(0.02, 0.9), 50);
+        assert!(momentum < plain, "momentum {momentum} !< plain {plain}");
+    }
+
+    #[test]
+    fn adam_converges_on_least_squares() {
+        let mut opt = Adam::new(0.05);
+        assert!(fit_quadratic(&mut opt, 300) < 1e-3);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut lin = Linear::new(&mut rng, 2, 2, Init::KaimingNormal);
+        let before = lin.weight().value().l2_norm();
+        // Zero-gradient steps: decay must still shrink weights through the
+        // (grad + wd * w) coupling whenever a grad exists.
+        let tape = Tape::new();
+        let xv = tape.leaf(Tensor::ones(&[1, 2]));
+        let y = lin.forward(&tape, &xv, Mode::Train);
+        let loss = y.mul(&y).mean_all().scale(0.0); // zero loss, zero grads
+        let grads = loss.backward();
+        lin.collect_grads(&grads);
+        let mut opt = Sgd::new(0.5).with_weight_decay(0.5);
+        opt.step(&mut lin);
+        let after = lin.weight().value().l2_norm();
+        assert!(after < before, "after {after} !< before {before}");
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+}

@@ -1,0 +1,179 @@
+//! Batch-normalization patches — the unit of model deployment in Nazar.
+//!
+//! The paper (§3.4) ships only adapted BN layers to devices: "In ResNet50
+//! the BN layer is 217× smaller than the full model (0.4MB vs. 92MB)".
+//! A [`BnPatch`] captures the affine parameters *and* running statistics of
+//! every BN layer; applying it to a copy of the base model reconstructs the
+//! adapted model.
+
+use crate::error::{NnError, Result};
+use crate::model::MlpResNet;
+use nazar_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one BN layer: affine parameters plus running statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BnLayerState {
+    /// Scale (γ).
+    pub gamma: Tensor,
+    /// Shift (β).
+    pub beta: Tensor,
+    /// Running mean.
+    pub running_mean: Tensor,
+    /// Running variance.
+    pub running_var: Tensor,
+}
+
+/// A BN-only model delta, extracted from an adapted model and applied to a
+/// base model on the device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BnPatch {
+    layers: Vec<BnLayerState>,
+}
+
+impl BnPatch {
+    /// Builds a patch directly from per-layer states (used by federated
+    /// aggregation, which averages patches without touching a model).
+    pub fn from_layers(layers: Vec<BnLayerState>) -> Self {
+        BnPatch { layers }
+    }
+
+    /// Extracts the BN state of `model`.
+    pub fn extract(model: &mut MlpResNet) -> Self {
+        let mut layers = Vec::new();
+        model.visit_bn(&mut |bn| {
+            layers.push(BnLayerState {
+                gamma: bn.gamma().value().clone(),
+                beta: bn.beta().value().clone(),
+                running_mean: bn.running_mean().clone(),
+                running_var: bn.running_var().clone(),
+            });
+        });
+        BnPatch { layers }
+    }
+
+    /// Applies the patch to `model`, overwriting its BN state.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the patch layout (layer count or widths) does not
+    /// match the model; the model is left unmodified in that case.
+    pub fn apply(&self, model: &mut MlpResNet) -> Result<()> {
+        // Validate before mutating anything.
+        let mut widths = Vec::new();
+        model.visit_bn(&mut |bn| widths.push(bn.width()));
+        if widths.len() != self.layers.len() {
+            return Err(NnError::PatchLayoutMismatch {
+                patch_layers: self.layers.len(),
+                model_layers: widths.len(),
+            });
+        }
+        for (i, (state, &w)) in self.layers.iter().zip(&widths).enumerate() {
+            if state.gamma.len() != w {
+                return Err(NnError::PatchWidthMismatch {
+                    layer: i,
+                    patch_width: state.gamma.len(),
+                    model_width: w,
+                });
+            }
+        }
+        let mut i = 0;
+        model.visit_bn(&mut |bn| {
+            let s = &self.layers[i];
+            *bn.gamma_mut().value_mut() = s.gamma.clone();
+            *bn.beta_mut().value_mut() = s.beta.clone();
+            bn.set_running_stats(s.running_mean.clone(), s.running_var.clone());
+            i += 1;
+        });
+        Ok(())
+    }
+
+    /// Number of BN layers in the patch.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Total number of scalars in the patch (γ, β, mean, var per layer).
+    pub fn num_scalars(&self) -> usize {
+        self.layers.iter().map(|l| l.gamma.len() * 4).sum()
+    }
+
+    /// The per-layer states.
+    pub fn layers(&self) -> &[BnLayerState] {
+        &self.layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Mode;
+    use crate::model::ModelArch;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> MlpResNet {
+        MlpResNet::new(ModelArch::tiny(4, 3), &mut SmallRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn extract_apply_round_trip_transfers_bn_state() {
+        let mut donor = model(0);
+        // Shift the donor's BN stats by running a train-mode batch.
+        let x = Tensor::from_vec((0..32).map(|i| i as f32).collect(), &[8, 4]).unwrap();
+        let _ = donor.logits(&x, Mode::Train);
+        let patch = BnPatch::extract(&mut donor);
+
+        let mut receiver = model(0);
+        patch.apply(&mut receiver).unwrap();
+        let test = Tensor::from_vec(vec![0.5, -0.5, 1.0, 2.0], &[1, 4]).unwrap();
+        let a = donor.logits(&test, Mode::Eval);
+        let b = receiver.logits(&test, Mode::Eval);
+        assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    #[test]
+    fn apply_rejects_wrong_layout() {
+        let mut small = model(0);
+        let patch = BnPatch::extract(&mut small);
+        let mut bigger = MlpResNet::new(
+            ModelArch::resnet18_analog(4, 3),
+            &mut SmallRng::seed_from_u64(1),
+        );
+        assert!(matches!(
+            patch.apply(&mut bigger),
+            Err(NnError::PatchLayoutMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_rejects_wrong_width() {
+        let mut m = model(0);
+        let mut patch = BnPatch::extract(&mut m);
+        patch.layers[0].gamma = Tensor::ones(&[99]);
+        assert!(matches!(
+            patch.apply(&mut m),
+            Err(NnError::PatchWidthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn patch_is_much_smaller_than_model() {
+        let mut m = MlpResNet::new(
+            ModelArch::resnet50_analog(64, 40),
+            &mut SmallRng::seed_from_u64(0),
+        );
+        let patch = BnPatch::extract(&mut m);
+        use crate::layers::Layer;
+        assert!(patch.num_scalars() * 10 < m.num_params());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut m = model(7);
+        let patch = BnPatch::extract(&mut m);
+        let json = serde_json::to_string(&patch).unwrap();
+        let back: BnPatch = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, patch);
+    }
+}

@@ -1,0 +1,164 @@
+//! Learning-rate schedules and gradient clipping.
+//!
+//! Small training conveniences the experiment harnesses use: step decay and
+//! cosine learning-rate schedules applied on top of any [`crate::Optimizer`],
+//! and global-norm gradient clipping applied between `collect_grads` and
+//! `step`.
+
+use crate::layers::Layer;
+use crate::optim::Optimizer;
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: maps an epoch index to a multiplier on the
+/// base learning rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant learning rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    StepDecay {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Decay factor per step (0 < gamma ≤ 1).
+        gamma: f32,
+    },
+    /// Cosine annealing from the base rate to `min_factor ×` base over
+    /// `total_epochs`.
+    Cosine {
+        /// Length of the annealing horizon.
+        total_epochs: usize,
+        /// Final multiplier (e.g. 0.01).
+        min_factor: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier for the given 0-based epoch.
+    pub fn factor(&self, epoch: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::StepDecay { every, gamma } => {
+                let steps = if every == 0 { 0 } else { epoch / every };
+                gamma.powi(steps as i32)
+            }
+            LrSchedule::Cosine {
+                total_epochs,
+                min_factor,
+            } => {
+                let t = (epoch as f32 / total_epochs.max(1) as f32).min(1.0);
+                let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+                min_factor + (1.0 - min_factor) * cos
+            }
+        }
+    }
+
+    /// Applies the epoch's rate to an optimizer with the given base rate.
+    pub fn apply(&self, optimizer: &mut dyn Optimizer, base_lr: f32, epoch: usize) {
+        optimizer.set_learning_rate(base_lr * self.factor(epoch));
+    }
+}
+
+/// Scales all accumulated gradients so their global L2 norm is at most
+/// `max_norm`; returns the pre-clipping norm.
+///
+/// Call between `collect_grads` and the optimizer step.
+pub fn clip_grad_norm(model: &mut dyn Layer, max_norm: f32) -> f32 {
+    let mut sq_sum = 0.0f32;
+    model.visit_params(&mut |p| {
+        if let Some(g) = p.grad() {
+            sq_sum += g.data().iter().map(|v| v * v).sum::<f32>();
+        }
+    });
+    let norm = sq_sum.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        model.visit_params(&mut |p| {
+            if let Some(g) = p.grad().cloned() {
+                let clipped = g.scale(scale);
+                // Re-seed the gradient with the clipped value.
+                p.zero_grad();
+                p.set_grad(clipped);
+            }
+        });
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Init;
+    use crate::layers::{Linear, Mode};
+    use crate::optim::Sgd;
+    use nazar_tensor::{Tape, Tensor};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = LrSchedule::StepDecay {
+            every: 10,
+            gamma: 0.5,
+        };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_anneals_to_min_factor() {
+        let s = LrSchedule::Cosine {
+            total_epochs: 100,
+            min_factor: 0.1,
+        };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6);
+        assert!(s.factor(50) < s.factor(10));
+        // Past the horizon it stays at the floor.
+        assert!((s.factor(500) - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schedule_drives_optimizer_rate() {
+        let mut opt = Sgd::new(0.1);
+        LrSchedule::StepDecay {
+            every: 1,
+            gamma: 0.1,
+        }
+        .apply(&mut opt, 0.1, 2);
+        assert!((opt.learning_rate() - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clipping_bounds_the_global_norm() {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut lin = Linear::new(&mut rng, 4, 4, Init::KaimingNormal);
+        // Build a large gradient.
+        let tape = Tape::new();
+        let xv = tape.leaf(Tensor::full(&[8, 4], 10.0));
+        let y = lin.forward(&tape, &xv, Mode::Train);
+        let loss = y.mul(&y).sum_all();
+        let grads = loss.backward();
+        lin.collect_grads(&grads);
+
+        let before = clip_grad_norm(&mut lin, 1.0);
+        assert!(before > 1.0, "test needs a large gradient, got {before}");
+        let after = clip_grad_norm(&mut lin, 1.0);
+        assert!(after <= 1.0 + 1e-4, "clipped norm {after}");
+    }
+
+    #[test]
+    fn clipping_is_noop_below_threshold() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut lin = Linear::new(&mut rng, 2, 2, Init::KaimingNormal);
+        let tape = Tape::new();
+        let xv = tape.leaf(Tensor::full(&[1, 2], 1e-4));
+        let y = lin.forward(&tape, &xv, Mode::Train);
+        let grads = y.sum_all().backward();
+        lin.collect_grads(&grads);
+        let before_grad = lin.weight().grad().cloned().unwrap();
+        let _ = clip_grad_norm(&mut lin, 1e6);
+        assert_eq!(lin.weight().grad().cloned().unwrap(), before_grad);
+    }
+}

@@ -1,0 +1,716 @@
+//! Reverse-mode automatic differentiation on a tape.
+//!
+//! The tape owns every intermediate [`Tensor`] produced during a forward
+//! pass. Each [`Var`] is a lightweight handle (tape pointer + node id).
+//! Because parents always have lower node ids than their children, the
+//! backward pass is a single reverse sweep over the node vector.
+//!
+//! Leaves also receive gradients, which is what makes input-gradient
+//! detectors (ODIN, Generalized-ODIN) implementable downstream.
+
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// The recorded operation that produced a node.
+///
+/// Constant payloads (e.g. the scalar in `AddScalar`) are kept for `Debug`
+/// output even when the backward rule does not need them.
+#[derive(Debug, Clone)]
+#[allow(dead_code)]
+enum Op {
+    Leaf,
+    Add(usize, usize),
+    AddRow(usize, usize),
+    SubRow(usize, usize),
+    Sub(usize, usize),
+    Mul(usize, usize),
+    MulRow(usize, usize),
+    DivRow(usize, usize),
+    Neg(usize),
+    Scale(usize, f32),
+    AddScalar(usize, f32),
+    Matmul(usize, usize),
+    Relu(usize),
+    Exp(usize),
+    Ln(usize),
+    Sqrt(usize),
+    LogSoftmax(usize),
+    MeanAxis0(usize),
+    SumAll(usize),
+    MeanAll(usize),
+    NllLoss(usize, Vec<usize>),
+}
+
+#[derive(Debug)]
+struct Node {
+    value: Tensor,
+    op: Op,
+}
+
+#[derive(Debug, Default)]
+struct TapeInner {
+    nodes: Vec<Node>,
+}
+
+/// A gradient tape for reverse-mode automatic differentiation.
+///
+/// Create leaves with [`Tape::leaf`], compose [`Var`] operations, then call
+/// [`Var::backward`] on a scalar result to obtain [`Gradients`].
+///
+/// # Example
+///
+/// ```
+/// use nazar_tensor::{Tape, Tensor};
+///
+/// let tape = Tape::new();
+/// let w = tape.leaf(Tensor::from_vec(vec![2.0], &[1, 1]).unwrap());
+/// let x = tape.leaf(Tensor::from_vec(vec![3.0], &[1, 1]).unwrap());
+/// let y = w.matmul(&x).sum_all();
+/// let grads = y.backward();
+/// assert_eq!(grads.get(&w).unwrap().data(), &[3.0]);
+/// assert_eq!(grads.get(&x).unwrap().data(), &[2.0]);
+/// ```
+#[derive(Clone, Default)]
+pub struct Tape {
+    inner: Rc<RefCell<TapeInner>>,
+}
+
+impl fmt::Debug for Tape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tape({} nodes)", self.inner.borrow().nodes.len())
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape::default()
+    }
+
+    /// Number of nodes currently recorded.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// Whether the tape has recorded any node.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registers `value` as a differentiable leaf and returns its handle.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf)
+    }
+
+    fn push(&self, value: Tensor, op: Op) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        inner.nodes.push(Node { value, op });
+        Var {
+            tape: self.clone(),
+            id,
+        }
+    }
+
+    fn value(&self, id: usize) -> Tensor {
+        self.inner.borrow().nodes[id].value.clone()
+    }
+}
+
+/// Accumulated gradients, indexed by the [`Var`] they belong to.
+#[derive(Debug)]
+pub struct Gradients {
+    grads: Vec<Option<Tensor>>,
+}
+
+impl Gradients {
+    /// The gradient of the backward root with respect to `var`, if `var`
+    /// participated in the computation.
+    pub fn get(&self, var: &Var) -> Option<&Tensor> {
+        self.grads.get(var.id).and_then(|g| g.as_ref())
+    }
+}
+
+/// A handle to a node on a [`Tape`].
+///
+/// `Var` is cheap to clone (a reference-counted tape pointer and an index).
+/// All arithmetic records a new node; nothing mutates in place.
+///
+/// # Panics
+///
+/// Operations panic when operand shapes are incompatible or when combining
+/// variables from different tapes — both are programmer errors in model code,
+/// mirroring the panic-on-shape-mismatch convention of mainstream tensor
+/// libraries.
+#[derive(Clone)]
+pub struct Var {
+    tape: Tape,
+    id: usize,
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var(id={}, shape={})", self.id, self.value().shape())
+    }
+}
+
+impl Var {
+    /// A snapshot of this node's value.
+    pub fn value(&self) -> Tensor {
+        self.tape.value(self.id)
+    }
+
+    /// The node id on its tape (stable for the tape's lifetime).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    fn same_tape(&self, other: &Var) {
+        assert!(
+            Rc::ptr_eq(&self.tape.inner, &other.tape.inner),
+            "cannot combine vars from different tapes"
+        );
+    }
+
+    fn binary(&self, other: &Var, op: fn(usize, usize) -> Op, name: &str) -> Var {
+        self.same_tape(other);
+        let (a, b) = (self.value(), other.value());
+        let value = match op(0, 0) {
+            Op::Add(..) => a.add(&b),
+            Op::AddRow(..) => a.add_row(&b),
+            Op::SubRow(..) => a.sub_row(&b),
+            Op::Sub(..) => a.sub(&b),
+            Op::Mul(..) => a.mul(&b),
+            Op::MulRow(..) => a.mul_row(&b),
+            Op::DivRow(..) => a.div_row(&b),
+            Op::Matmul(..) => a.matmul(&b),
+            _ => unreachable!(),
+        }
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+        self.tape.push(value, op(self.id, other.id))
+    }
+
+    /// Elementwise sum. See [`Tensor::add`].
+    pub fn add(&self, other: &Var) -> Var {
+        self.binary(other, Op::Add, "add")
+    }
+
+    /// Adds a `[d]` vector variable to every row of this `[n, d]` variable.
+    pub fn add_row(&self, other: &Var) -> Var {
+        self.binary(other, Op::AddRow, "add_row")
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Var) -> Var {
+        self.binary(other, Op::Sub, "sub")
+    }
+
+    /// Subtracts a `[d]` vector variable from every row of this `[n, d]` variable.
+    pub fn sub_row(&self, other: &Var) -> Var {
+        self.binary(other, Op::SubRow, "sub_row")
+    }
+
+    /// Elementwise product.
+    pub fn mul(&self, other: &Var) -> Var {
+        self.binary(other, Op::Mul, "mul")
+    }
+
+    /// Multiplies every row of this `[n, d]` variable by a `[d]` variable.
+    pub fn mul_row(&self, other: &Var) -> Var {
+        self.binary(other, Op::MulRow, "mul_row")
+    }
+
+    /// Divides every row of this `[n, d]` variable by a `[d]` variable.
+    pub fn div_row(&self, other: &Var) -> Var {
+        self.binary(other, Op::DivRow, "div_row")
+    }
+
+    /// Matrix product.
+    pub fn matmul(&self, other: &Var) -> Var {
+        self.binary(other, Op::Matmul, "matmul")
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&self) -> Var {
+        let v = self.value().scale(-1.0);
+        self.tape.push(v, Op::Neg(self.id))
+    }
+
+    /// Multiplies every element by the constant `c`.
+    pub fn scale(&self, c: f32) -> Var {
+        let v = self.value().scale(c);
+        self.tape.push(v, Op::Scale(self.id, c))
+    }
+
+    /// Adds the constant `c` to every element.
+    pub fn add_scalar(&self, c: f32) -> Var {
+        let v = self.value().add_scalar(c);
+        self.tape.push(v, Op::AddScalar(self.id, c))
+    }
+
+    /// Rectified linear unit, elementwise.
+    pub fn relu(&self) -> Var {
+        let v = self.value().map(|x| x.max(0.0));
+        self.tape.push(v, Op::Relu(self.id))
+    }
+
+    /// Elementwise exponential.
+    pub fn exp(&self) -> Var {
+        let v = self.value().map(f32::exp);
+        self.tape.push(v, Op::Exp(self.id))
+    }
+
+    /// Elementwise natural logarithm.
+    pub fn ln(&self) -> Var {
+        let v = self.value().map(f32::ln);
+        self.tape.push(v, Op::Ln(self.id))
+    }
+
+    /// Elementwise square root.
+    pub fn sqrt(&self) -> Var {
+        let v = self.value().map(f32::sqrt);
+        self.tape.push(v, Op::Sqrt(self.id))
+    }
+
+    /// Row-wise log-softmax of an `[n, c]` logit matrix.
+    pub fn log_softmax(&self) -> Var {
+        let v = self
+            .value()
+            .log_softmax_rows()
+            .unwrap_or_else(|e| panic!("log_softmax: {e}"));
+        self.tape.push(v, Op::LogSoftmax(self.id))
+    }
+
+    /// Column means of an `[n, d]` matrix, as a `[d]` vector.
+    pub fn mean_axis0(&self) -> Var {
+        let v = self
+            .value()
+            .mean_axis0()
+            .unwrap_or_else(|e| panic!("mean_axis0: {e}"));
+        self.tape.push(v, Op::MeanAxis0(self.id))
+    }
+
+    /// Sum of all elements, as a scalar variable.
+    pub fn sum_all(&self) -> Var {
+        let v = Tensor::scalar(self.value().sum_all());
+        self.tape.push(v, Op::SumAll(self.id))
+    }
+
+    /// Mean of all elements, as a scalar variable.
+    pub fn mean_all(&self) -> Var {
+        let v = Tensor::scalar(
+            self.value()
+                .mean_all()
+                .unwrap_or_else(|e| panic!("mean_all: {e}")),
+        );
+        self.tape.push(v, Op::MeanAll(self.id))
+    }
+
+    /// Negative log-likelihood loss over row-wise log-probabilities.
+    ///
+    /// `self` must be an `[n, c]` log-probability matrix (e.g. produced by
+    /// [`Var::log_softmax`]); `targets` gives the true class per row. The
+    /// result is the scalar `-(1/n) Σᵢ logp[i, targetᵢ]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len()` differs from the row count or a target is
+    /// out of class range.
+    pub fn nll_loss(&self, targets: &[usize]) -> Var {
+        let lp = self.value();
+        let (n, c) = (
+            lp.nrows().expect("nll_loss: rank-2 input"),
+            lp.ncols().unwrap(),
+        );
+        assert_eq!(targets.len(), n, "nll_loss: one target per row required");
+        let mut acc = 0.0;
+        for (i, &t) in targets.iter().enumerate() {
+            assert!(t < c, "nll_loss: target {t} out of range for {c} classes");
+            acc -= lp.data()[i * c + t];
+        }
+        let v = Tensor::scalar(acc / n as f32);
+        self.tape.push(v, Op::NllLoss(self.id, targets.to_vec()))
+    }
+
+    /// Runs the backward pass from this (scalar) variable.
+    ///
+    /// Returns the gradients of `self` with respect to every node that
+    /// contributed to it, including leaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` does not hold exactly one element.
+    pub fn backward(&self) -> Gradients {
+        let root = self.value();
+        assert_eq!(root.len(), 1, "backward requires a scalar root");
+        let inner = self.tape.inner.borrow();
+        let mut grads: Vec<Option<Tensor>> = vec![None; inner.nodes.len()];
+        grads[self.id] = Some(Tensor::full(root.dims(), 1.0));
+
+        for id in (0..=self.id).rev() {
+            let Some(g) = grads[id].clone() else { continue };
+            let node = &inner.nodes[id];
+            match &node.op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::AddRow(a, b) => {
+                    let gb = g.sum_axis0().expect("add_row grad");
+                    accumulate(&mut grads, *a, g);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::SubRow(a, b) => {
+                    let gb = g.sum_axis0().expect("sub_row grad").scale(-1.0);
+                    accumulate(&mut grads, *a, g);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.scale(-1.0));
+                }
+                Op::Mul(a, b) => {
+                    let (av, bv) = (inner.nodes[*a].value.clone(), inner.nodes[*b].value.clone());
+                    accumulate(&mut grads, *a, g.mul(&bv).expect("mul grad"));
+                    accumulate(&mut grads, *b, g.mul(&av).expect("mul grad"));
+                }
+                Op::MulRow(a, b) => {
+                    let (av, bv) = (inner.nodes[*a].value.clone(), inner.nodes[*b].value.clone());
+                    accumulate(&mut grads, *a, g.mul_row(&bv).expect("mul_row grad"));
+                    let gb = g
+                        .mul(&av)
+                        .expect("mul_row grad")
+                        .sum_axis0()
+                        .expect("mul_row grad");
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::DivRow(a, b) => {
+                    let (av, bv) = (inner.nodes[*a].value.clone(), inner.nodes[*b].value.clone());
+                    accumulate(&mut grads, *a, g.div_row(&bv).expect("div_row grad"));
+                    // d/db (a/b) = -a / b^2, summed over the broadcast rows.
+                    let b_sq = bv.mul(&bv).expect("div_row grad");
+                    let gb = g
+                        .mul(&av)
+                        .expect("div_row grad")
+                        .div_row(&b_sq)
+                        .expect("div_row grad")
+                        .sum_axis0()
+                        .expect("div_row grad")
+                        .scale(-1.0);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Neg(a) => accumulate(&mut grads, *a, g.scale(-1.0)),
+                Op::Scale(a, c) => accumulate(&mut grads, *a, g.scale(*c)),
+                Op::AddScalar(a, _) => accumulate(&mut grads, *a, g),
+                Op::Matmul(a, b) => {
+                    let (av, bv) = (inner.nodes[*a].value.clone(), inner.nodes[*b].value.clone());
+                    let ga = g
+                        .matmul(&bv.transpose().expect("matmul grad"))
+                        .expect("matmul grad");
+                    let gb = av
+                        .transpose()
+                        .expect("matmul grad")
+                        .matmul(&g)
+                        .expect("matmul grad");
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Relu(a) => {
+                    let mask = inner.nodes[*a]
+                        .value
+                        .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    accumulate(&mut grads, *a, g.mul(&mask).expect("relu grad"));
+                }
+                Op::Exp(a) => {
+                    accumulate(&mut grads, *a, g.mul(&node.value).expect("exp grad"));
+                }
+                Op::Ln(a) => {
+                    let av = inner.nodes[*a].value.clone();
+                    accumulate(&mut grads, *a, g.div(&av).expect("ln grad"));
+                }
+                Op::Sqrt(a) => {
+                    let half_inv = node.value.map(|y| 0.5 / y);
+                    accumulate(&mut grads, *a, g.mul(&half_inv).expect("sqrt grad"));
+                }
+                Op::LogSoftmax(a) => {
+                    // d logsoftmax: g - softmax(a) * rowsum(g)
+                    let p = node.value.map(f32::exp);
+                    let row_sums = g.sum_axis1().expect("log_softmax grad");
+                    let (n, c) = (
+                        p.nrows().expect("log_softmax grad"),
+                        p.ncols().expect("log_softmax grad"),
+                    );
+                    let mut out = Vec::with_capacity(n * c);
+                    for i in 0..n {
+                        let s = row_sums.data()[i];
+                        for j in 0..c {
+                            out.push(g.data()[i * c + j] - p.data()[i * c + j] * s);
+                        }
+                    }
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::from_vec(out, &[n, c]).expect("log_softmax grad"),
+                    );
+                }
+                Op::MeanAxis0(a) => {
+                    let av = &inner.nodes[*a].value;
+                    let n = av.nrows().expect("mean_axis0 grad");
+                    let scaled = g.scale(1.0 / n as f32);
+                    let ga = Tensor::zeros(av.dims())
+                        .add_row(&scaled)
+                        .expect("mean_axis0 grad");
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SumAll(a) => {
+                    let c = g.data()[0];
+                    let av = &inner.nodes[*a].value;
+                    accumulate(&mut grads, *a, Tensor::full(av.dims(), c));
+                }
+                Op::MeanAll(a) => {
+                    let av = &inner.nodes[*a].value;
+                    let c = g.data()[0] / av.len() as f32;
+                    accumulate(&mut grads, *a, Tensor::full(av.dims(), c));
+                }
+                Op::NllLoss(a, targets) => {
+                    let av = &inner.nodes[*a].value;
+                    let (n, c) = (av.nrows().expect("nll grad"), av.ncols().expect("nll grad"));
+                    let coef = -g.data()[0] / n as f32;
+                    let mut out = vec![0.0f32; n * c];
+                    for (i, &t) in targets.iter().enumerate() {
+                        out[i * c + t] = coef;
+                    }
+                    accumulate(
+                        &mut grads,
+                        *a,
+                        Tensor::from_vec(out, &[n, c]).expect("nll grad"),
+                    );
+                }
+            }
+        }
+        Gradients { grads }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Tensor>], id: usize, g: Tensor) {
+    grads[id] = Some(match grads[id].take() {
+        Some(existing) => existing
+            .add(&g)
+            .expect("gradient accumulation shape mismatch"),
+        None => g,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Central finite-difference gradient of a scalar function of a tensor.
+    fn fd<F: Fn(&Tensor) -> f32>(f: F, x0: &Tensor, eps: f32) -> Tensor {
+        let mut out = Tensor::zeros(x0.dims());
+        for i in 0..x0.len() {
+            let mut p = x0.clone();
+            p.data_mut()[i] += eps;
+            let mut m = x0.clone();
+            m.data_mut()[i] -= eps;
+            out.data_mut()[i] = (f(&p) - f(&m)) / (2.0 * eps);
+        }
+        out
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let x0 = Tensor::randn(&mut rng, &[3, 4], 0.0, 1.0);
+        let w0 = Tensor::randn(&mut rng, &[4, 2], 0.0, 1.0);
+
+        let tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let w = tape.leaf(w0.clone());
+        let y = x.matmul(&w).relu().sum_all();
+        let grads = y.backward();
+
+        let w0c = w0.clone();
+        let nx = fd(
+            |x| x.matmul(&w0c).unwrap().map(|v| v.max(0.0)).sum_all(),
+            &x0,
+            1e-2,
+        );
+        assert!(grads.get(&x).unwrap().approx_eq(&nx, 1e-2));
+
+        let x0c = x0.clone();
+        let nw = fd(
+            |w| x0c.matmul(w).unwrap().map(|v| v.max(0.0)).sum_all(),
+            &w0,
+            1e-2,
+        );
+        assert!(grads.get(&w).unwrap().approx_eq(&nw, 1e-2));
+    }
+
+    #[test]
+    fn grad_log_softmax_nll() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let x0 = Tensor::randn(&mut rng, &[4, 3], 0.0, 1.0);
+        let targets = vec![0usize, 2, 1, 1];
+
+        let tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let loss = x.log_softmax().nll_loss(&targets);
+        let grads = loss.backward();
+
+        let t = targets.clone();
+        let n = fd(
+            |x| {
+                let lp = x.log_softmax_rows().unwrap();
+                let c = lp.ncols().unwrap();
+                -t.iter()
+                    .enumerate()
+                    .map(|(i, &ti)| lp.data()[i * c + ti])
+                    .sum::<f32>()
+                    / t.len() as f32
+            },
+            &x0,
+            1e-2,
+        );
+        assert!(grads.get(&x).unwrap().approx_eq(&n, 1e-2));
+    }
+
+    #[test]
+    fn grad_entropy_objective() {
+        // The TENT objective: H = -(1/n) Σ_i Σ_c p log p with p = softmax(x).
+        let mut rng = SmallRng::seed_from_u64(3);
+        let x0 = Tensor::randn(&mut rng, &[3, 4], 0.0, 1.5);
+
+        let tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let lp = x.log_softmax();
+        let p = lp.exp();
+        let h = p.mul(&lp).sum_all().scale(-1.0 / 3.0);
+        let grads = h.backward();
+
+        let n = fd(
+            |x| {
+                let lp = x.log_softmax_rows().unwrap();
+                let p = lp.map(f32::exp);
+                -p.mul(&lp).unwrap().sum_all() / 3.0
+            },
+            &x0,
+            1e-2,
+        );
+        assert!(grads.get(&x).unwrap().approx_eq(&n, 5e-2));
+    }
+
+    #[test]
+    fn grad_batchnorm_composite() {
+        // x_hat = (x - mean0(x)) / sqrt(var0(x) + eps), gamma/beta affine.
+        let mut rng = SmallRng::seed_from_u64(4);
+        let x0 = Tensor::randn(&mut rng, &[5, 3], 1.0, 2.0);
+        let gamma0 = Tensor::randn(&mut rng, &[3], 1.0, 0.1);
+        let beta0 = Tensor::randn(&mut rng, &[3], 0.0, 0.1);
+        let eps = 1e-5;
+
+        let bn = |x: &Tensor, gamma: &Tensor, beta: &Tensor| -> f32 {
+            let mean = x.mean_axis0().unwrap();
+            let var = x.var_axis0().unwrap();
+            let std = var.add_scalar(eps).map(f32::sqrt);
+            let xh = x.sub_row(&mean).unwrap().div_row(&std).unwrap();
+            let y = xh.mul_row(gamma).unwrap().add_row(beta).unwrap();
+            y.map(|v| v * v).sum_all()
+        };
+
+        let tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let gamma = tape.leaf(gamma0.clone());
+        let beta = tape.leaf(beta0.clone());
+        let mean = x.mean_axis0();
+        let centered = x.sub_row(&mean);
+        let var = centered.mul(&centered).mean_axis0();
+        let std = var.add_scalar(eps).sqrt();
+        let xh = centered.div_row(&std);
+        let y = xh.mul_row(&gamma).add_row(&beta);
+        let out = y.mul(&y).sum_all();
+        let grads = out.backward();
+
+        let (g0, b0) = (gamma0.clone(), beta0.clone());
+        let nx = fd(|x| bn(x, &g0, &b0), &x0, 1e-2);
+        assert!(
+            grads.get(&x).unwrap().approx_eq(&nx, 6e-2),
+            "x grad mismatch: {:?} vs {:?}",
+            grads.get(&x).unwrap(),
+            nx
+        );
+
+        let (x0c, b0) = (x0.clone(), beta0.clone());
+        let ng = fd(|g| bn(&x0c, g, &b0), &gamma0, 1e-3);
+        assert!(grads.get(&gamma).unwrap().approx_eq(&ng, 5e-2));
+
+        let (x0c, g0) = (x0, gamma0);
+        let nb = fd(|b| bn(&x0c, &g0, b), &beta0, 1e-3);
+        assert!(grads.get(&beta).unwrap().approx_eq(&nb, 5e-2));
+    }
+
+    #[test]
+    fn grad_accumulates_over_reused_vars() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![3.0], &[1, 1]).unwrap());
+        let y = x.add(&x).sum_all(); // y = 2x
+        let grads = y.backward();
+        assert_eq!(grads.get(&x).unwrap().data(), &[2.0]);
+    }
+
+    #[test]
+    fn grad_exp_ln_sqrt() {
+        let x0 = Tensor::from_vec(vec![0.5, 1.5, 2.5, 4.0], &[2, 2]).unwrap();
+        let tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let y = x.exp().ln().sqrt().sum_all(); // sqrt(x) summed
+        let grads = y.backward();
+        let n = fd(|x| x.map(f32::sqrt).sum_all(), &x0, 1e-3);
+        assert!(grads.get(&x).unwrap().approx_eq(&n, 1e-2));
+    }
+
+    #[test]
+    fn grad_mean_axis0_broadcasts_evenly() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[4, 2]));
+        let y = x.mean_axis0().sum_all();
+        let grads = y.backward();
+        assert!(grads
+            .get(&x)
+            .unwrap()
+            .approx_eq(&Tensor::full(&[4, 2], 0.25), 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "different tapes")]
+    fn mixing_tapes_panics() {
+        let t1 = Tape::new();
+        let t2 = Tape::new();
+        let a = t1.leaf(Tensor::ones(&[1]));
+        let b = t2.leaf(Tensor::ones(&[1]));
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar root")]
+    fn backward_requires_scalar() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::ones(&[2, 2]));
+        let _ = x.backward();
+    }
+
+    #[test]
+    fn leaf_gradients_available_for_inputs() {
+        // ODIN needs ∂loss/∂input — verify leaves receive gradients.
+        let tape = Tape::new();
+        let input = tape.leaf(Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap());
+        let loss = input.log_softmax().nll_loss(&[0]);
+        let grads = loss.backward();
+        assert!(grads.get(&input).is_some());
+    }
+}

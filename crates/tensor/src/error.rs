@@ -1,0 +1,118 @@
+//! Error type shared by all fallible tensor operations.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors raised by tensor construction and tensor algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The flat buffer length does not match the product of the dimensions.
+    LengthMismatch {
+        /// Number of elements implied by the requested shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// Two tensors had incompatible shapes for the attempted operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// The operation requires a tensor of a different rank.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor supplied.
+        actual: usize,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it violated.
+        bound: usize,
+    },
+    /// A tensor that must be non-empty was empty.
+    Empty {
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "buffer of length {actual} does not fill shape of {expected} elements"
+                )
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(f, "{op}: expected rank {expected}, got rank {actual}")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of size {bound}"
+                )
+            }
+            TensorError::Empty { op } => write!(f, "{op}: tensor must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs: Vec<TensorError> = vec![
+            TensorError::LengthMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                op: "add",
+                lhs: vec![2],
+                rhs: vec![3],
+            },
+            TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: 1,
+            },
+            TensorError::IndexOutOfBounds { index: 9, bound: 3 },
+            TensorError::Empty { op: "mean" },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with(char::is_alphabetic));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,40 @@
+//! Dense `f32` tensors with reverse-mode automatic differentiation.
+//!
+//! This crate is the numeric substrate of the Nazar reproduction. The paper
+//! trains and adapts ResNet classifiers with PyTorch on a GPU; everything
+//! Nazar itself measures (softmax confidence, prediction entropy, gradients
+//! of the entropy objective with respect to batch-normalization parameters)
+//! is reproduced here on top of a small, fully self-contained tensor library:
+//!
+//! * [`Tensor`] — an n-dimensional dense `f32` array with shape/stride
+//!   bookkeeping, broadcasting helpers, matrix multiplication and reductions.
+//! * [`Tape`] / [`Var`] — a classic reverse-mode autodiff tape. Operations on
+//!   [`Var`]s record nodes on the tape; [`Var::backward`] walks the tape in
+//!   reverse and accumulates gradients for every node (including leaves, so
+//!   input-gradient methods such as ODIN work).
+//!
+//! # Example
+//!
+//! ```
+//! use nazar_tensor::{Tape, Tensor};
+//!
+//! let tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap());
+//! let y = x.relu().sum_all();
+//! let grads = y.backward();
+//! assert_eq!(grads.get(&x).unwrap().data(), &[1.0, 1.0, 1.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autograd;
+mod error;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use autograd::{Gradients, Tape, Var};
+pub use error::{Result, TensorError};
+pub use shape::Shape;
+pub use tensor::Tensor;

@@ -1,0 +1,102 @@
+//! Operator overloads for [`Tensor`].
+//!
+//! Elementwise `+`, `-`, `*` on tensor references, unary negation, and
+//! scalar scaling. These mirror the fallible methods ([`Tensor::add`],
+//! [`Tensor::sub`], [`Tensor::mul`], [`Tensor::scale`]) but follow the
+//! mainstream tensor-library convention of panicking on shape mismatch,
+//! which keeps numeric code readable.
+
+use crate::tensor::Tensor;
+use std::ops::{Add, Mul, Neg, Sub};
+
+impl Add for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn add(self, rhs: &Tensor) -> Tensor {
+        Tensor::add(self, rhs).expect("tensor + tensor requires equal shapes")
+    }
+}
+
+impl Sub for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn sub(self, rhs: &Tensor) -> Tensor {
+        Tensor::sub(self, rhs).expect("tensor - tensor requires equal shapes")
+    }
+}
+
+impl Mul for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    fn mul(self, rhs: &Tensor) -> Tensor {
+        Tensor::mul(self, rhs).expect("tensor * tensor requires equal shapes")
+    }
+}
+
+impl Mul<f32> for &Tensor {
+    type Output = Tensor;
+
+    /// Scales every element by `rhs`.
+    fn mul(self, rhs: f32) -> Tensor {
+        self.scale(rhs)
+    }
+}
+
+impl Neg for &Tensor {
+    type Output = Tensor;
+
+    /// Elementwise negation.
+    fn neg(self) -> Tensor {
+        self.scale(-1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), &[data.len()]).unwrap()
+    }
+
+    #[test]
+    fn elementwise_operators_match_methods() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).data(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&a - &b).data(), &[-3.0, -3.0, -3.0]);
+        assert_eq!((&a * &b).data(), &[4.0, 10.0, 18.0]);
+        assert_eq!((&a * 2.0).data(), &[2.0, 4.0, 6.0]);
+        assert_eq!((-&a).data(), &[-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal shapes")]
+    fn mismatched_shapes_panic() {
+        let _ = &t(&[1.0]) + &t(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn operators_compose() {
+        let a = t(&[1.0, 2.0]);
+        let b = t(&[3.0, 4.0]);
+        // (a + b) * a - b
+        let r = &(&(&a + &b) * &a) - &b;
+        assert_eq!(r.data(), &[1.0, 8.0]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Shape bookkeeping for dense tensors.
+
+use crate::error::{Result, TensorError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dimensions of a [`crate::Tensor`], in row-major order.
+///
+/// A `Shape` is a thin wrapper over a `Vec<usize>` that knows how to compute
+/// element counts and row-major strides, and how to validate indices.
+///
+/// # Example
+///
+/// ```
+/// use nazar_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3]);
+/// assert_eq!(s.len(), 6);
+/// assert_eq!(s.strides(), vec![3, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimensions.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// A scalar shape (rank 0, one element).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The dimensions as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for a scalar).
+    pub fn len(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Returns `true` if the shape holds no elements (some dimension is 0).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Row-major strides for this shape.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![0; self.0.len()];
+        let mut acc = 1;
+        for (i, d) in self.0.iter().enumerate().rev() {
+            strides[i] = acc;
+            acc *= d;
+        }
+        strides
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if `axis >= rank`.
+    pub fn dim(&self, axis: usize) -> Result<usize> {
+        self.0
+            .get(axis)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds {
+                index: axis,
+                bound: self.0.len(),
+            })
+    }
+
+    /// Flat row-major offset of a multi-dimensional index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the index rank or any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize> {
+        if index.len() != self.0.len() {
+            return Err(TensorError::RankMismatch {
+                op: "offset",
+                expected: self.0.len(),
+                actual: index.len(),
+            });
+        }
+        let mut off = 0;
+        for ((&i, &d), s) in index.iter().zip(self.0.iter()).zip(self.strides()) {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound: d });
+            }
+            off += i * s;
+        }
+        Ok(off)
+    }
+
+    /// Whether two shapes are identical.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+        assert_eq!(Shape::scalar().strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn len_and_rank() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(Shape::scalar().len(), 1);
+        assert!(Shape::new(&[0, 3]).is_empty());
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::new(&[2, 3]);
+        assert_eq!(s.offset(&[0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2]).unwrap(), 5);
+        assert!(s.offset(&[2, 0]).is_err());
+        assert!(s.offset(&[0]).is_err());
+    }
+
+    #[test]
+    fn display_matches_debug_of_dims() {
+        assert_eq!(Shape::new(&[4, 2]).to_string(), "[4, 2]");
+    }
+}

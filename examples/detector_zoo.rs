@@ -1,0 +1,109 @@
+//! Side-by-side drift-detector comparison on one drifted batch — a compact
+//! tour of the Table 1 detector implementations and their trade-offs.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example detector_zoo
+//! ```
+
+use nazar::detect::{
+    eval, CsiLike, DriftDetector, EnergyScore, EntropyThreshold, KsTestDetector, Mahalanobis,
+    MspThreshold, Odin,
+};
+use nazar::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = SmallRng::seed_from_u64(0);
+
+    // Train a classifier on a synthetic task.
+    let space = nazar::data::ClassSpace::new(&mut rng, 48, 10, 0.7, 0.8);
+    let train: LabeledSet = space.sample_balanced(&mut rng, 80).into_iter().collect();
+    let val: LabeledSet = space.sample_balanced(&mut rng, 20).into_iter().collect();
+    let trained = train_base_model(&train, &val, ModelArch::resnet18_analog(48, 10), 11);
+    let mut model = trained.model;
+    println!(
+        "model validation accuracy: {:.1}%\n",
+        trained.val_accuracy * 100.0
+    );
+
+    // Clean and fog-corrupted evaluation batches.
+    let make = |corrupt: bool, rng: &mut SmallRng| -> Tensor {
+        let rows: Vec<Vec<f32>> = (0..160)
+            .map(|i| {
+                let s = space.sample(rng, i % 10);
+                if corrupt {
+                    Corruption::Fog.apply(&s.features, Severity::DEFAULT, rng)
+                } else {
+                    s.features
+                }
+            })
+            .collect();
+        Tensor::stack_rows(&rows).expect("uniform rows")
+    };
+    let clean = make(false, &mut rng);
+    let drifted = make(true, &mut rng);
+    let calib_clean = make(false, &mut rng);
+    let calib_drift = make(true, &mut rng);
+    let (train_x, train_y) = nazar::cloud::experiment::to_matrix(&train);
+
+    let mut detectors: Vec<Box<dyn DriftDetector>> = vec![
+        Box::new(MspThreshold::default()),
+        Box::new(EntropyThreshold::default()),
+        Box::new(EnergyScore::calibrated(
+            &mut model,
+            &calib_clean,
+            &calib_drift,
+        )),
+        Box::new(KsTestDetector::fit(&mut model, &calib_clean, 16, 0.05)),
+        Box::new(Odin::calibrate_epsilon(
+            &mut model,
+            &calib_clean,
+            &calib_drift,
+            10.0,
+            &[0.02, 0.05],
+        )),
+        Box::new({
+            let mut m = Mahalanobis::fit(&mut model, &train_x, &train_y, 10);
+            m.calibrate(&mut model, &calib_clean, &calib_drift);
+            m
+        }),
+        Box::new(CsiLike::fit(&mut model, &train_x, 128)),
+    ];
+
+    println!(
+        "{:<18} {:>6} {:>10} {:>8}  requirements",
+        "detector", "F1", "precision", "recall"
+    );
+    for det in &mut detectors {
+        let e = eval::evaluate_detector(det.as_mut(), &mut model, &clean, &drifted);
+        let caps = det.capabilities();
+        let mut needs = Vec::new();
+        if caps.needs_secondary_dataset {
+            needs.push("drift dataset");
+        }
+        if caps.needs_secondary_model {
+            needs.push("aux model");
+        }
+        if caps.needs_backprop {
+            needs.push("backprop");
+        }
+        if caps.needs_batching {
+            needs.push("batching");
+        }
+        println!(
+            "{:<18} {:>6.2} {:>10.2} {:>8.2}  {}",
+            det.name(),
+            e.f1(),
+            e.precision(),
+            e.recall(),
+            if needs.is_empty() {
+                "none (deployable on-device)".to_string()
+            } else {
+                needs.join(", ")
+            },
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Manual mode: the ML-ops team in the loop (§3.1 "Modes of operation").
+//!
+//! By default Nazar runs on autopilot. This example runs the same workload
+//! in manual mode: analysis raises alerts; a (simulated) operator reviews
+//! each alert's evidence, approves the convincing causes and dismisses the
+//! rest; only approved causes are adapted and deployed.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example manual_ops
+//! ```
+
+use nazar::prelude::*;
+
+fn main() {
+    let data_config = AnimalsConfig {
+        // 20+ classes keep the classifier's confidence in the MSP
+        // detector's operating regime (see DESIGN.md).
+        classes: 24,
+        dim: 48,
+        train_per_class: 60,
+        devices_per_location: 4,
+        ..AnimalsConfig::default()
+    };
+    let dataset = AnimalsDataset::generate(&data_config);
+    let trained = train_base_model(
+        &dataset.train,
+        &dataset.val,
+        ModelArch::resnet18_analog(data_config.dim, data_config.classes),
+        42,
+    );
+    println!(
+        "base model: {:.1}% validation accuracy\n",
+        trained.val_accuracy * 100.0
+    );
+
+    let config = CloudConfig {
+        windows: 6,
+        min_samples_per_cause: 16,
+        mode: OperationMode::Manual,
+        ..CloudConfig::default()
+    };
+    let mut orchestrator =
+        Orchestrator::new(trained.model, &dataset.streams, Strategy::Nazar, config);
+    let result = orchestrator.run(&dataset.streams);
+    println!(
+        "run finished: {} windows, {} drift-log rows, {} alerts raised\n",
+        result.per_window.len(),
+        result.log_rows,
+        orchestrator.pending_alerts().len(),
+    );
+
+    // The operator's review policy here: approve causes with risk ratio
+    // above 1.5 and at least 24 samples; dismiss the rest.
+    println!("operator inbox:");
+    let mut approved = Vec::new();
+    while let Some(alert) = orchestrator.pending_alerts().first() {
+        let convincing = alert.cause.stats.risk_ratio > 1.5 && alert.sample_count >= 24;
+        println!(
+            "  {} -> {}",
+            alert.summary(),
+            if convincing { "APPROVE" } else { "dismiss" }
+        );
+        if convincing {
+            approved.push(orchestrator.approve_alert(0));
+        } else {
+            orchestrator.dismiss_alert(0);
+        }
+    }
+    println!(
+        "\napproved and deployed {} causes: {:?}",
+        approved.len(),
+        approved.iter().map(RankedCause::label).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,68 @@
+//! Quickstart: train a model, stream drifting data, let Nazar adapt.
+//!
+//! Builds a small animal-classification workload with weather-driven drift,
+//! trains a base model, and runs the full monitor → analyze → adapt →
+//! deploy loop, printing what Nazar found and how accuracy evolved.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use nazar::prelude::*;
+
+fn main() {
+    // 1. A workload: seven locations, a fleet of devices, 112 simulated
+    //    days of inference requests with weather-driven corruption.
+    let data_config = AnimalsConfig {
+        classes: 12,
+        dim: 48,
+        train_per_class: 60,
+        devices_per_location: 4,
+        ..AnimalsConfig::default()
+    };
+    let dataset = AnimalsDataset::generate(&data_config);
+    println!(
+        "workload: {} training images, {} streamed inferences across {} locations",
+        dataset.train.len(),
+        dataset.stream_len(),
+        dataset.streams.len()
+    );
+
+    // 2. Train the base model (the paper's "trained from scratch until
+    //    convergence" step).
+    let system = NazarSystem::train(
+        &dataset.train,
+        &dataset.val,
+        ModelArch::resnet18_analog(data_config.dim, data_config.classes),
+        42,
+    )
+    .with_config(CloudConfig {
+        windows: 8,
+        min_samples_per_cause: 24,
+        ..CloudConfig::default()
+    });
+    println!(
+        "base model validation accuracy: {:.1}%",
+        system.val_accuracy() * 100.0
+    );
+
+    // 3. Run the end-to-end loop under each strategy.
+    for strategy in [Strategy::Nazar, Strategy::AdaptAll, Strategy::NoAdapt] {
+        let result = system.run(&dataset.streams, strategy);
+        println!(
+            "\n{:<10} accuracy (last 7 windows): all data {:.1}%, drifted {:.1}%",
+            strategy.name(),
+            result.mean_accuracy_last(7) * 100.0,
+            result.mean_drifted_accuracy_last(7) * 100.0,
+        );
+        if strategy == Strategy::Nazar {
+            for (w, causes) in result.causes_per_window.iter().enumerate() {
+                if !causes.is_empty() {
+                    println!("  window {}: adapted to {}", w + 1, causes.join(", "));
+                }
+            }
+        }
+    }
+}

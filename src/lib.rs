@@ -1,0 +1,7 @@
+//! Workspace-level umbrella crate for the Nazar reproduction.
+//!
+//! This crate exists to host cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`). All functionality lives in the
+//! [`nazar`] facade crate and the substrate crates it re-exports.
+
+pub use nazar;

@@ -1,0 +1,114 @@
+//! Property-based tests on cross-crate invariants.
+
+use nazar::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any corruption at any severity keeps inputs finite and inside the
+    /// pixel-range analog, so the whole inference path stays finite.
+    #[test]
+    fn corrupted_inputs_keep_inference_finite(
+        seed in 0u64..1000,
+        level in 0u8..=5,
+        family in 0usize..16,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let space = nazar::data::ClassSpace::new(&mut rng, 16, 4, 0.7, 0.5);
+        let mut model = MlpResNet::new(ModelArch::tiny(16, 4), &mut rng);
+        let sample = space.sample(&mut rng, 0);
+        let c = Corruption::ALL[family];
+        let corrupted = c.apply(&sample.features, Severity::new(level).unwrap(), &mut rng);
+        prop_assert!(corrupted.iter().all(|v| v.is_finite() && v.abs() <= 4.0 + 1e-5));
+        let x = Tensor::from_vec(corrupted, &[1, 16]).unwrap();
+        let p = model.predict_proba(&x);
+        prop_assert!(p.data().iter().all(|v| v.is_finite()));
+        let sum: f32 = p.data().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-3);
+    }
+
+    /// FIM metrics satisfy their defining inequalities on arbitrary logs.
+    #[test]
+    fn fim_metrics_are_consistent(rows in proptest::collection::vec((0usize..3, 0usize..4, any::<bool>()), 5..120)) {
+        let mut log = DriftLog::new(&["weather", "location"]);
+        let weathers = ["clear-day", "rain", "snow"];
+        let locations = ["a", "b", "c", "d"];
+        for (i, &(w, l, drift)) in rows.iter().enumerate() {
+            log.push(DriftLogEntry::new(
+                i as u64,
+                &[("weather", weathers[w]), ("location", locations[l])],
+                drift,
+            )).unwrap();
+        }
+        let table = nazar::analysis::mine(&log, &FimConfig::default());
+        for cause in &table.all {
+            let s = &cause.stats;
+            prop_assert!(s.occurrence >= 0.0 && s.occurrence <= 1.0);
+            prop_assert!(s.support >= 0.0 && s.support <= 1.0 + 1e-9);
+            prop_assert!(s.confidence >= 0.0 && s.confidence <= 1.0 + 1e-9);
+            // support >= occurrence because drifted rows <= all rows.
+            prop_assert!(s.support + 1e-9 >= s.occurrence);
+            prop_assert!(s.risk_ratio >= 0.0);
+            prop_assert!(s.drifted <= s.occurrences);
+        }
+        // Final causes are a subset of the scored table, in rank order.
+        let causes = analyze(&log, &FimConfig::default());
+        for c in &causes {
+            prop_assert!(table.all.iter().any(|t| t.attrs == c.attrs));
+        }
+    }
+
+    /// Model pools never exceed capacity and selection always returns a
+    /// version whose attributes match the input.
+    #[test]
+    fn pool_invariants(ops in proptest::collection::vec((0usize..3, 0usize..4, 0.0f64..9.0), 1..40)) {
+        let mut pool: ModelPool<usize> = ModelPool::new(Some(4));
+        let weathers = ["rain", "snow", "fog"];
+        let locations = ["a", "b", "c", "d"];
+        for (i, &(w, l, rr)) in ops.iter().enumerate() {
+            pool.deploy(
+                VersionMeta::new(
+                    vec![
+                        Attribute::new("weather", weathers[w]),
+                        Attribute::new("location", locations[l]),
+                    ],
+                    rr,
+                ),
+                i,
+            );
+            prop_assert!(pool.len() <= 4);
+        }
+        let input = [Attribute::new("weather", "rain"), Attribute::new("location", "a")];
+        if let Some(v) = pool.select(&input) {
+            prop_assert!(v.meta.attrs.iter().all(|a| input.contains(a)));
+        }
+    }
+
+    /// BN patches transfer predictions exactly between model clones.
+    #[test]
+    fn patch_transfer_is_exact(seed in 0u64..500) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut donor = MlpResNet::new(ModelArch::tiny(8, 3), &mut rng);
+        // Shift BN state by running training-mode batches.
+        let x = Tensor::randn(&mut rng, &[16, 8], 0.3, 1.2);
+        let _ = donor.logits(&x, nazar::nn::Mode::Train);
+        let patch = BnPatch::extract(&mut donor);
+
+        let mut receiver = MlpResNet::new(ModelArch::tiny(8, 3), &mut SmallRng::seed_from_u64(seed));
+        patch.apply(&mut receiver).unwrap();
+        let probe = Tensor::randn(&mut rng, &[4, 8], 0.0, 1.0);
+        let a = donor.logits(&probe, nazar::nn::Mode::Eval);
+        let b = receiver.logits(&probe, nazar::nn::Mode::Eval);
+        prop_assert!(a.approx_eq(&b, 1e-6));
+    }
+
+    /// The Fowlkes–Mallows score of a clustering against itself is 1.
+    #[test]
+    fn fms_identity(labels in proptest::collection::vec(0usize..6, 2..80)) {
+        let s = nazar::analysis::fowlkes_mallows(&labels, &labels);
+        prop_assert!((s - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,84 @@
+//! Serialization round trips across crate boundaries — the artifacts Nazar
+//! ships between cloud and devices (models, BN patches, drift-log
+//! snapshots, configurations) must survive serde.
+
+use nazar::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn model_round_trip_preserves_inference() {
+    let mut rng = SmallRng::seed_from_u64(1);
+    let mut model = MlpResNet::new(ModelArch::resnet18_analog(16, 5), &mut rng);
+    let x = Tensor::randn(&mut rng, &[3, 16], 0.0, 1.0);
+    let before = model.logits(&x, nazar::nn::Mode::Eval);
+    let json = serde_json::to_string(&model).expect("serialize model");
+    let mut back: MlpResNet = serde_json::from_str(&json).expect("deserialize model");
+    assert!(back
+        .logits(&x, nazar::nn::Mode::Eval)
+        .approx_eq(&before, 1e-6));
+}
+
+#[test]
+fn bn_patch_round_trip() {
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut model = MlpResNet::new(ModelArch::tiny(8, 3), &mut rng);
+    let patch = BnPatch::extract(&mut model);
+    let json = serde_json::to_string(&patch).expect("serialize patch");
+    let back: BnPatch = serde_json::from_str(&json).expect("deserialize patch");
+    assert_eq!(back, patch);
+}
+
+#[test]
+fn drift_log_snapshot_round_trip_preserves_analysis() {
+    let log = nazar::log::paper_example_log();
+    let json = serde_json::to_string(&log).expect("serialize log");
+    let back: DriftLog = serde_json::from_str(&json).expect("deserialize log");
+    let a = analyze(&log, &FimConfig::default());
+    let b = analyze(&back, &FimConfig::default());
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a[0].attrs, b[0].attrs);
+}
+
+#[test]
+fn configs_round_trip() {
+    let cloud = CloudConfig::default();
+    let json = serde_json::to_string(&cloud).expect("serialize config");
+    let back: CloudConfig = serde_json::from_str(&json).expect("deserialize config");
+    assert_eq!(back, cloud);
+
+    let animals = AnimalsConfig::default();
+    let json = serde_json::to_string(&animals).expect("serialize config");
+    let back: AnimalsConfig = serde_json::from_str(&json).expect("deserialize config");
+    assert_eq!(back, animals);
+}
+
+#[test]
+fn model_pool_round_trip() {
+    let mut pool: ModelPool<String> = ModelPool::new(Some(4));
+    pool.deploy(
+        VersionMeta::new(vec![Attribute::new("weather", "snow")], 3.0),
+        "patch-1".to_string(),
+    );
+    let json = serde_json::to_string(&pool).expect("serialize pool");
+    let back: ModelPool<String> = serde_json::from_str(&json).expect("deserialize pool");
+    assert_eq!(back.len(), 1);
+    assert_eq!(
+        back.select(&[Attribute::new("weather", "snow")])
+            .map(|v| v.payload.clone()),
+        Some("patch-1".to_string())
+    );
+}
+
+#[test]
+fn dataset_round_trip_is_stable() {
+    let cfg = AnimalsConfig {
+        devices_per_location: 1,
+        ..AnimalsConfig::small()
+    };
+    let dataset = AnimalsDataset::generate(&cfg);
+    let json = serde_json::to_string(&dataset).expect("serialize dataset");
+    let back: AnimalsDataset = serde_json::from_str(&json).expect("deserialize dataset");
+    assert_eq!(back.stream_len(), dataset.stream_len());
+    assert_eq!(back.train, dataset.train);
+}
