@@ -62,8 +62,7 @@ pub fn tent_adapt(model: &mut MlpResNet, data: &Tensor, config: &TentConfig) -> 
             if end - start < 2 {
                 break; // a trailing singleton batch has the trivial optimum
             }
-            let idx: Vec<usize> = (start..end).collect();
-            let batch = data.select_rows(&idx).expect("rows in range");
+            let batch = data.slice_rows(start, end).expect("rows in range");
 
             let tape = Tape::new();
             let xv = tape.leaf(batch);

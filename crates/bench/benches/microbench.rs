@@ -39,27 +39,61 @@ fn trained_world() -> (MlpResNet, Tensor) {
     (model, x)
 }
 
+/// The seed's textbook matmul loop, kept as the in-tree baseline the
+/// kernel speedups are measured against.
+fn naive_matmul(a: &Tensor, b: &Tensor) -> Vec<f32> {
+    let (n, k) = (a.nrows().unwrap(), a.ncols().unwrap());
+    let m = b.ncols().unwrap();
+    let (ad, bd) = (a.data(), b.data());
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        for p in 0..k {
+            let av = ad[i * k + p];
+            for j in 0..m {
+                out[i * m + j] += av * bd[p * m + j];
+            }
+        }
+    }
+    out
+}
+
 fn bench_tensor_ops(c: &mut Criterion) {
     let mut rng = SmallRng::seed_from_u64(1);
-    let a = Tensor::randn(&mut rng, &[128, 128], 0.0, 1.0);
-    let b = Tensor::randn(&mut rng, &[128, 128], 0.0, 1.0);
-    c.bench_function("tensor/matmul_128", |bencher| {
-        bencher.iter(|| black_box(a.matmul(&b).expect("shapes match")))
+    let a128 = Tensor::randn(&mut rng, &[128, 128], 0.0, 1.0);
+    let b128 = Tensor::randn(&mut rng, &[128, 128], 0.0, 1.0);
+    let a256 = Tensor::randn(&mut rng, &[256, 256], 0.0, 1.0);
+    let b256 = Tensor::randn(&mut rng, &[256, 256], 0.0, 1.0);
+    let wide = Tensor::randn(&mut rng, &[512, 512], 0.0, 1.0);
+    let mut group = c.benchmark_group("tensor_ops");
+    group.bench_function("matmul_128", |bencher| {
+        bencher.iter(|| black_box(a128.matmul(&b128).expect("shapes match")))
     });
-    c.bench_function("tensor/softmax_rows_128", |bencher| {
-        bencher.iter(|| black_box(a.softmax_rows().expect("matrix")))
+    group.bench_function("matmul_256", |bencher| {
+        bencher.iter(|| black_box(a256.matmul(&b256).expect("shapes match")))
     });
+    group.bench_function("matmul_256_naive_baseline", |bencher| {
+        bencher.iter(|| black_box(naive_matmul(&a256, &b256)))
+    });
+    group.bench_function("transpose_512", |bencher| {
+        bencher.iter(|| black_box(wide.transpose().expect("matrix")))
+    });
+    group.bench_function("softmax_rows_128", |bencher| {
+        bencher.iter(|| black_box(a128.softmax_rows().expect("matrix")))
+    });
+    group.finish();
 }
 
 fn bench_inference(c: &mut Criterion) {
     let (mut model, x) = trained_world();
-    c.bench_function("nn/forward_resnet50_analog_b160", |bencher| {
+    let mut group = c.benchmark_group("inference_latency");
+    group.bench_function("forward_resnet50_analog_b160", |bencher| {
         bencher.iter(|| black_box(model.logits(&x, Mode::Eval)))
     });
     let row = x.select_rows(&[0]).expect("row");
-    c.bench_function("nn/forward_resnet50_analog_b1", |bencher| {
+    group.bench_function("forward_resnet50_analog_b1", |bencher| {
         bencher.iter(|| black_box(model.logits(&row, Mode::Eval)))
     });
+    group.finish();
 }
 
 fn bench_detectors(c: &mut Criterion) {

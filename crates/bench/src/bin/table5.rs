@@ -172,6 +172,7 @@ fn main() {
     t.print();
 
     // Shape check: the full pipeline dominates (or ties) the ablations.
+    #[allow(clippy::needless_range_loop)] // col indexes two parallel rows
     for col in 1..=scenarios.len() {
         let fim_only: f64 = rows[0][col].parse().expect("numeric");
         let full: f64 = rows[2][col].parse().expect("numeric");

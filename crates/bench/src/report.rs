@@ -111,6 +111,6 @@ mod tests {
     #[test]
     fn pct_and_num_format() {
         assert_eq!(pct(0.615), "61.5%");
-        assert_eq!(num(3.14159, 2), "3.14");
+        assert_eq!(num(2.46801, 2), "2.47");
     }
 }

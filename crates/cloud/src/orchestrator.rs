@@ -7,9 +7,9 @@ use nazar_log::{DriftLog, DriftLogEntry};
 use nazar_nn::MlpResNet;
 use nazar_nn::{BnPatch, Layer};
 use nazar_registry::VersionMeta;
-use nazar_tensor::Tensor;
+use nazar_tensor::{parallel, Tensor};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
 
@@ -389,9 +389,15 @@ impl Orchestrator {
         let analysis_time = t0.elapsed();
 
         // By-cause adaptation on the sampled inputs matching each cause.
+        // Gating, covered-marking, alert-raising and seed-drawing run
+        // sequentially in cause order; the adaptation jobs themselves are
+        // independent (each starts from the immutable base model with its
+        // own pre-drawn RNG), so they fan out across scoped threads and
+        // deploy back in cause order.
         let t1 = Instant::now();
         let mut adapted = Vec::new();
         let mut covered = vec![false; uploads.len()];
+        let mut jobs: Vec<(RankedCause, Tensor, u64)> = Vec::new();
         for cause in causes {
             let matching: Vec<usize> = uploads
                 .iter()
@@ -421,8 +427,16 @@ impl Orchestrator {
                 continue;
             }
             let data = Tensor::stack_rows(&rows).expect("uniform feature width");
-            let (patch, _) =
-                adapt_to_patch(&self.base_model, &data, &self.config.method, &mut self.rng);
+            jobs.push((cause, data, self.rng.next_u64()));
+        }
+        let base_model = &self.base_model;
+        let method = &self.config.method;
+        let patches = parallel::par_map(jobs, |(cause, data, seed)| {
+            let mut job_rng = SmallRng::seed_from_u64(seed);
+            let (patch, _) = adapt_to_patch(base_model, &data, method, &mut job_rng);
+            (cause, patch)
+        });
+        for (cause, patch) in patches {
             let meta = VersionMeta::new(cause.attrs.clone(), cause.stats.risk_ratio);
             self.deploy(&meta, &patch);
             adapted.push(cause);

@@ -261,7 +261,7 @@ impl Corruption {
                 // One-sided (causal) smoothing — directional streaking.
                 let w = 1 + (6.0 * s).round() as usize;
                 let mut out = vec![0.0f32; d];
-                for i in 0..d {
+                for (i, o) in out.iter_mut().enumerate() {
                     let mut acc = 0.0;
                     let mut cnt = 0.0;
                     for k in 0..w {
@@ -270,7 +270,7 @@ impl Corruption {
                         acc += x[j] * weight;
                         cnt += weight;
                     }
-                    out[i] = acc / cnt;
+                    *o = acc / cnt;
                 }
                 out
             }

@@ -129,7 +129,7 @@ pub fn evaluate_detector(
     let mut decisions = detector.detect(model, drifted);
     let mut truth = vec![true; decisions.len()];
     let clean_decisions = detector.detect(model, clean);
-    truth.extend(std::iter::repeat(false).take(clean_decisions.len()));
+    truth.extend(std::iter::repeat_n(false, clean_decisions.len()));
     decisions.extend(clean_decisions);
     DetectionEval::from_decisions(&decisions, &truth)
 }

@@ -114,14 +114,14 @@ impl DriftDetector for KsTestDetector {
     fn scores(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
         self.batch_verdicts(model, x)
             .into_iter()
-            .flat_map(|(len, d, _)| std::iter::repeat(d as f32).take(len))
+            .flat_map(|(len, d, _)| std::iter::repeat_n(d as f32, len))
             .collect()
     }
 
     fn detect(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<bool> {
         self.batch_verdicts(model, x)
             .into_iter()
-            .flat_map(|(len, _, drift)| std::iter::repeat(drift).take(len))
+            .flat_map(|(len, _, drift)| std::iter::repeat_n(drift, len))
             .collect()
     }
 }

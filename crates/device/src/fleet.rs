@@ -1,11 +1,13 @@
 //! A fleet of devices replaying the generated streams.
 
-use crate::device::{Device, DeviceConfig, UploadedSample};
-use nazar_data::{Corruption, LocationStream};
+use crate::device::{Device, DeviceConfig, DeviceOutput, UploadedSample};
+use nazar_data::{Corruption, LocationStream, StreamItem};
 use nazar_log::DriftLogEntry;
 use nazar_nn::{BnPatch, MlpResNet};
 use nazar_registry::VersionMeta;
-use rand::Rng;
+use nazar_tensor::parallel;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -166,6 +168,12 @@ impl Fleet {
     }
 
     /// Replays window `w` of `windows` from all streams through the fleet.
+    ///
+    /// Devices are independent, so each device's items run on a scoped
+    /// worker thread (see [`nazar_tensor::parallel`]). Every participating
+    /// device draws a dedicated RNG seed from `rng` in sorted device order
+    /// and the per-device outputs are merged back in that same order, so
+    /// the result is independent of thread count and scheduling.
     pub fn process_window<R: Rng + ?Sized>(
         &mut self,
         streams: &[LocationStream],
@@ -173,44 +181,70 @@ impl Fleet {
         windows: usize,
         rng: &mut R,
     ) -> WindowOutput {
-        let mut out = WindowOutput::default();
+        // Group this window's items per device, keeping stream order.
+        let mut per_device: BTreeMap<&str, Vec<&StreamItem>> = BTreeMap::new();
         for stream in streams {
             for item in stream.window_items(w, windows) {
-                let device = self
-                    .devices
-                    .get_mut(&item.device_id)
-                    .expect("fleet built from these streams");
-                let result = device.process(item, rng);
-
-                out.stats.total += 1;
-                if result.correct {
-                    out.stats.correct += 1;
-                }
-                if result.entry.drift {
-                    out.stats.flagged += 1;
-                }
-                if let Some(cause) = item.true_cause {
-                    out.stats.drifted_total += 1;
-                    if result.correct {
-                        out.stats.drifted_correct += 1;
-                    }
-                    let e = out
-                        .stats
-                        .per_cause
-                        .entry(cause.name().to_string())
-                        .or_insert((0, 0));
-                    e.1 += 1;
-                    if result.correct {
-                        e.0 += 1;
-                    }
-                }
-                out.entries.push(result.entry);
-                if let Some(sample) = result.sample {
-                    out.uploads.push(sample);
-                }
+                per_device
+                    .entry(item.device_id.as_str())
+                    .or_default()
+                    .push(item);
             }
         }
+
+        let mut jobs = Vec::with_capacity(per_device.len());
+        for (id, device) in self.devices.iter_mut() {
+            if let Some(items) = per_device.remove(id.as_str()) {
+                jobs.push((device, items, SmallRng::seed_from_u64(rng.next_u64())));
+            }
+        }
+
+        let parts = parallel::par_map(jobs, |(device, items, mut device_rng)| {
+            let mut part = WindowOutput::default();
+            for item in items {
+                let result = device.process(item, &mut device_rng);
+                tally(&mut part, item, result);
+            }
+            part
+        });
+
+        let mut out = WindowOutput::default();
+        for part in parts {
+            out.stats.merge(&part.stats);
+            out.entries.extend(part.entries);
+            out.uploads.extend(part.uploads);
+        }
         out
+    }
+}
+
+/// Folds one processed item into a window output.
+fn tally(out: &mut WindowOutput, item: &StreamItem, result: DeviceOutput) {
+    out.stats.total += 1;
+    if result.correct {
+        out.stats.correct += 1;
+    }
+    if result.entry.drift {
+        out.stats.flagged += 1;
+    }
+    if let Some(cause) = item.true_cause {
+        out.stats.drifted_total += 1;
+        if result.correct {
+            out.stats.drifted_correct += 1;
+        }
+        let e = out
+            .stats
+            .per_cause
+            .entry(cause.name().to_string())
+            .or_insert((0, 0));
+        e.1 += 1;
+        if result.correct {
+            e.0 += 1;
+        }
+    }
+    out.entries.push(result.entry);
+    if let Some(sample) = result.sample {
+        out.uploads.push(sample);
     }
 }
 

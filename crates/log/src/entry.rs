@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn attributes_order_deterministically() {
-        let mut attrs = vec![
+        let mut attrs = [
             Attribute::new("b", "2"),
             Attribute::new("a", "9"),
             Attribute::new("a", "1"),

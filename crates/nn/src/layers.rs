@@ -191,17 +191,14 @@ impl Layer for BatchNorm1d {
             let var = centered.mul(&centered).mean_axis0();
             let std = var.add_scalar(self.eps).sqrt();
 
-            // Fold the observed batch statistics into the running estimates.
+            // Fold the observed batch statistics into the running estimates,
+            // in place: r = r * (1 - m) + batch * m per feature.
             let m = self.momentum;
-            self.running_mean = self
-                .running_mean
-                .scale(1.0 - m)
-                .add(&mean.value().scale(m))
+            self.running_mean
+                .zip_inplace(&mean.value(), |r, b| r * (1.0 - m) + b * m)
                 .expect("bn running mean width drifted");
-            self.running_var = self
-                .running_var
-                .scale(1.0 - m)
-                .add(&var.value().scale(m))
+            self.running_var
+                .zip_inplace(&var.value(), |r, b| r * (1.0 - m) + b * m)
                 .expect("bn running var width drifted");
 
             centered.div_row(&std)

@@ -72,26 +72,23 @@ impl Optimizer for Sgd {
             if !p.trainable() {
                 return;
             }
-            let Some(grad) = p.grad().cloned() else {
-                return;
-            };
-            let grad = if wd > 0.0 {
-                grad.add(&p.value().scale(wd)).expect("weight decay shape")
+            let (grad, val) = p.grad_and_value_mut();
+            let Some(grad) = grad else { return };
+            if momentum > 0.0 {
+                let v = velocity[i].get_or_insert_with(|| Tensor::zeros(grad.dims()));
+                for ((v_i, val_i), &g_i) in
+                    v.data_mut().iter_mut().zip(val.data_mut()).zip(grad.data())
+                {
+                    let ge = if wd > 0.0 { g_i + wd * *val_i } else { g_i };
+                    *v_i = *v_i * momentum + ge;
+                    *val_i -= *v_i * lr;
+                }
             } else {
-                grad
-            };
-            let update = if momentum > 0.0 {
-                let v = match velocity[i].take() {
-                    Some(v) => v.scale(momentum).add(&grad).expect("momentum shape"),
-                    None => grad,
-                };
-                velocity[i] = Some(v.clone());
-                v
-            } else {
-                grad
-            };
-            let new_value = p.value().sub(&update.scale(lr)).expect("sgd update shape");
-            *p.value_mut() = new_value;
+                for (val_i, &g_i) in val.data_mut().iter_mut().zip(grad.data()) {
+                    let ge = if wd > 0.0 { g_i + wd * *val_i } else { g_i };
+                    *val_i -= ge * lr;
+                }
+            }
         });
     }
 
@@ -149,29 +146,23 @@ impl Optimizer for Adam {
             if !p.trainable() {
                 return;
             }
-            let Some(grad) = p.grad().cloned() else {
-                return;
-            };
-            let m = match ms[i].take() {
-                Some(m) => m
-                    .scale(b1)
-                    .add(&grad.scale(1.0 - b1))
-                    .expect("adam m shape"),
-                None => grad.scale(1.0 - b1),
-            };
-            let g2 = grad.mul(&grad).expect("adam g^2 shape");
-            let v = match vs[i].take() {
-                Some(v) => v.scale(b2).add(&g2.scale(1.0 - b2)).expect("adam v shape"),
-                None => g2.scale(1.0 - b2),
-            };
-            let m_hat = m.scale(1.0 / bias1);
-            let v_hat = v.scale(1.0 / bias2);
-            let denom = v_hat.map(|x| x.sqrt() + eps);
-            let update = m_hat.div(&denom).expect("adam update shape").scale(lr);
-            let new_value = p.value().sub(&update).expect("adam step shape");
-            *p.value_mut() = new_value;
-            ms[i] = Some(m);
-            vs[i] = Some(v);
+            let (grad, val) = p.grad_and_value_mut();
+            let Some(grad) = grad else { return };
+            let m = ms[i].get_or_insert_with(|| Tensor::zeros(grad.dims()));
+            let v = vs[i].get_or_insert_with(|| Tensor::zeros(grad.dims()));
+            for (((m_i, v_i), val_i), &g_i) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut())
+                .zip(val.data_mut())
+                .zip(grad.data())
+            {
+                *m_i = *m_i * b1 + g_i * (1.0 - b1);
+                *v_i = *v_i * b2 + (g_i * g_i) * (1.0 - b2);
+                let m_hat = *m_i * (1.0 / bias1);
+                let v_hat = *v_i * (1.0 / bias2);
+                *val_i -= m_hat / (v_hat.sqrt() + eps) * lr;
+            }
         });
     }
 

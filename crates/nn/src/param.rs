@@ -19,8 +19,11 @@ pub struct Param {
     #[serde(skip)]
     grad: Option<Tensor>,
     trainable: bool,
+    // The tape node id from the most recent `bind`, not the `Var` itself:
+    // a plain index keeps `Param` (and everything holding one) `Send`, so
+    // fleets and the orchestrator can run models on scoped worker threads.
     #[serde(skip)]
-    last_var: Option<Var>,
+    last_id: Option<usize>,
 }
 
 impl Param {
@@ -30,7 +33,7 @@ impl Param {
             value,
             grad: None,
             trainable: true,
-            last_var: None,
+            last_id: None,
         }
     }
 
@@ -59,26 +62,36 @@ impl Param {
         self.trainable = trainable;
     }
 
-    /// Registers the value as a leaf on `tape` and remembers the handle.
+    /// Registers the value as a leaf on `tape` and remembers its node id.
     pub fn bind(&mut self, tape: &Tape) -> Var {
         let var = tape.leaf(self.value.clone());
-        self.last_var = Some(var.clone());
+        self.last_id = Some(var.id());
         var
     }
 
     /// Accumulates this parameter's gradient from a completed backward pass.
     ///
-    /// No-op if the parameter is frozen or did not participate.
+    /// No-op if the parameter is frozen or did not participate. Accumulation
+    /// is in place: the first collect clones the tape gradient, subsequent
+    /// collects add into the existing buffer.
     pub fn collect_grad(&mut self, grads: &Gradients) {
         if !self.trainable {
             return;
         }
-        let Some(var) = &self.last_var else { return };
-        let Some(g) = grads.get(var) else { return };
-        self.grad = Some(match self.grad.take() {
-            Some(acc) => acc.add(g).expect("param gradient shape drifted"),
-            None => g.clone(),
-        });
+        let Some(id) = self.last_id else { return };
+        let Some(g) = grads.by_id(id) else { return };
+        match &mut self.grad {
+            Some(acc) => acc.add_assign(g).expect("param gradient shape drifted"),
+            empty => *empty = Some(g.clone()),
+        }
+    }
+
+    /// Split borrow of the accumulated gradient and the mutable value.
+    ///
+    /// Optimizers use this to apply in-place update rules without cloning
+    /// the gradient first.
+    pub fn grad_and_value_mut(&mut self) -> (Option<&Tensor>, &mut Tensor) {
+        (self.grad.as_ref(), &mut self.value)
     }
 
     /// Clears the accumulated gradient.

@@ -38,7 +38,7 @@ impl LrSchedule {
         match *self {
             LrSchedule::Constant => 1.0,
             LrSchedule::StepDecay { every, gamma } => {
-                let steps = if every == 0 { 0 } else { epoch / every };
+                let steps = epoch.checked_div(every).unwrap_or(0);
                 gamma.powi(steps as i32)
             }
             LrSchedule::Cosine {

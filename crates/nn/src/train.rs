@@ -130,8 +130,7 @@ pub fn evaluate(model: &mut MlpResNet, xs: &Tensor, ys: &[usize]) -> EvalReport 
     let mut i = 0;
     while i < n {
         let end = (i + chunk_size).min(n);
-        let idx: Vec<usize> = (i..end).collect();
-        let bx = xs.select_rows(&idx).expect("valid rows");
+        let bx = xs.slice_rows(i, end).expect("valid rows");
         let preds = model.predict(&bx);
         for (j, &pred) in preds.iter().enumerate() {
             let truth = ys[i + j];

@@ -8,6 +8,7 @@
 //! Leaves also receive gradients, which is what makes input-gradient
 //! detectors (ODIN, Generalized-ODIN) implementable downstream.
 
+use crate::kernels;
 use crate::tensor::Tensor;
 use std::cell::RefCell;
 use std::fmt;
@@ -129,7 +130,17 @@ impl Gradients {
     /// The gradient of the backward root with respect to `var`, if `var`
     /// participated in the computation.
     pub fn get(&self, var: &Var) -> Option<&Tensor> {
-        self.grads.get(var.id).and_then(|g| g.as_ref())
+        self.by_id(var.id)
+    }
+
+    /// The gradient for the node with the given tape id.
+    ///
+    /// Parameters that must remain `Send` (e.g. model weights shared across
+    /// scoped threads) record the plain [`Var::id`] instead of holding a
+    /// `Var` (whose tape pointer is an `Rc`), and look their gradient up
+    /// here after the backward pass.
+    pub fn by_id(&self, id: usize) -> Option<&Tensor> {
+        self.grads.get(id).and_then(|g| g.as_ref())
     }
 }
 
@@ -339,6 +350,12 @@ impl Var {
     /// Returns the gradients of `self` with respect to every node that
     /// contributed to it, including leaves.
     ///
+    /// The sweep is written over the in-place [`kernels`]: each node's
+    /// contribution is accumulated directly into its parents' gradient
+    /// buffers (allocated once per participating node), and the matmul
+    /// backward uses the fused `A·gᵀ`-style kernels instead of
+    /// materializing transposed operands.
+    ///
     /// # Panics
     ///
     /// Panics if `self` does not hold exactly one element.
@@ -350,144 +367,172 @@ impl Var {
         grads[self.id] = Some(Tensor::full(root.dims(), 1.0));
 
         for id in (0..=self.id).rev() {
-            let Some(g) = grads[id].clone() else { continue };
+            // Parents always have lower ids, so the split borrows this
+            // node's gradient immutably while parents stay writable.
+            let (parents, rest) = grads.split_at_mut(id);
+            let Some(g) = rest[0].as_ref() else { continue };
             let node = &inner.nodes[id];
             match &node.op {
                 Op::Leaf => {}
                 Op::Add(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g);
+                    acc_copy(parents, *a, g);
+                    acc_copy(parents, *b, g);
                 }
                 Op::AddRow(a, b) => {
-                    let gb = g.sum_axis0().expect("add_row grad");
-                    accumulate(&mut grads, *a, g);
-                    accumulate(&mut grads, *b, gb);
+                    let (n, d) = row_dims(g);
+                    let gb = slot(parents, *b, &inner.nodes[*b].value);
+                    kernels::sum_axis0_assign(g.data(), n, d, gb.data_mut());
+                    acc_copy(parents, *a, g);
                 }
                 Op::SubRow(a, b) => {
-                    let gb = g.sum_axis0().expect("sub_row grad").scale(-1.0);
-                    accumulate(&mut grads, *a, g);
-                    accumulate(&mut grads, *b, gb);
+                    let (_, d) = row_dims(g);
+                    let gb = slot(parents, *b, &inner.nodes[*b].value);
+                    for row in g.data().chunks_exact(d) {
+                        for (o, &x) in gb.data_mut().iter_mut().zip(row) {
+                            *o -= x;
+                        }
+                    }
+                    acc_copy(parents, *a, g);
                 }
                 Op::Sub(a, b) => {
-                    accumulate(&mut grads, *a, g.clone());
-                    accumulate(&mut grads, *b, g.scale(-1.0));
+                    acc_copy(parents, *a, g);
+                    acc_axpy(parents, *b, &inner.nodes[*b].value, -1.0, g);
                 }
                 Op::Mul(a, b) => {
-                    let (av, bv) = (inner.nodes[*a].value.clone(), inner.nodes[*b].value.clone());
-                    accumulate(&mut grads, *a, g.mul(&bv).expect("mul grad"));
-                    accumulate(&mut grads, *b, g.mul(&av).expect("mul grad"));
+                    let (av, bv) = (&inner.nodes[*a].value, &inner.nodes[*b].value);
+                    let ga = slot(parents, *a, av);
+                    kernels::fma_assign(ga.data_mut(), g.data(), bv.data());
+                    let gb = slot(parents, *b, bv);
+                    kernels::fma_assign(gb.data_mut(), g.data(), av.data());
                 }
                 Op::MulRow(a, b) => {
-                    let (av, bv) = (inner.nodes[*a].value.clone(), inner.nodes[*b].value.clone());
-                    accumulate(&mut grads, *a, g.mul_row(&bv).expect("mul_row grad"));
-                    let gb = g
-                        .mul(&av)
-                        .expect("mul_row grad")
-                        .sum_axis0()
-                        .expect("mul_row grad");
-                    accumulate(&mut grads, *b, gb);
+                    let (av, bv) = (&inner.nodes[*a].value, &inner.nodes[*b].value);
+                    let (_, d) = row_dims(g);
+                    let ga = slot(parents, *a, av);
+                    for (orow, grow) in ga
+                        .data_mut()
+                        .chunks_exact_mut(d)
+                        .zip(g.data().chunks_exact(d))
+                    {
+                        kernels::fma_assign(orow, grow, bv.data());
+                    }
+                    let gb = slot(parents, *b, bv);
+                    for (grow, arow) in g.data().chunks_exact(d).zip(av.data().chunks_exact(d)) {
+                        kernels::fma_assign(gb.data_mut(), grow, arow);
+                    }
                 }
                 Op::DivRow(a, b) => {
-                    let (av, bv) = (inner.nodes[*a].value.clone(), inner.nodes[*b].value.clone());
-                    accumulate(&mut grads, *a, g.div_row(&bv).expect("div_row grad"));
+                    let (av, bv) = (&inner.nodes[*a].value, &inner.nodes[*b].value);
+                    let (_, d) = row_dims(g);
+                    let ga = slot(parents, *a, av);
+                    for (orow, grow) in ga
+                        .data_mut()
+                        .chunks_exact_mut(d)
+                        .zip(g.data().chunks_exact(d))
+                    {
+                        for ((o, &gv), &b) in orow.iter_mut().zip(grow).zip(bv.data()) {
+                            *o += gv / b;
+                        }
+                    }
                     // d/db (a/b) = -a / b^2, summed over the broadcast rows.
-                    let b_sq = bv.mul(&bv).expect("div_row grad");
-                    let gb = g
-                        .mul(&av)
-                        .expect("div_row grad")
-                        .div_row(&b_sq)
-                        .expect("div_row grad")
-                        .sum_axis0()
-                        .expect("div_row grad")
-                        .scale(-1.0);
-                    accumulate(&mut grads, *b, gb);
+                    let gb = slot(parents, *b, bv);
+                    for (grow, arow) in g.data().chunks_exact(d).zip(av.data().chunks_exact(d)) {
+                        for (((o, &gv), &a), &b) in
+                            gb.data_mut().iter_mut().zip(grow).zip(arow).zip(bv.data())
+                        {
+                            *o -= gv * a / (b * b);
+                        }
+                    }
                 }
-                Op::Neg(a) => accumulate(&mut grads, *a, g.scale(-1.0)),
-                Op::Scale(a, c) => accumulate(&mut grads, *a, g.scale(*c)),
-                Op::AddScalar(a, _) => accumulate(&mut grads, *a, g),
+                Op::Neg(a) => acc_axpy(parents, *a, &inner.nodes[*a].value, -1.0, g),
+                Op::Scale(a, c) => acc_axpy(parents, *a, &inner.nodes[*a].value, *c, g),
+                Op::AddScalar(a, _) => acc_copy(parents, *a, g),
                 Op::Matmul(a, b) => {
-                    let (av, bv) = (inner.nodes[*a].value.clone(), inner.nodes[*b].value.clone());
-                    let ga = g
-                        .matmul(&bv.transpose().expect("matmul grad"))
-                        .expect("matmul grad");
-                    let gb = av
-                        .transpose()
-                        .expect("matmul grad")
-                        .matmul(&g)
-                        .expect("matmul grad");
-                    accumulate(&mut grads, *a, ga);
-                    accumulate(&mut grads, *b, gb);
+                    let (av, bv) = (&inner.nodes[*a].value, &inner.nodes[*b].value);
+                    let (n, k) = row_dims(av);
+                    let (_, m) = row_dims(bv);
+                    // ga += g · bᵀ and gb += aᵀ · g, fused into the
+                    // accumulators without materializing a transpose.
+                    let ga = slot(parents, *a, av);
+                    kernels::matmul_a_bt_into(g.data(), bv.data(), n, m, k, ga.data_mut());
+                    let gb = slot(parents, *b, bv);
+                    kernels::matmul_at_b_into(av.data(), g.data(), n, k, m, gb.data_mut());
                 }
                 Op::Relu(a) => {
-                    let mask = inner.nodes[*a]
-                        .value
-                        .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
-                    accumulate(&mut grads, *a, g.mul(&mask).expect("relu grad"));
+                    let av = &inner.nodes[*a].value;
+                    let ga = slot(parents, *a, av);
+                    for ((o, &gv), &x) in ga.data_mut().iter_mut().zip(g.data()).zip(av.data()) {
+                        if x > 0.0 {
+                            *o += gv;
+                        }
+                    }
                 }
                 Op::Exp(a) => {
-                    accumulate(&mut grads, *a, g.mul(&node.value).expect("exp grad"));
+                    let ga = slot(parents, *a, &inner.nodes[*a].value);
+                    kernels::fma_assign(ga.data_mut(), g.data(), node.value.data());
                 }
                 Op::Ln(a) => {
-                    let av = inner.nodes[*a].value.clone();
-                    accumulate(&mut grads, *a, g.div(&av).expect("ln grad"));
+                    let av = &inner.nodes[*a].value;
+                    let ga = slot(parents, *a, av);
+                    for ((o, &gv), &x) in ga.data_mut().iter_mut().zip(g.data()).zip(av.data()) {
+                        *o += gv / x;
+                    }
                 }
                 Op::Sqrt(a) => {
-                    let half_inv = node.value.map(|y| 0.5 / y);
-                    accumulate(&mut grads, *a, g.mul(&half_inv).expect("sqrt grad"));
+                    let ga = slot(parents, *a, &inner.nodes[*a].value);
+                    for ((o, &gv), &y) in ga
+                        .data_mut()
+                        .iter_mut()
+                        .zip(g.data())
+                        .zip(node.value.data())
+                    {
+                        *o += gv * (0.5 / y);
+                    }
                 }
                 Op::LogSoftmax(a) => {
                     // d logsoftmax: g - softmax(a) * rowsum(g)
-                    let p = node.value.map(f32::exp);
-                    let row_sums = g.sum_axis1().expect("log_softmax grad");
-                    let (n, c) = (
-                        p.nrows().expect("log_softmax grad"),
-                        p.ncols().expect("log_softmax grad"),
-                    );
-                    let mut out = Vec::with_capacity(n * c);
-                    for i in 0..n {
-                        let s = row_sums.data()[i];
-                        for j in 0..c {
-                            out.push(g.data()[i * c + j] - p.data()[i * c + j] * s);
+                    let (_, c) = row_dims(&node.value);
+                    let ga = slot(parents, *a, &inner.nodes[*a].value);
+                    for ((orow, grow), lprow) in ga
+                        .data_mut()
+                        .chunks_exact_mut(c)
+                        .zip(g.data().chunks_exact(c))
+                        .zip(node.value.data().chunks_exact(c))
+                    {
+                        let s: f32 = grow.iter().sum();
+                        for ((o, &gv), &lp) in orow.iter_mut().zip(grow).zip(lprow) {
+                            *o += gv - lp.exp() * s;
                         }
                     }
-                    accumulate(
-                        &mut grads,
-                        *a,
-                        Tensor::from_vec(out, &[n, c]).expect("log_softmax grad"),
-                    );
                 }
                 Op::MeanAxis0(a) => {
                     let av = &inner.nodes[*a].value;
-                    let n = av.nrows().expect("mean_axis0 grad");
-                    let scaled = g.scale(1.0 / n as f32);
-                    let ga = Tensor::zeros(av.dims())
-                        .add_row(&scaled)
-                        .expect("mean_axis0 grad");
-                    accumulate(&mut grads, *a, ga);
+                    let (n, d) = row_dims(av);
+                    let inv_n = 1.0 / n as f32;
+                    let ga = slot(parents, *a, av);
+                    for orow in ga.data_mut().chunks_exact_mut(d) {
+                        kernels::axpy_into(inv_n, g.data(), orow);
+                    }
                 }
                 Op::SumAll(a) => {
                     let c = g.data()[0];
-                    let av = &inner.nodes[*a].value;
-                    accumulate(&mut grads, *a, Tensor::full(av.dims(), c));
+                    let ga = slot(parents, *a, &inner.nodes[*a].value);
+                    ga.map_inplace(|x| x + c);
                 }
                 Op::MeanAll(a) => {
                     let av = &inner.nodes[*a].value;
                     let c = g.data()[0] / av.len() as f32;
-                    accumulate(&mut grads, *a, Tensor::full(av.dims(), c));
+                    let ga = slot(parents, *a, av);
+                    ga.map_inplace(|x| x + c);
                 }
                 Op::NllLoss(a, targets) => {
                     let av = &inner.nodes[*a].value;
-                    let (n, c) = (av.nrows().expect("nll grad"), av.ncols().expect("nll grad"));
+                    let (n, c) = row_dims(av);
                     let coef = -g.data()[0] / n as f32;
-                    let mut out = vec![0.0f32; n * c];
+                    let ga = slot(parents, *a, av);
                     for (i, &t) in targets.iter().enumerate() {
-                        out[i * c + t] = coef;
+                        ga.data_mut()[i * c + t] += coef;
                     }
-                    accumulate(
-                        &mut grads,
-                        *a,
-                        Tensor::from_vec(out, &[n, c]).expect("nll grad"),
-                    );
                 }
             }
         }
@@ -495,13 +540,34 @@ impl Var {
     }
 }
 
-fn accumulate(grads: &mut [Option<Tensor>], id: usize, g: Tensor) {
-    grads[id] = Some(match grads[id].take() {
-        Some(existing) => existing
-            .add(&g)
+/// Rows and columns of a rank-2 node value (backward-pass internal).
+fn row_dims(t: &Tensor) -> (usize, usize) {
+    (
+        t.nrows().expect("backward: rank-2 value"),
+        t.ncols().expect("backward: rank-2 value"),
+    )
+}
+
+/// The gradient accumulator for node `id`, created zeroed on first use.
+fn slot<'g>(grads: &'g mut [Option<Tensor>], id: usize, value: &Tensor) -> &'g mut Tensor {
+    grads[id].get_or_insert_with(|| Tensor::zeros(value.dims()))
+}
+
+/// `grads[id] += g`.
+fn acc_copy(grads: &mut [Option<Tensor>], id: usize, g: &Tensor) {
+    match &mut grads[id] {
+        Some(acc) => acc
+            .add_assign(g)
             .expect("gradient accumulation shape mismatch"),
-        None => g,
-    });
+        empty => *empty = Some(g.clone()),
+    }
+}
+
+/// `grads[id] += alpha * g`.
+fn acc_axpy(grads: &mut [Option<Tensor>], id: usize, value: &Tensor, alpha: f32, g: &Tensor) {
+    slot(grads, id, value)
+        .axpy_assign(alpha, g)
+        .expect("gradient accumulation shape mismatch");
 }
 
 #[cfg(test)]

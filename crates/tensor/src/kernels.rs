@@ -1,0 +1,538 @@
+//! Allocation-free tensor kernels over raw `f32` slices.
+//!
+//! Every kernel writes into a caller-provided output (`*_into`) or mutates
+//! in place (`*_assign`), so hot loops — the autograd backward sweep, the
+//! optimizers, TENT adaptation — can recycle buffers through a
+//! [`Workspace`](crate::Workspace) instead of allocating per operation.
+//! The allocating [`Tensor`](crate::Tensor) methods are thin wrappers over
+//! these kernels.
+//!
+//! # Determinism
+//!
+//! [`matmul_into`] tiles and packs its right-hand operand for cache
+//! locality and splits output rows across threads, but accumulates every
+//! output element in the same `p = 0..k` order as the textbook
+//! `i, p, j` triple loop. Its results are therefore bitwise identical to
+//! the naive loop regardless of tiling or thread count. The same holds
+//! for [`matmul_at_b_into`] / [`matmul_a_bt_into`] against their
+//! transpose-then-multiply references, and for [`sum_axis0_into`] against
+//! a row-ordered accumulation.
+
+use crate::parallel::{num_threads, par_row_bands};
+use crate::workspace::Workspace;
+
+/// Column-tile width of the packed-B matmul micro-kernel.
+const TILE_COLS: usize = 16;
+
+/// Rows per matmul register block. Together with [`TILE_COLS`] this gives
+/// the micro-kernel `4 x 16 = 64` independent accumulator lanes, enough
+/// to keep the FMA pipeline full — a single row's tile is one dependency
+/// chain and stalls on floating-point add latency.
+const MICRO_ROWS: usize = 4;
+
+/// Square tile edge of the cache-blocked transpose.
+const TRANSPOSE_TILE: usize = 32;
+
+/// Minimum multiply-add count before the matmul goes multi-threaded;
+/// below this the scoped-thread spawn overhead dominates.
+const PAR_MIN_MULADDS: usize = 1 << 18;
+
+/// `out = a · b` for row-major `a: [n, k]`, `b: [k, m]`, `out: [n, m]`.
+///
+/// Packs `b` into `TILE_COLS`-wide column panels (scratch from `ws`) and
+/// row-blocks the output across up to [`num_threads`] scoped threads.
+/// See the module docs for the determinism guarantee.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn matmul_into(
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    out: &mut [f32],
+    ws: &mut Workspace,
+) {
+    let threads = if n * k * m >= PAR_MIN_MULADDS {
+        num_threads()
+    } else {
+        1
+    };
+    matmul_into_threads(a, b, n, k, m, out, ws, threads);
+}
+
+/// [`matmul_into`] with an explicit thread count (primarily for the
+/// determinism tests; `threads <= 1` forces the sequential path).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_into_threads(
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    out: &mut [f32],
+    ws: &mut Workspace,
+    threads: usize,
+) {
+    assert_eq!(a.len(), n * k, "matmul lhs length");
+    assert_eq!(b.len(), k * m, "matmul rhs length");
+    assert_eq!(out.len(), n * m, "matmul out length");
+    if n == 0 || m == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+
+    // Pack B into column panels: panel for columns [j0, j0+w) is stored
+    // p-major at offset j0 * k, so the micro-kernel reads it sequentially.
+    let mut packed = ws.take_filled_later(k * m);
+    let mut j0 = 0;
+    while j0 < m {
+        let w = (m - j0).min(TILE_COLS);
+        let panel = &mut packed[j0 * k..j0 * k + w * k];
+        for p in 0..k {
+            panel[p * w..(p + 1) * w].copy_from_slice(&b[p * m + j0..p * m + j0 + w]);
+        }
+        j0 += w;
+    }
+
+    let packed_ref: &[f32] = &packed;
+    par_row_bands(out, n, m, threads, |first_row, band| {
+        let band_rows = band.len() / m;
+        let mut r = 0;
+        // Register-blocked main loop: MICRO_ROWS rows per iteration.
+        while r + MICRO_ROWS <= band_rows {
+            let i = first_row + r;
+            let out_block = &mut band[r * m..(r + MICRO_ROWS) * m];
+            let a0 = &a[i * k..(i + 1) * k];
+            let a1 = &a[(i + 1) * k..(i + 2) * k];
+            let a2 = &a[(i + 2) * k..(i + 3) * k];
+            let a3 = &a[(i + 3) * k..(i + 4) * k];
+            let mut j0 = 0;
+            while j0 < m {
+                let w = (m - j0).min(TILE_COLS);
+                let panel = &packed_ref[j0 * k..j0 * k + w * k];
+                if w == TILE_COLS {
+                    let mut acc = [[0.0f32; TILE_COLS]; MICRO_ROWS];
+                    for ((((bb, &p0), &p1), &p2), &p3) in panel
+                        .chunks_exact(TILE_COLS)
+                        .zip(a0)
+                        .zip(a1)
+                        .zip(a2)
+                        .zip(a3)
+                    {
+                        let bb: &[f32; TILE_COLS] = bb.try_into().expect("exact chunk");
+                        for t in 0..TILE_COLS {
+                            let bv = bb[t];
+                            acc[0][t] += p0 * bv;
+                            acc[1][t] += p1 * bv;
+                            acc[2][t] += p2 * bv;
+                            acc[3][t] += p3 * bv;
+                        }
+                    }
+                    for (q, accq) in acc.iter().enumerate() {
+                        out_block[q * m + j0..q * m + j0 + TILE_COLS].copy_from_slice(accq);
+                    }
+                } else {
+                    for q in 0..MICRO_ROWS {
+                        let a_row = &a[(i + q) * k..(i + q + 1) * k];
+                        let tile = &mut out_block[q * m + j0..q * m + j0 + w];
+                        tile.fill(0.0);
+                        for (p, &ap) in a_row.iter().enumerate() {
+                            let brow = &panel[p * w..(p + 1) * w];
+                            for (ac, &bv) in tile.iter_mut().zip(brow) {
+                                *ac += ap * bv;
+                            }
+                        }
+                    }
+                }
+                j0 += w;
+            }
+            r += MICRO_ROWS;
+        }
+        // Remaining 1..MICRO_ROWS rows, one at a time.
+        for (rr, out_row) in band[r * m..].chunks_mut(m).enumerate() {
+            let row = first_row + r + rr;
+            let a_row = &a[row * k..(row + 1) * k];
+            let mut j0 = 0;
+            while j0 < m {
+                let w = (m - j0).min(TILE_COLS);
+                let panel = &packed_ref[j0 * k..j0 * k + w * k];
+                if w == TILE_COLS {
+                    let mut acc = [0.0f32; TILE_COLS];
+                    for (bb, &ap) in panel.chunks_exact(TILE_COLS).zip(a_row) {
+                        let bb: &[f32; TILE_COLS] = bb.try_into().expect("exact chunk");
+                        for (ac, &bv) in acc.iter_mut().zip(bb) {
+                            *ac += ap * bv;
+                        }
+                    }
+                    out_row[j0..j0 + TILE_COLS].copy_from_slice(&acc);
+                } else {
+                    let tile = &mut out_row[j0..j0 + w];
+                    tile.fill(0.0);
+                    for (p, &ap) in a_row.iter().enumerate() {
+                        let brow = &panel[p * w..(p + 1) * w];
+                        for (ac, &bv) in tile.iter_mut().zip(brow) {
+                            *ac += ap * bv;
+                        }
+                    }
+                }
+                j0 += w;
+            }
+        }
+    });
+    ws.recycle(packed);
+}
+
+/// `out += aᵀ · g` for row-major `a: [n, k]`, `g: [n, m]`, `out: [k, m]`.
+///
+/// Equivalent to `a.transpose().matmul(g)` without materializing the
+/// transpose; each output element accumulates over `i = 0..n` in order,
+/// matching the reference product. Accumulates into `out`, so zero it
+/// first for a plain product — the autograd sweep exploits the `+=` to
+/// fuse gradient accumulation.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn matmul_at_b_into(a: &[f32], g: &[f32], n: usize, k: usize, m: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), n * k, "matmul_at_b lhs length");
+    assert_eq!(g.len(), n * m, "matmul_at_b rhs length");
+    assert_eq!(out.len(), k * m, "matmul_at_b out length");
+    for i in 0..n {
+        let a_row = &a[i * k..(i + 1) * k];
+        let g_row = &g[i * m..(i + 1) * m];
+        for (p, &ap) in a_row.iter().enumerate() {
+            let out_row = &mut out[p * m..(p + 1) * m];
+            for (o, &gv) in out_row.iter_mut().zip(g_row) {
+                *o += ap * gv;
+            }
+        }
+    }
+}
+
+/// `out += g · bᵀ` for row-major `g: [n, m]`, `b: [k, m]`, `out: [n, k]`.
+///
+/// Equivalent to `g.matmul(&b.transpose())` without materializing the
+/// transpose: each output element is a dot product over `j = 0..m` in
+/// order. Accumulates into `out` (zero it first for a plain product).
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+pub fn matmul_a_bt_into(g: &[f32], b: &[f32], n: usize, m: usize, k: usize, out: &mut [f32]) {
+    assert_eq!(g.len(), n * m, "matmul_a_bt lhs length");
+    assert_eq!(b.len(), k * m, "matmul_a_bt rhs length");
+    assert_eq!(out.len(), n * k, "matmul_a_bt out length");
+    for i in 0..n {
+        let g_row = &g[i * m..(i + 1) * m];
+        let out_row = &mut out[i * k..(i + 1) * k];
+        for (p, o) in out_row.iter_mut().enumerate() {
+            let b_row = &b[p * m..(p + 1) * m];
+            let mut acc = 0.0f32;
+            for (&gv, &bv) in g_row.iter().zip(b_row) {
+                acc += gv * bv;
+            }
+            *o += acc;
+        }
+    }
+}
+
+/// `dst = srcᵀ` for row-major `src: [n, m]`, `dst: [m, n]`, using
+/// `TRANSPOSE_TILE`-square cache blocks so both matrices are walked in
+/// cache-line-sized strides.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the given dimensions.
+pub fn transpose_into(src: &[f32], n: usize, m: usize, dst: &mut [f32]) {
+    assert_eq!(src.len(), n * m, "transpose src length");
+    assert_eq!(dst.len(), n * m, "transpose dst length");
+    let t = TRANSPOSE_TILE;
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + t).min(n);
+        let mut j0 = 0;
+        while j0 < m {
+            let j1 = (j0 + t).min(m);
+            for i in i0..i1 {
+                for j in j0..j1 {
+                    dst[j * n + i] = src[i * m + j];
+                }
+            }
+            j0 = j1;
+        }
+        i0 = i1;
+    }
+}
+
+/// `out[i] = a[i] + b[i]`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn add_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    zip_into(a, b, out, |x, y| x + y);
+}
+
+/// `dst[i] += src[i]` — the in-place gradient-accumulation primitive.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn add_assign(dst: &mut [f32], src: &[f32]) {
+    assert_eq!(dst.len(), src.len(), "add_assign length");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d += s;
+    }
+}
+
+/// `y[i] += alpha * x[i]` (the BLAS `axpy`).
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn axpy_into(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length");
+    for (yv, &xv) in y.iter_mut().zip(x) {
+        *yv += alpha * xv;
+    }
+}
+
+/// `dst[i] *= c`.
+pub fn scale_assign(dst: &mut [f32], c: f32) {
+    for d in dst.iter_mut() {
+        *d *= c;
+    }
+}
+
+/// `dst[i] += a[i] * b[i]` — fused multiply-accumulate, the workhorse of
+/// the backward sweep's product-rule contributions.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn fma_assign(dst: &mut [f32], a: &[f32], b: &[f32]) {
+    assert_eq!(dst.len(), a.len(), "fma lhs length");
+    assert_eq!(dst.len(), b.len(), "fma rhs length");
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d += x * y;
+    }
+}
+
+/// Column sums of row-major `a: [n, d]` into `out: [d]`, accumulating
+/// rows in `i = 0..n` order (bitwise identical to the naive loop).
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the given dimensions.
+pub fn sum_axis0_into(a: &[f32], n: usize, d: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), d, "sum_axis0 out length");
+    out.fill(0.0);
+    sum_axis0_assign(a, n, d, out);
+}
+
+/// Accumulating variant of [`sum_axis0_into`]: `out[j] += Σᵢ a[i, j]`
+/// without zeroing `out` first — the backward sweep fuses row-broadcast
+/// gradient reduction into the existing accumulator this way.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the given dimensions.
+pub fn sum_axis0_assign(a: &[f32], n: usize, d: usize, out: &mut [f32]) {
+    assert_eq!(a.len(), n * d, "sum_axis0 input length");
+    assert_eq!(out.len(), d, "sum_axis0 out length");
+    for row in a.chunks_exact(d) {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+}
+
+/// `out[i] = f(src[i])` — the elementwise map kernel.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn map_into(src: &[f32], out: &mut [f32], f: impl Fn(f32) -> f32) {
+    assert_eq!(src.len(), out.len(), "map length");
+    for (o, &s) in out.iter_mut().zip(src) {
+        *o = f(s);
+    }
+}
+
+/// `dst[i] = f(dst[i])` — elementwise map in place.
+pub fn map_assign(dst: &mut [f32], f: impl Fn(f32) -> f32) {
+    for d in dst.iter_mut() {
+        *d = f(*d);
+    }
+}
+
+/// `out[i] = f(a[i], b[i])` — the elementwise zip kernel.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn zip_into(a: &[f32], b: &[f32], out: &mut [f32], f: impl Fn(f32, f32) -> f32) {
+    assert_eq!(a.len(), b.len(), "zip lhs/rhs length");
+    assert_eq!(a.len(), out.len(), "zip out length");
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = f(x, y);
+    }
+}
+
+/// `dst[i] = f(dst[i], src[i])` — elementwise zip in place.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+pub fn zip_assign(dst: &mut [f32], src: &[f32], f: impl Fn(f32, f32) -> f32) {
+    assert_eq!(dst.len(), src.len(), "zip_assign length");
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f(*d, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The textbook `i, p, j` product every matmul kernel must match.
+    fn naive_matmul(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; n * m];
+        for i in 0..n {
+            for p in 0..k {
+                let ap = a[i * k + p];
+                for j in 0..m {
+                    out[i * m + j] += ap * b[p * m + j];
+                }
+            }
+        }
+        out
+    }
+
+    fn ramp(len: usize, scale: f32) -> Vec<f32> {
+        (0..len)
+            .map(|i| ((i * 37 % 23) as f32 - 11.0) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn matmul_matches_naive_bitwise_across_shapes() {
+        let mut ws = Workspace::new();
+        for &(n, k, m) in &[(1, 1, 1), (3, 5, 7), (8, 8, 8), (13, 9, 17), (2, 64, 31)] {
+            let a = ramp(n * k, 0.25);
+            let b = ramp(k * m, 0.5);
+            let mut out = vec![f32::NAN; n * m];
+            matmul_into(&a, &b, n, k, m, &mut out, &mut ws);
+            assert_eq!(out, naive_matmul(&a, &b, n, k, m), "shape {n}x{k}x{m}");
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_deterministic() {
+        let (n, k, m) = (37, 29, 41);
+        let a = ramp(n * k, 0.125);
+        let b = ramp(k * m, 0.25);
+        let mut ws = Workspace::new();
+        let mut single = vec![0.0f32; n * m];
+        matmul_into_threads(&a, &b, n, k, m, &mut single, &mut ws, 1);
+        for threads in [2, 3, 8] {
+            let mut multi = vec![0.0f32; n * m];
+            matmul_into_threads(&a, &b, n, k, m, &mut multi, &mut ws, threads);
+            assert_eq!(single, multi, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn at_b_matches_transpose_then_matmul() {
+        let (n, k, m) = (6, 4, 5);
+        let a = ramp(n * k, 0.5);
+        let g = ramp(n * m, 0.25);
+        let mut out = vec![0.0f32; k * m];
+        matmul_at_b_into(&a, &g, n, k, m, &mut out);
+        // Reference: transpose a, then naive product.
+        let mut at = vec![0.0f32; n * k];
+        transpose_into(&a, n, k, &mut at);
+        assert_eq!(out, naive_matmul(&at, &g, k, n, m));
+    }
+
+    #[test]
+    fn a_bt_matches_matmul_then_transpose() {
+        let (n, m, k) = (5, 7, 3);
+        let g = ramp(n * m, 0.5);
+        let b = ramp(k * m, 0.25);
+        let mut out = vec![0.0f32; n * k];
+        matmul_a_bt_into(&g, &b, n, m, k, &mut out);
+        let mut bt = vec![0.0f32; k * m];
+        transpose_into(&b, k, m, &mut bt);
+        assert_eq!(out, naive_matmul(&g, &bt, n, m, k));
+    }
+
+    #[test]
+    fn transpose_round_trips_on_awkward_shapes() {
+        for &(n, m) in &[(1, 1), (33, 31), (64, 64), (7, 100)] {
+            let src = ramp(n * m, 1.0);
+            let mut dst = vec![0.0f32; n * m];
+            transpose_into(&src, n, m, &mut dst);
+            let mut back = vec![0.0f32; n * m];
+            transpose_into(&dst, m, n, &mut back);
+            assert_eq!(src, back, "shape {n}x{m}");
+        }
+    }
+
+    #[test]
+    fn elementwise_kernels_behave() {
+        let a = [1.0f32, 2.0, 3.0];
+        let b = [10.0f32, 20.0, 30.0];
+        let mut out = [0.0f32; 3];
+        add_into(&a, &b, &mut out);
+        assert_eq!(out, [11.0, 22.0, 33.0]);
+        add_assign(&mut out, &a);
+        assert_eq!(out, [12.0, 24.0, 36.0]);
+        axpy_into(0.5, &b, &mut out);
+        assert_eq!(out, [17.0, 34.0, 51.0]);
+        scale_assign(&mut out, 2.0);
+        assert_eq!(out, [34.0, 68.0, 102.0]);
+        map_into(&a, &mut out, |x| x * x);
+        assert_eq!(out, [1.0, 4.0, 9.0]);
+        map_assign(&mut out, |x| x + 1.0);
+        assert_eq!(out, [2.0, 5.0, 10.0]);
+        zip_assign(&mut out, &a, |x, y| x - y);
+        assert_eq!(out, [1.0, 3.0, 7.0]);
+    }
+
+    #[test]
+    fn sum_axis0_matches_row_order_accumulation() {
+        let a = ramp(6 * 5, 0.5);
+        let mut out = vec![f32::NAN; 5];
+        sum_axis0_into(&a, 6, 5, &mut out);
+        let mut expect = vec![0.0f32; 5];
+        for i in 0..6 {
+            for j in 0..5 {
+                expect[j] += a[i * 5 + j];
+            }
+        }
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn degenerate_matmul_shapes() {
+        let mut ws = Workspace::new();
+        // k == 0: the product is all zeros.
+        let mut out = vec![7.0f32; 6];
+        matmul_into(&[], &[], 2, 0, 3, &mut out, &mut ws);
+        assert!(out.iter().all(|&v| v == 0.0));
+        // n == 0: nothing to write.
+        let mut empty: Vec<f32> = Vec::new();
+        matmul_into(&[], &[1.0, 2.0], 0, 1, 2, &mut empty, &mut ws);
+    }
+}

@@ -12,6 +12,14 @@
 //!   [`Var`]s record nodes on the tape; [`Var::backward`] walks the tape in
 //!   reverse and accumulates gradients for every node (including leaves, so
 //!   input-gradient methods such as ODIN work).
+//! * [`kernels`] — out-parameter slice kernels (tiled/packed-B matmul,
+//!   blocked transpose, elementwise map/zip, axpy) that the `Tensor`
+//!   methods and the backward sweep are thin wrappers over.
+//! * [`Workspace`] — a recycling buffer pool feeding the kernels' scratch
+//!   needs, with a thread-local instance behind the allocating API.
+//! * [`parallel`] — scoped-thread helpers (`std::thread::scope` only; the
+//!   `NAZAR_NUM_THREADS` environment variable caps the worker count,
+//!   defaulting to the machine's available parallelism).
 //!
 //! # Example
 //!
@@ -30,11 +38,15 @@
 
 mod autograd;
 mod error;
+pub mod kernels;
 mod ops;
+pub mod parallel;
 mod shape;
 mod tensor;
+mod workspace;
 
 pub use autograd::{Gradients, Tape, Var};
 pub use error::{Result, TensorError};
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::Workspace;

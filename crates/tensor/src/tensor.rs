@@ -1,7 +1,9 @@
 //! Dense, row-major `f32` tensors.
 
 use crate::error::{Result, TensorError};
+use crate::kernels;
 use crate::shape::Shape;
+use crate::workspace::Workspace;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -230,6 +232,25 @@ impl Tensor {
         Tensor::from_vec(data, &[indices.len(), d])
     }
 
+    /// Copies the contiguous row range `start..end` of a rank-2 tensor.
+    ///
+    /// Equivalent to `select_rows` over `(start..end)` but a single slice
+    /// copy — the batching loops use this for sequential mini-batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-matrices or an out-of-range/backwards range.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Result<Tensor> {
+        let (n, d) = (self.nrows()?, self.ncols()?);
+        if start > end || end > n {
+            return Err(TensorError::IndexOutOfBounds {
+                index: end.max(start),
+                bound: n,
+            });
+        }
+        Tensor::from_vec(self.data[start * d..end * d].to_vec(), &[end - start, d])
+    }
+
     /// The single value of a scalar (or single-element) tensor.
     ///
     /// # Errors
@@ -273,10 +294,17 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = vec![0.0f32; self.data.len()];
+        kernels::map_into(&self.data, &mut data, f);
         Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data,
             shape: self.shape.clone(),
         }
+    }
+
+    /// Applies `f` to every element in place, without allocating.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        kernels::map_assign(&mut self.data, f);
     }
 
     /// Combines two same-shape tensors elementwise with `f`.
@@ -286,16 +314,51 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
     pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
         self.expect_same_shape("zip_with", other)?;
-        let data = self
-            .data
-            .iter()
-            .zip(&other.data)
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let mut data = vec![0.0f32; self.data.len()];
+        kernels::zip_into(&self.data, &other.data, &mut data, f);
         Ok(Tensor {
             data,
             shape: self.shape.clone(),
         })
+    }
+
+    /// Combines this tensor with `other` elementwise in place:
+    /// `self[i] = f(self[i], other[i])`, without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_inplace(&mut self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<()> {
+        self.expect_same_shape("zip_inplace", other)?;
+        kernels::zip_assign(&mut self.data, &other.data, f);
+        Ok(())
+    }
+
+    /// In-place elementwise sum: `self += other`, without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        self.expect_same_shape("add_assign", other)?;
+        kernels::add_assign(&mut self.data, &other.data);
+        Ok(())
+    }
+
+    /// In-place scaled accumulation: `self += alpha * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy_assign(&mut self, alpha: f32, other: &Tensor) -> Result<()> {
+        self.expect_same_shape("axpy_assign", other)?;
+        kernels::axpy_into(alpha, &other.data, &mut self.data);
+        Ok(())
+    }
+
+    /// In-place scaling: `self *= c`, without allocating.
+    pub fn scale_assign(&mut self, c: f32) {
+        kernels::scale_assign(&mut self.data, c);
     }
 
     /// Elementwise sum.
@@ -421,6 +484,9 @@ impl Tensor {
 
     /// Matrix product of `[n, k] x [k, m] -> [n, m]`.
     ///
+    /// Thin wrapper over [`kernels::matmul_into`] (tiled, packed-B,
+    /// row-parallel); scratch comes from the thread-local [`Workspace`].
+    ///
     /// # Errors
     ///
     /// Returns an error unless both tensors are matrices with matching
@@ -436,23 +502,13 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * m..(i + 1) * m];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * m..(p + 1) * m];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        Workspace::with_thread_local(|ws| {
+            kernels::matmul_into(&self.data, &other.data, n, k, m, &mut out, ws);
+        });
         Tensor::from_vec(out, &[n, m])
     }
 
-    /// Transpose of a rank-2 tensor.
+    /// Transpose of a rank-2 tensor (cache-blocked kernel).
     ///
     /// # Errors
     ///
@@ -460,11 +516,7 @@ impl Tensor {
     pub fn transpose(&self) -> Result<Tensor> {
         let (n, m) = (self.nrows()?, self.ncols()?);
         let mut out = vec![0.0f32; n * m];
-        for i in 0..n {
-            for j in 0..m {
-                out[j * n + i] = self.data[i * m + j];
-            }
-        }
+        kernels::transpose_into(&self.data, n, m, &mut out);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -502,11 +554,7 @@ impl Tensor {
     pub fn sum_axis0(&self) -> Result<Tensor> {
         let (n, d) = (self.nrows()?, self.ncols()?);
         let mut out = vec![0.0f32; d];
-        for i in 0..n {
-            for (o, &x) in out.iter_mut().zip(&self.data[i * d..(i + 1) * d]) {
-                *o += x;
-            }
-        }
+        kernels::sum_axis0_into(&self.data, n, d, &mut out);
         Tensor::from_vec(out, &[d])
     }
 

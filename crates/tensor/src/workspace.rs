@@ -1,0 +1,155 @@
+//! A small buffer pool for intermediate `f32` scratch space.
+//!
+//! The kernels in [`crate::kernels`] take their scratch (packed operand
+//! panels, temporary rows) from a [`Workspace`] instead of allocating,
+//! so tight loops — autograd backward sweeps, TENT adaptation steps —
+//! recycle the same buffers across calls. The allocating [`crate::Tensor`]
+//! methods route through a thread-local workspace, which keeps the public
+//! API unchanged while still amortizing allocations.
+
+use std::cell::RefCell;
+
+/// How many returned buffers a workspace keeps before dropping the rest.
+const MAX_POOLED: usize = 16;
+
+/// A recycling pool of `Vec<f32>` scratch buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Number of buffers currently pooled (diagnostics/tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Takes a buffer of exactly `len` elements, all zero.
+    ///
+    /// Reuses a pooled buffer when one has sufficient capacity; callers
+    /// return buffers with [`Workspace::recycle`] when done.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_buffer(len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Takes a buffer of exactly `len` elements with unspecified contents.
+    ///
+    /// Cheaper than [`Workspace::take_zeroed`]; use only when every element
+    /// is written before being read.
+    pub fn take_filled_later(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_buffer(len);
+        // Contents are about to be overwritten; only the length matters.
+        // (Zero-fill still happens for the freshly grown tail — safe code
+        // cannot hand out uninitialized memory.)
+        buf.resize(len, 0.0);
+        buf.truncate(len);
+        buf
+    }
+
+    fn take_buffer(&mut self, len: usize) -> Vec<f32> {
+        match self
+            .pool
+            .iter()
+            .position(|b| b.capacity() >= len)
+            .map(|i| self.pool.swap_remove(i))
+        {
+            Some(buf) => buf,
+            None => Vec::with_capacity(len),
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn recycle(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        if self.pool.len() >= MAX_POOLED {
+            // Keep the larger buffer: evict the smallest pooled one.
+            if let Some((i, _)) = self
+                .pool
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, b)| b.capacity())
+            {
+                if self.pool[i].capacity() < buf.capacity() {
+                    self.pool[i] = buf;
+                }
+            }
+            return;
+        }
+        self.pool.push(buf);
+    }
+
+    /// Runs `f` with this thread's shared workspace.
+    ///
+    /// The allocating [`crate::Tensor`] wrappers use this so repeated calls
+    /// on one thread recycle scratch buffers without any API change.
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+        thread_local! {
+            static WS: RefCell<Workspace> = RefCell::new(Workspace::new());
+        }
+        WS.with(|ws| f(&mut ws.borrow_mut()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_returns_zeroes_even_after_recycle() {
+        let mut ws = Workspace::new();
+        let mut buf = ws.take_zeroed(8);
+        buf.iter_mut().for_each(|v| *v = 9.0);
+        ws.recycle(buf);
+        assert_eq!(ws.pooled(), 1);
+        let again = ws.take_zeroed(4);
+        assert!(again.iter().all(|&v| v == 0.0));
+        assert_eq!(again.len(), 4);
+        assert_eq!(ws.pooled(), 0);
+    }
+
+    #[test]
+    fn buffers_are_reused_not_reallocated() {
+        let mut ws = Workspace::new();
+        let buf = ws.take_zeroed(1024);
+        let ptr = buf.as_ptr();
+        ws.recycle(buf);
+        let buf2 = ws.take_zeroed(512);
+        assert_eq!(buf2.as_ptr(), ptr, "pooled buffer should be reused");
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut ws = Workspace::new();
+        for i in 0..(MAX_POOLED + 8) {
+            ws.recycle(vec![0.0; i + 1]);
+        }
+        assert!(ws.pooled() <= MAX_POOLED);
+    }
+
+    #[test]
+    fn thread_local_workspace_is_shared_within_a_thread() {
+        let ptr = Workspace::with_thread_local(|ws| {
+            let buf = ws.take_zeroed(256);
+            let p = buf.as_ptr();
+            ws.recycle(buf);
+            p
+        });
+        let ptr2 = Workspace::with_thread_local(|ws| {
+            let buf = ws.take_zeroed(128);
+            let p = buf.as_ptr();
+            ws.recycle(buf);
+            p
+        });
+        assert_eq!(ptr, ptr2);
+    }
+}

@@ -1,0 +1,205 @@
+//! Property tests: every `*_into` kernel is equivalent to a naive
+//! textbook reference across random shapes and data.
+//!
+//! The kernels are written to accumulate in the same floating-point order
+//! as the references (the packed-B matmul walks `p = 0..k` per output
+//! element, the reductions walk rows in order), so equality here is exact
+//! (`==` per element, which treats `-0.0` and `+0.0` as equal) rather
+//! than within a tolerance. A dedicated case checks that the parallel
+//! matmul path is bitwise identical to the sequential one for every
+//! thread count, which is what makes `NAZAR_NUM_THREADS` a pure
+//! performance knob.
+
+use nazar_tensor::{kernels, Workspace};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic random data for a given seed.
+fn data(seed: u64, len: usize) -> Vec<f32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+/// Textbook `[n, k] x [k, m]` matmul in `i, p, j` loop order.
+fn naive_matmul(a: &[f32], b: &[f32], n: usize, k: usize, m: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; n * m];
+    for i in 0..n {
+        for p in 0..k {
+            let av = a[i * k + p];
+            for j in 0..m {
+                out[i * m + j] += av * b[p * m + j];
+            }
+        }
+    }
+    out
+}
+
+/// Naive transpose of row-major `[n, m]`.
+fn naive_transpose(src: &[f32], n: usize, m: usize) -> Vec<f32> {
+    let mut dst = vec![0.0f32; n * m];
+    for i in 0..n {
+        for j in 0..m {
+            dst[j * n + i] = src[i * m + j];
+        }
+    }
+    dst
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_into_matches_naive(
+        n in 1usize..24,
+        k in 1usize..24,
+        m in 1usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let a = data(seed, n * k);
+        let b = data(seed.wrapping_add(1), k * m);
+        let mut ws = Workspace::new();
+        let mut out = vec![0.0f32; n * m];
+        kernels::matmul_into(&a, &b, n, k, m, &mut out, &mut ws);
+        prop_assert_eq!(out, naive_matmul(&a, &b, n, k, m));
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_deterministic(
+        n in 1usize..40,
+        k in 1usize..24,
+        m in 1usize..24,
+        threads in 2usize..=8,
+        seed in 0u64..1_000,
+    ) {
+        let a = data(seed, n * k);
+        let b = data(seed.wrapping_add(2), k * m);
+        let mut ws = Workspace::new();
+        let mut sequential = vec![0.0f32; n * m];
+        kernels::matmul_into_threads(&a, &b, n, k, m, &mut sequential, &mut ws, 1);
+        let mut parallel = vec![0.0f32; n * m];
+        kernels::matmul_into_threads(&a, &b, n, k, m, &mut parallel, &mut ws, threads);
+        prop_assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn matmul_at_b_matches_transposed_naive(
+        n in 1usize..16,
+        k in 1usize..16,
+        m in 1usize..16,
+        seed in 0u64..1_000,
+    ) {
+        // out[k, m] += aT · g, accumulated over i in order — identical to
+        // transposing a first and running the naive loop.
+        let a = data(seed, n * k);
+        let g = data(seed.wrapping_add(3), n * m);
+        let mut out = vec![0.0f32; k * m];
+        kernels::matmul_at_b_into(&a, &g, n, k, m, &mut out);
+        let reference = naive_matmul(&naive_transpose(&a, n, k), &g, k, n, m);
+        for (&o, &r) in out.iter().zip(&reference) {
+            prop_assert!(o == r, "at_b {o} != reference {r}");
+        }
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_transposed_naive(
+        n in 1usize..16,
+        k in 1usize..16,
+        m in 1usize..16,
+        seed in 0u64..1_000,
+    ) {
+        // out[n, k] += g · bT, each element a dot over j in order.
+        let g = data(seed, n * m);
+        let b = data(seed.wrapping_add(4), k * m);
+        let mut out = vec![0.0f32; n * k];
+        kernels::matmul_a_bt_into(&g, &b, n, m, k, &mut out);
+        let reference = naive_matmul(&g, &naive_transpose(&b, k, m), n, m, k);
+        for (&o, &r) in out.iter().zip(&reference) {
+            prop_assert!(o == r, "a_bt {o} != reference {r}");
+        }
+    }
+
+    #[test]
+    fn transpose_into_matches_naive_and_round_trips(
+        n in 1usize..80,
+        m in 1usize..80,
+        seed in 0u64..1_000,
+    ) {
+        let src = data(seed, n * m);
+        let mut dst = vec![0.0f32; n * m];
+        kernels::transpose_into(&src, n, m, &mut dst);
+        prop_assert_eq!(&dst, &naive_transpose(&src, n, m));
+        let mut back = vec![0.0f32; n * m];
+        kernels::transpose_into(&dst, m, n, &mut back);
+        prop_assert_eq!(back, src);
+    }
+
+    #[test]
+    fn sum_axis0_matches_row_order_accumulation(
+        n in 1usize..32,
+        d in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let a = data(seed, n * d);
+        let mut out = vec![0.0f32; d];
+        kernels::sum_axis0_into(&a, n, d, &mut out);
+        let mut reference = vec![0.0f32; d];
+        for row in a.chunks_exact(d) {
+            for (r, &x) in reference.iter_mut().zip(row) {
+                *r += x;
+            }
+        }
+        prop_assert_eq!(out, reference);
+    }
+
+    #[test]
+    fn elementwise_kernels_match_naive(len in 1usize..256, seed in 0u64..1_000) {
+        let a = data(seed, len);
+        let b = data(seed.wrapping_add(5), len);
+
+        let mut add = vec![0.0f32; len];
+        kernels::add_into(&a, &b, &mut add);
+        let mut acc = a.clone();
+        kernels::add_assign(&mut acc, &b);
+        let mut axpy = b.clone();
+        kernels::axpy_into(0.5, &a, &mut axpy);
+        let mut fma = b.clone();
+        kernels::fma_assign(&mut fma, &a, &b);
+        let mut mapped = vec![0.0f32; len];
+        kernels::map_into(&a, &mut mapped, |x| x * 2.0 + 1.0);
+        let mut zipped = vec![0.0f32; len];
+        kernels::zip_into(&a, &b, &mut zipped, |x, y| x * y);
+
+        for i in 0..len {
+            prop_assert!(add[i] == a[i] + b[i]);
+            prop_assert!(acc[i] == a[i] + b[i]);
+            prop_assert!(axpy[i] == b[i] + 0.5 * a[i]);
+            prop_assert!(fma[i] == b[i] + a[i] * b[i]);
+            prop_assert!(mapped[i] == a[i] * 2.0 + 1.0);
+            prop_assert!(zipped[i] == a[i] * b[i]);
+        }
+    }
+
+    #[test]
+    fn workspace_recycling_does_not_change_matmul(
+        n in 1usize..12,
+        k in 1usize..12,
+        m in 1usize..12,
+        seed in 0u64..1_000,
+    ) {
+        // A warm workspace (dirty pooled buffers from prior calls) must
+        // produce the same result as a cold one.
+        let a = data(seed, n * k);
+        let b = data(seed.wrapping_add(6), k * m);
+        let mut cold = Workspace::new();
+        let mut expected = vec![0.0f32; n * m];
+        kernels::matmul_into(&a, &b, n, k, m, &mut expected, &mut cold);
+
+        let mut warm = Workspace::new();
+        warm.recycle(data(seed.wrapping_add(7), n * m + k * m + 3));
+        warm.recycle(vec![7.0f32; k * m]);
+        let mut out = vec![0.0f32; n * m];
+        kernels::matmul_into(&a, &b, n, k, m, &mut out, &mut warm);
+        prop_assert_eq!(out, expected);
+    }
+}

@@ -1,0 +1,301 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Implements the measurement loop the workspace benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`BenchmarkId`], and the `criterion_group!` /
+//! `criterion_main!` macros — and reports a median ns/iteration per bench.
+//!
+//! Results print to stdout and, when the run finishes, are written as
+//! machine-readable JSON (`BENCH_tensor.json` at the workspace root by
+//! default; override with `NAZAR_BENCH_OUT`). `NAZAR_BENCH_FILTER`
+//! restricts which benches run (substring match), mirroring upstream's CLI
+//! filter.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterized bench, e.g. `BenchmarkId::from_parameter(n)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (the group name prefixes it).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+/// One measured bench: id plus its median time per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full bench id (`group/name`).
+    pub id: String,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Samples taken.
+    pub samples: usize,
+}
+
+/// Runs closures under a timing loop and collects [`BenchResult`]s.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    sample_size: usize,
+    filter: Option<String>,
+    finalized: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            sample_size: 20,
+            filter: std::env::var("NAZAR_BENCH_FILTER").ok(),
+            finalized: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Measures `f` under the id `name`.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(name.to_string(), self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group; benches inside it are prefixed with `name/`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes the JSON report. Called by `criterion_main!`; safe to call
+    /// multiple times (subsequent calls rewrite the file).
+    pub fn finalize(&mut self) {
+        self.finalized = true;
+        let path = std::env::var("NAZAR_BENCH_OUT").unwrap_or_else(|_| {
+            // vendor/criterion/../../ is the workspace root in this repo.
+            concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_tensor.json").to_string()
+        });
+        let mut json = String::from("{\n  \"benches\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}{}",
+                r.id.replace('"', "'"),
+                r.median_ns,
+                r.samples,
+                comma
+            );
+        }
+        json.push_str("  ]\n}\n");
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("bench report written to {path}"),
+            Err(e) => eprintln!("failed to write bench report {path}: {e}"),
+        }
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples_ns;
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median_ns = samples[samples.len() / 2];
+        println!("bench {id:<48} median {:>12.1} ns/iter", median_ns);
+        self.results.push(BenchResult {
+            id,
+            median_ns,
+            samples: samples.len(),
+        });
+    }
+}
+
+/// A group of related benches sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples per bench in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Measures `f` under `group_name/name`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(id, samples, f);
+        self
+    }
+
+    /// Measures `f(bencher, input)` under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.text);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(full, samples, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to bench closures; [`Bencher::iter`] runs the timing loop.
+pub struct Bencher {
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine`, recording `sample_size` samples of batched runs.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warmup + per-iteration estimate.
+        let mut est = Duration::ZERO;
+        let mut warmup_iters = 0u32;
+        let warmup_start = Instant::now();
+        while warmup_iters < 3 || (warmup_start.elapsed() < Duration::from_millis(20)) {
+            let t = Instant::now();
+            black_box(routine());
+            est += t.elapsed();
+            warmup_iters += 1;
+            if warmup_iters >= 1000 {
+                break;
+            }
+        }
+        let per_iter = est / warmup_iters;
+        // Aim for ~2ms per sample so fast ops are measured over many
+        // iterations while slow ops stay bounded.
+        let batch = if per_iter.is_zero() {
+            1000
+        } else {
+            (Duration::from_millis(2).as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000)
+                as u64
+        };
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// Bundles bench functions into one runner function taking `&mut Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main`, running every group then writing the JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_cheap_closure() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_add(black_box(1));
+                acc
+            })
+        });
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns > 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_honor_sample_size() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(5);
+            g.bench_function("one", |b| b.iter(|| black_box(2 + 2)));
+            g.bench_with_input(BenchmarkId::from_parameter(64), &64usize, |b, n| {
+                b.iter(|| black_box(n * 2))
+            });
+            g.finish();
+        }
+        let ids: Vec<&str> = c.results().iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, ["grp/one", "grp/64"]);
+        assert!(c.results().iter().all(|r| r.samples == 5));
+    }
+}

@@ -1,0 +1,388 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! miniserde-style value-tree data model instead of upstream serde's
+//! visitor architecture: [`Serialize`] lowers any value to a [`Value`]
+//! tree, [`Deserialize`] rebuilds it from one, and `serde_json` (also
+//! vendored) converts between [`Value`] and JSON text. The derive macro in
+//! `serde_derive` targets these traits and honours the two attributes the
+//! workspace uses, `#[serde(default)]` and `#[serde(skip)]`.
+
+#![forbid(unsafe_code)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data tree every serializable value lowers to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any number (all Rust numeric types funnel through `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence (JSON array).
+    Seq(Vec<Value>),
+    /// An ordered key/value map (JSON object); insertion order preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, if this is a [`Value::Map`].
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The sequence elements, if this is a [`Value::Seq`].
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up a key in serialized-map entries (helper for derived code).
+pub fn value_get<'v>(entries: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with an arbitrary message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// A required field was absent from the serialized map.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("missing field `{field}` while deserializing {ty}"),
+        }
+    }
+
+    /// An enum tag did not name any known variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        DeError {
+            msg: format!("unknown variant `{variant}` for {ty}"),
+        }
+    }
+
+    /// The value had the wrong shape (e.g. a map where a number was needed).
+    pub fn type_mismatch(expected: &str, got: &Value) -> Self {
+        let shape = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        };
+        DeError {
+            msg: format!("expected {expected}, got {shape}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lowers a value to a [`Value`] tree.
+pub trait Serialize {
+    /// The value as a serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Rebuilds a value from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the tree, reporting shape mismatches as [`DeError`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("bool", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => {
+                        let cast = *n as $t;
+                        // Integer targets must round-trip exactly; float
+                        // targets accept any finite (or non-finite) f64.
+                        if (cast as f64 == *n) || n.is_nan() {
+                            Ok(cast)
+                        } else {
+                            Err(DeError::custom(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(DeError::type_mismatch("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_num!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("sequence", other)),
+        }
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let items = v
+                    .as_seq()
+                    .ok_or_else(|| DeError::type_mismatch("tuple sequence", v))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected a {expected}-tuple, got {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_map().ok_or_else(|| DeError::type_mismatch("map", v))?;
+        entries
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort for a deterministic wire form.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v.as_map().ok_or_else(|| DeError::type_mismatch("map", v))?;
+        entries
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_string(), Value::Num(self.as_secs() as f64)),
+            (
+                "nanos".to_string(),
+                Value::Num(f64::from(self.subsec_nanos())),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for std::time::Duration {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::type_mismatch("duration map", v))?;
+        let secs = match value_get(entries, "secs") {
+            Some(s) => u64::from_value(s)?,
+            None => return Err(DeError::missing_field("secs", "Duration")),
+        };
+        let nanos = match value_get(entries, "nanos") {
+            Some(n) => u32::from_value(n)?,
+            None => return Err(DeError::missing_field("nanos", "Duration")),
+        };
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&42u32.to_value()), Ok(42));
+        assert_eq!(f32::from_value(&1.5f32.to_value()), Ok(1.5));
+        assert_eq!(bool::from_value(&true.to_value()), Ok(true));
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()),
+            Ok("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn integer_range_is_checked() {
+        assert!(u8::from_value(&Value::Num(300.0)).is_err());
+        assert!(u8::from_value(&Value::Num(-1.0)).is_err());
+        assert!(u64::from_value(&Value::Num(2.5)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()), Ok(v));
+
+        let t = (1usize, "x".to_string(), 2.5f64);
+        assert_eq!(<(usize, String, f64)>::from_value(&t.to_value()), Ok(t));
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), (1usize, 2usize));
+        assert_eq!(
+            BTreeMap::<String, (usize, usize)>::from_value(&m.to_value()),
+            Ok(m)
+        );
+
+        let opt: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&opt.to_value()), Ok(None));
+        assert_eq!(
+            Option::<u32>::from_value(&Some(3u32).to_value()),
+            Ok(Some(3))
+        );
+    }
+
+    #[test]
+    fn duration_round_trips() {
+        let d = std::time::Duration::new(12, 345_678_901);
+        assert_eq!(std::time::Duration::from_value(&d.to_value()), Ok(d));
+    }
+}

@@ -1,0 +1,533 @@
+//! Derive macros for the vendored `serde` crate.
+//!
+//! The offline build cannot pull `syn`/`quote`, so this crate parses the
+//! item's `TokenStream` directly and emits the impl as a formatted string.
+//! Supported shapes are exactly what the workspace uses: named structs
+//! (optionally generic over type parameters), tuple structs (newtypes are
+//! transparent), and enums with unit / tuple / struct variants. Recognized
+//! attributes: `#[serde(default)]` and `#[serde(skip)]` on fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct FieldAttrs {
+    default: bool,
+    skip: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+fn is_punct(t: &TokenTree, ch: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn ident_of(t: &TokenTree) -> Option<String> {
+    match t {
+        TokenTree::Ident(id) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+/// Consumes any `#[...]` attributes at `*i`, folding in `#[serde(...)]`
+/// flags.
+fn take_attrs(tokens: &[TokenTree], i: &mut usize) -> FieldAttrs {
+    let mut attrs = FieldAttrs::default();
+    while *i < tokens.len() && is_punct(&tokens[*i], '#') {
+        *i += 1;
+        let TokenTree::Group(g) = &tokens[*i] else {
+            panic!("serde derive: expected [...] after #");
+        };
+        assert_eq!(
+            g.delimiter(),
+            Delimiter::Bracket,
+            "serde derive: malformed attribute"
+        );
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if inner.first().and_then(ident_of).as_deref() == Some("serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                for t in args.stream() {
+                    match ident_of(&t).as_deref() {
+                        Some("default") => attrs.default = true,
+                        Some("skip") => attrs.skip = true,
+                        Some(other) => {
+                            panic!("serde derive: unsupported serde attribute `{other}`")
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+        *i += 1;
+    }
+    attrs
+}
+
+/// Consumes `pub` / `pub(...)` at `*i` if present.
+fn skip_vis(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && ident_of(&tokens[*i]).as_deref() == Some("pub") {
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                *i += 1;
+            }
+        }
+    }
+}
+
+/// Parses `<A, B, ...>` at `*i`, returning the type-parameter names.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<String> {
+    let mut params = Vec::new();
+    if *i >= tokens.len() || !is_punct(&tokens[*i], '<') {
+        return params;
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut in_bound = false;
+    while *i < tokens.len() && depth > 0 {
+        let t = &tokens[*i];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if depth == 1 && is_punct(t, ':') {
+            in_bound = true;
+        } else if depth == 1 && is_punct(t, ',') {
+            in_bound = false;
+        } else if depth == 1 && !in_bound {
+            if let Some(name) = ident_of(t) {
+                params.push(name);
+            }
+        }
+        *i += 1;
+    }
+    params
+}
+
+/// Skips one type expression: everything until a comma at angle-depth 0.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0usize;
+    while *i < tokens.len() {
+        let t = &tokens[*i];
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth = depth.saturating_sub(1);
+        } else if depth == 0 && is_punct(t, ',') {
+            *i += 1;
+            return;
+        }
+        *i += 1;
+    }
+}
+
+/// Parses `name: Type, ...` fields of a brace-delimited body.
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let attrs = take_attrs(&tokens, &mut i);
+        skip_vis(&tokens, &mut i);
+        let name = ident_of(&tokens[i])
+            .unwrap_or_else(|| panic!("serde derive: expected field name, got {:?}", tokens[i]));
+        i += 1;
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "serde derive: expected `:` after field `{name}`"
+        );
+        i += 1;
+        skip_type(&tokens, &mut i);
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+/// Counts the fields of a paren-delimited (tuple) body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_type(&tokens, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        take_attrs(&tokens, &mut i);
+        let name = ident_of(&tokens[i])
+            .unwrap_or_else(|| panic!("serde derive: expected variant name, got {:?}", tokens[i]));
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    take_attrs(&tokens, &mut i);
+    skip_vis(&tokens, &mut i);
+    let kw = ident_of(&tokens[i]).expect("serde derive: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_of(&tokens[i]).expect("serde derive: expected item name");
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+    let body = match (&kw[..], tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::NamedStruct(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::TupleStruct(count_tuple_fields(g.stream()))
+        }
+        ("struct", _) => Body::UnitStruct,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_variants(g.stream()))
+        }
+        _ => panic!("serde derive: only structs and enums are supported"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// `(impl-generics, type-generics)` strings, e.g. `("<P: serde::Serialize>", "<P>")`.
+fn generics_for(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bounds: Vec<String> = item
+        .generics
+        .iter()
+        .map(|g| format!("{g}: {bound}"))
+        .collect();
+    (
+        format!("<{}>", bounds.join(", ")),
+        format!("<{}>", item.generics.join(", ")),
+    )
+}
+
+fn ser_named_fields(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.attrs.skip)
+        .map(|f| {
+            format!(
+                "(\"{n}\".to_string(), serde::Serialize::to_value({a}))",
+                n = f.name,
+                a = accessor(&f.name)
+            )
+        })
+        .collect();
+    format!("serde::Value::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn de_named_fields(fields: &[Field], entries_var: &str, ty_label: &str) -> String {
+    fields
+        .iter()
+        .map(|f| {
+            let n = &f.name;
+            if f.attrs.skip {
+                format!("{n}: ::std::default::Default::default(),")
+            } else if f.attrs.default {
+                format!(
+                    "{n}: match serde::value_get({entries_var}, \"{n}\") {{ \
+                     ::std::option::Option::Some(fv) => serde::Deserialize::from_value(fv)?, \
+                     ::std::option::Option::None => ::std::default::Default::default() }},"
+                )
+            } else {
+                format!(
+                    "{n}: match serde::value_get({entries_var}, \"{n}\") {{ \
+                     ::std::option::Option::Some(fv) => serde::Deserialize::from_value(fv)?, \
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                     serde::DeError::missing_field(\"{n}\", \"{ty_label}\")) }},"
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n            ")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (ig, tg) = generics_for(item, "serde::Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => ser_named_fields(fields, |f| format!("&self.{f}")),
+        Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Body::UnitStruct => "serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => serde::Value::Map(::std::vec![(\
+                             \"{vn}\".to_string(), serde::Serialize::to_value(f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Serialize::to_value(f{k})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({b}) => serde::Value::Map(::std::vec![(\
+                                 \"{vn}\".to_string(), serde::Value::Seq(::std::vec![{i}]))]),",
+                                b = binds.join(", "),
+                                i = items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    if f.attrs.skip {
+                                        format!("{}: _", f.name)
+                                    } else {
+                                        f.name.clone()
+                                    }
+                                })
+                                .collect();
+                            let payload = ser_named_fields(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vn} {{ {b} }} => serde::Value::Map(::std::vec![(\
+                                 \"{vn}\".to_string(), {payload})]),",
+                                b = binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match self {{\n            {}\n        }}",
+                arms.join("\n            ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{ig} serde::Serialize for {name}{tg} {{\n    \
+             fn to_value(&self) -> serde::Value {{\n        \
+                 {body}\n    \
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (ig, tg) = generics_for(item, "serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::NamedStruct(fields) => {
+            let assigns = de_named_fields(fields, "entries", name);
+            format!(
+                "let entries = v.as_map().ok_or_else(|| \
+                 serde::DeError::type_mismatch(\"map for {name}\", v))?;\n        \
+                 ::std::result::Result::Ok({name} {{\n            {assigns}\n        }})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                .collect();
+            format!(
+                "let items = v.as_seq().ok_or_else(|| \
+                 serde::DeError::type_mismatch(\"sequence for {name}\", v))?;\n        \
+                 if items.len() != {n} {{\n            \
+                 return ::std::result::Result::Err(serde::DeError::custom(\
+                 \"wrong tuple arity for {name}\"));\n        }}\n        \
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Body::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{ig} serde::Deserialize for {name}{tg} {{\n    \
+             fn from_value(v: &serde::Value) -> ::std::result::Result<Self, serde::DeError> {{\n        \
+                 {body}\n    \
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .collect();
+    let data: Vec<&Variant> = variants
+        .iter()
+        .filter(|v| !matches!(v.kind, VariantKind::Unit))
+        .collect();
+
+    let str_arm = if unit.is_empty() {
+        format!(
+            "serde::Value::Str(tag) => ::std::result::Result::Err(\
+             serde::DeError::unknown_variant(tag, \"{name}\")),"
+        )
+    } else {
+        let chain: Vec<String> = unit
+            .iter()
+            .map(|v| {
+                format!(
+                    "if tag.as_str() == \"{vn}\" {{ ::std::result::Result::Ok({name}::{vn}) }}",
+                    vn = v.name
+                )
+            })
+            .collect();
+        format!(
+            "serde::Value::Str(tag) => {{\n                {} else {{ \
+             ::std::result::Result::Err(serde::DeError::unknown_variant(tag, \"{name}\")) \
+             }}\n            }}",
+            chain.join(" else ")
+        )
+    };
+
+    let map_arm = if data.is_empty() {
+        format!(
+            "serde::Value::Map(entries) if entries.len() == 1 => \
+             ::std::result::Result::Err(serde::DeError::unknown_variant(&entries[0].0, \"{name}\")),"
+        )
+    } else {
+        let chain: Vec<String> = data
+            .iter()
+            .map(|v| {
+                let vn = &v.name;
+                let build = match &v.kind {
+                    VariantKind::Tuple(1) => format!(
+                        "{{ ::std::result::Result::Ok({name}::{vn}(\
+                         serde::Deserialize::from_value(payload)?)) }}"
+                    ),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("serde::Deserialize::from_value(&items[{k}])?"))
+                            .collect();
+                        format!(
+                            "{{ let items = payload.as_seq().ok_or_else(|| \
+                             serde::DeError::type_mismatch(\"sequence for {name}::{vn}\", payload))?; \
+                             if items.len() != {n} {{ return ::std::result::Result::Err(\
+                             serde::DeError::custom(\"wrong arity for {name}::{vn}\")); }} \
+                             ::std::result::Result::Ok({name}::{vn}({items})) }}",
+                            items = items.join(", ")
+                        )
+                    }
+                    VariantKind::Named(fields) => {
+                        let assigns =
+                            de_named_fields(fields, "fields", &format!("{name}::{vn}"));
+                        format!(
+                            "{{ let fields = payload.as_map().ok_or_else(|| \
+                             serde::DeError::type_mismatch(\"map for {name}::{vn}\", payload))?; \
+                             ::std::result::Result::Ok({name}::{vn} {{ {assigns} }}) }}"
+                        )
+                    }
+                    VariantKind::Unit => unreachable!("unit variants handled in the Str arm"),
+                };
+                format!("if tag.as_str() == \"{vn}\" {build}")
+            })
+            .collect();
+        format!(
+            "serde::Value::Map(entries) if entries.len() == 1 => {{\n                \
+             let (tag, payload) = &entries[0];\n                \
+             {} else {{ ::std::result::Result::Err(\
+             serde::DeError::unknown_variant(tag, \"{name}\")) }}\n            }}",
+            chain.join(" else ")
+        )
+    };
+
+    format!(
+        "match v {{\n            {str_arm}\n            {map_arm}\n            \
+         other => ::std::result::Result::Err(\
+         serde::DeError::type_mismatch(\"enum {name}\", other)),\n        }}"
+    )
+}
+
+/// Derives `serde::Serialize` (the vendored value-tree trait).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl failed to parse")
+}
+
+/// Derives `serde::Deserialize` (the vendored value-tree trait).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl failed to parse")
+}
