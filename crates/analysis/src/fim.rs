@@ -10,11 +10,41 @@
 //! Counting is delegated to [`DriftLog::count_matching`] — one linear scan
 //! per candidate, mirroring the paper's implementation of FIM as SQL `COUNT`
 //! aggregations.
+//!
+//! Runtime note: at the `fim_algorithms` benchmark scale (50k rows, 3 low-
+//! cardinality attribute keys) apriori's cost is ~40 counting scans and it
+//! beat the original FP-growth port by ~3×. That gap was **not** the mining
+//! strategy — it was FP-growth's transaction-encoding phase materializing
+//! strings per drifted row; see `fpgrowth.rs` ("Transaction encoding") for
+//! the fix. The `nazar_analysis_fim_phase_seconds{method,phase}` histograms
+//! break both algorithms down so a regression in either phase is visible in
+//! any run report.
 
 use crate::metrics::{CauseStats, FimConfig};
 use nazar_log::{Attribute, DriftLog};
+use nazar_obs::LazyHistogram;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::time::Instant;
+
+static PHASE_LEVEL1: LazyHistogram = LazyHistogram::new(
+    "nazar_analysis_fim_phase_seconds",
+    "Time spent per FIM phase",
+    &[("method", "apriori"), ("phase", "level1")],
+    nazar_obs::duration_buckets,
+);
+static PHASE_EXTEND: LazyHistogram = LazyHistogram::new(
+    "nazar_analysis_fim_phase_seconds",
+    "Time spent per FIM phase",
+    &[("method", "apriori"), ("phase", "extend")],
+    nazar_obs::duration_buckets,
+);
+static PHASE_RANK: LazyHistogram = LazyHistogram::new(
+    "nazar_analysis_fim_phase_seconds",
+    "Time spent per FIM phase",
+    &[("method", "apriori"), ("phase", "rank")],
+    nazar_obs::duration_buckets,
+);
 
 /// A candidate or accepted root cause: an attribute set plus its metrics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,6 +131,7 @@ pub fn mine(log: &DriftLog, config: &FimConfig) -> FimTable {
     }
 
     // Level 1: one candidate per (key, value) with at least one drifted row.
+    let level1_start = Instant::now();
     let mut level: Vec<RankedCause> = Vec::new();
     for key in log.schema() {
         for (value, counts) in log.distinct_values(key).expect("schema key") {
@@ -119,8 +150,10 @@ pub fn mine(log: &DriftLog, config: &FimConfig) -> FimTable {
     }
     let singles = level.clone();
     let mut all = level.clone();
+    PHASE_LEVEL1.observe_since(level1_start);
 
     // Levels 2..=max_attrs: extend by singletons on unused keys.
+    let extend_start = Instant::now();
     let mut seen: HashSet<Vec<Attribute>> = all.iter().map(|c| c.attrs.clone()).collect();
     for _ in 2..=config.max_attrs {
         let mut next: Vec<RankedCause> = Vec::new();
@@ -153,13 +186,16 @@ pub fn mine(log: &DriftLog, config: &FimConfig) -> FimTable {
         all.extend(next.iter().cloned());
         level = next;
     }
+    PHASE_EXTEND.observe_since(extend_start);
 
+    let rank_start = Instant::now();
     all.sort_by(rank_order);
     let causes = all
         .iter()
         .filter(|c| c.stats.passes(config))
         .cloned()
         .collect();
+    PHASE_RANK.observe_since(rank_start);
     FimTable {
         causes,
         all,

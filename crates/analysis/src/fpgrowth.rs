@@ -12,14 +12,50 @@
 //! the equivalence is asserted by tests on the paper's worked example and on
 //! randomized logs. The criterion benchmark `fim_algorithms` compares their
 //! runtime.
+//!
+//! # Transaction encoding
+//!
+//! Items are encoded straight from the drift log's dictionary-coded columns:
+//! the item id of `(column ci, code vid)` is `offset[ci] + vid`, where
+//! `offset` accumulates dictionary sizes across columns. Encoding is one
+//! linear pass over `u32` columns with **no string materialization**, and
+//! identical transactions collapse into one weighted entry, so the FP-tree
+//! build scales with the number of *distinct* drifted attribute combinations
+//! rather than the number of drifted rows. An earlier version reconstructed
+//! a [`nazar_log::DriftLogEntry`] per drifted row and interned
+//! `(String, String)` pairs through a hash map, which made this phase
+//! dominate the whole mine at benchmark scale (~3× slower than apriori on
+//! `fim_algorithms/fpgrowth_50k`); the `nazar_analysis_fim_phase_seconds`
+//! histograms exist to keep that visible.
 
 use crate::fim::{rank_order_by, FimTable, RankedCause};
 use crate::metrics::{CauseStats, FimConfig};
 use nazar_log::{Attribute, DriftLog};
+use nazar_obs::LazyHistogram;
 use std::collections::HashMap;
+use std::time::Instant;
 
-/// An item in transaction form: a `(column, value)` attribute encoded by
-/// its position in the item dictionary.
+static PHASE_ENCODE: LazyHistogram = LazyHistogram::new(
+    "nazar_analysis_fim_phase_seconds",
+    "Time spent per FIM phase",
+    &[("method", "fpgrowth"), ("phase", "encode")],
+    nazar_obs::duration_buckets,
+);
+static PHASE_MINE: LazyHistogram = LazyHistogram::new(
+    "nazar_analysis_fim_phase_seconds",
+    "Time spent per FIM phase",
+    &[("method", "fpgrowth"), ("phase", "mine")],
+    nazar_obs::duration_buckets,
+);
+static PHASE_SCORE: LazyHistogram = LazyHistogram::new(
+    "nazar_analysis_fim_phase_seconds",
+    "Time spent per FIM phase",
+    &[("method", "fpgrowth"), ("phase", "score")],
+    nazar_obs::duration_buckets,
+);
+
+/// An item in transaction form: column `ci` with dictionary code `vid`
+/// encoded as `offset[ci] + vid` (see the module docs).
 type ItemId = usize;
 
 /// One FP-tree node: item, count, parent link and children.
@@ -169,6 +205,24 @@ fn mine_tree(
     }
 }
 
+/// Whether sorted `needle` is a subset of sorted `haystack` (two-pointer
+/// merge; both slices strictly ascending).
+fn contains_sorted(haystack: &[ItemId], needle: &[ItemId]) -> bool {
+    let mut h = haystack.iter();
+    'needles: for &n in needle {
+        for &x in h.by_ref() {
+            if x == n {
+                continue 'needles;
+            }
+            if x > n {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
 /// Mines frequent itemsets associated with drift using FP-growth, scoring
 /// and ranking exactly as [`crate::fim::mine`] does.
 pub fn mine_fpgrowth(log: &DriftLog, config: &FimConfig) -> FimTable {
@@ -183,40 +237,77 @@ pub fn mine_fpgrowth(log: &DriftLog, config: &FimConfig) -> FimTable {
         };
     }
 
-    // Item dictionary over (column, value) pairs present in drifted rows.
-    let mut dict: Vec<Attribute> = Vec::new();
-    let mut dict_index: HashMap<(String, String), ItemId> = HashMap::new();
-    let mut transactions: Vec<(Vec<ItemId>, usize)> = Vec::new();
-    for row in 0..total_rows {
-        let entry = log.entry(row).expect("row in range");
-        if !entry.drift {
-            continue;
-        }
-        let items: Vec<ItemId> = entry
-            .attrs
-            .iter()
-            .map(|a| {
-                let key = (a.key.clone(), a.value.clone());
-                *dict_index.entry(key).or_insert_with(|| {
-                    dict.push(a.clone());
-                    dict.len() - 1
-                })
-            })
-            .collect();
-        transactions.push((items, 1));
+    // Encode transactions directly from the dictionary-coded columns: the
+    // item id of column `ci`, code `vid` is `offsets[ci] + vid`. One linear
+    // pass over `u32` data, no per-row entry reconstruction or interning.
+    let encode_start = Instant::now();
+    let ncols = log.schema().len();
+    let mut offsets = Vec::with_capacity(ncols + 1);
+    let mut acc = 0usize;
+    for ci in 0..ncols {
+        offsets.push(acc);
+        acc += log.dict_values(ci).len();
     }
+    offsets.push(acc);
+    let columns: Vec<&[u32]> = (0..ncols).map(|ci| log.column_codes(ci)).collect();
+    // Identical transactions collapse into one weighted `(total, drifted)`
+    // entry (FP-growth operates on weighted transactions natively):
+    // attribute cardinality bounds the distinct count, so neither tree
+    // construction nor scoring scales with the number of rows.
+    let mut weights: HashMap<Vec<ItemId>, (usize, usize)> = HashMap::new();
+    let mut items = Vec::with_capacity(ncols);
+    for (row, &drifted) in log.drift_flags().iter().enumerate() {
+        items.clear();
+        items.extend((0..ncols).map(|ci| offsets[ci] + columns[ci][row] as usize));
+        match weights.get_mut(items.as_slice()) {
+            Some(w) => {
+                w.0 += 1;
+                w.1 += usize::from(drifted);
+            }
+            None => {
+                weights.insert(items.clone(), (1, usize::from(drifted)));
+            }
+        }
+    }
+    let mut groups: Vec<(Vec<ItemId>, (usize, usize))> = weights.into_iter().collect();
+    // HashMap iteration order is arbitrary; sort for deterministic mining.
+    groups.sort_unstable();
+    let transactions: Vec<(Vec<ItemId>, usize)> = groups
+        .iter()
+        .filter(|&&(_, (_, drifted))| drifted > 0)
+        .map(|(items, (_, drifted))| (items.clone(), *drifted))
+        .collect();
+    PHASE_ENCODE.observe_since(encode_start);
 
     // occurrence = drifted(S)/N ≥ min_occurrence  ⇔  drifted(S) ≥ ceil(min·N).
+    let mine_start = Instant::now();
     let min_count = ((config.min_occurrence * total_rows as f64).ceil() as usize).max(1);
     let mut raw: Vec<(Vec<ItemId>, usize)> = Vec::new();
     mine_tree(&transactions, min_count, config.max_attrs, &[], &mut raw);
+    PHASE_MINE.observe_since(mine_start);
 
+    // Score against the weighted transaction groups instead of rescanning
+    // the log: an itemset's occurrences/drifted counts are the summed
+    // weights of the groups containing it (`total_rows / distinct-groups`
+    // times cheaper than one `count_matching` scan per itemset).
+    let score_start = Instant::now();
+    let decode = |item: ItemId| -> Attribute {
+        let ci = offsets.partition_point(|&o| o <= item) - 1;
+        let vid = item - offsets[ci];
+        Attribute::new(log.schema()[ci].clone(), log.dict_values(ci)[vid].clone())
+    };
     let mut all: Vec<RankedCause> = raw
         .into_iter()
         .map(|(items, _drift_count)| {
-            let mut attrs: Vec<Attribute> = items.iter().map(|&i| dict[i].clone()).collect();
+            let mut counts = nazar_log::MatchCounts::default();
+            for (group_items, (occ, drifted)) in &groups {
+                if contains_sorted(group_items, &items) {
+                    counts.occurrences += occ;
+                    counts.drifted += drifted;
+                }
+            }
+            let mut attrs: Vec<Attribute> = items.iter().map(|&i| decode(i)).collect();
             attrs.sort();
-            let counts = log.count_matching(&attrs, None).expect("schema keys");
             let stats = CauseStats::from_counts(counts, total_rows, total_drifted);
             RankedCause { attrs, stats }
         })
@@ -228,6 +319,7 @@ pub fn mine_fpgrowth(log: &DriftLog, config: &FimConfig) -> FimTable {
         .filter(|c| c.stats.passes(config))
         .cloned()
         .collect();
+    PHASE_SCORE.observe_since(score_start);
     FimTable {
         causes,
         all,

@@ -106,17 +106,32 @@ pub fn analyze_variant_with(
     variant: AnalysisVariant,
     algorithm: FimAlgorithm,
 ) -> Vec<RankedCause> {
-    let table = mine_with(log, config, algorithm);
+    let _span = nazar_obs::span_detail("analysis", || format!("rows={}", log.num_rows()));
+    let table = {
+        let _fim = nazar_obs::span_detail("fim", || {
+            match algorithm {
+                FimAlgorithm::Apriori => "apriori",
+                FimAlgorithm::FpGrowth => "fpgrowth",
+            }
+            .to_string()
+        });
+        mine_with(log, config, algorithm)
+    };
     match variant {
         AnalysisVariant::FimOnly => table.causes,
         AnalysisVariant::FimWithReduction => {
+            let _reduce = nazar_obs::span("reduction");
             reduction::set_reduction_with(config.ranking, table.causes)
                 .into_iter()
                 .map(|assoc| assoc.key)
                 .collect()
         }
         AnalysisVariant::Full => {
-            let associations = reduction::set_reduction_with(config.ranking, table.causes);
+            let associations = {
+                let _reduce = nazar_obs::span("reduction");
+                reduction::set_reduction_with(config.ranking, table.causes)
+            };
+            let _cf = nazar_obs::span("counterfactual");
             counterfactual::counterfactual_filter(log, config, associations)
         }
     }

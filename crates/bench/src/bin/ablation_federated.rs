@@ -42,6 +42,7 @@ fn corrupt_matrix(
 }
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("ablation_federated");
     let config = AnimalsConfig::default();
     let setup = animals_model("resnet50", &config);
     let tent = TentConfig {

@@ -17,6 +17,7 @@ use nazar_cloud::{CloudConfig, Strategy};
 use nazar_data::AnimalsConfig;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("ablation_ranking");
     // Part 1: how the metrics order the same mined table. Risk ratio favors
     // *specific* causes (high lift over the background drift rate); support
     // favors *broad* ones (large share of all drifted rows).

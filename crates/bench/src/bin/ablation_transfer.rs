@@ -17,6 +17,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("ablation_transfer");
     // Static ratio per architecture.
     let mut t = Table::new(
         "§3.4: BN patch vs full model size",

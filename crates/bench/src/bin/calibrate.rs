@@ -12,6 +12,7 @@ use nazar_nn::Mode;
 use nazar_tensor::Tensor;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("calibrate");
     let config = AnimalsConfig::default();
     let setup = animals_model("resnet50", &config);
     println!(

@@ -16,6 +16,7 @@ use rand::rngs::SmallRng;
 use rand::{seq::SliceRandom, SeedableRng};
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("fig5");
     let config = AnimalsConfig::default();
     let mut setup = animals_model("resnet50", &config);
     let mut rng = SmallRng::seed_from_u64(55);

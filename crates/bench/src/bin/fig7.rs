@@ -11,6 +11,7 @@ use nazar_bench::{animals_model, partitions, tent_method};
 use nazar_data::AnimalsConfig;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("fig7");
     let config = AnimalsConfig::default();
     let setup = animals_model("resnet50", &config);
 

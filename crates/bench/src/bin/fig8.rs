@@ -23,6 +23,7 @@ use nazar_data::{CityscapesConfig, CityscapesDataset, CITYSCAPES_CLASSES};
 use nazar_device::DeviceConfig;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("fig8");
     let windows: usize = std::env::args()
         .skip_while(|a| a != "--windows")
         .nth(1)

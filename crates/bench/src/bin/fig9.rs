@@ -26,6 +26,7 @@ fn cloud(windows: usize) -> CloudConfig {
 }
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("fig9");
     let base_config = AnimalsConfig::default();
     let setup = animals_model("resnet50", &base_config);
     println!("resnet50-analog val accuracy: {}", pct(setup.val_accuracy));

@@ -4,13 +4,34 @@
 //! rows in the drift log is completely linear" — FIM is one counting scan
 //! per candidate, and set reduction keeps the counterfactual candidate set
 //! small.
+//!
+//! Besides the scaling sweep, this bin drives one reduced-scale end-to-end
+//! pipeline round (detect → log ingest → FIM → set reduction →
+//! counterfactual → adaptation) so that a `NAZAR_OBS` run report covers
+//! every pipeline stage; CI schema-validates that report. Set
+//! `NAZAR_FIG9D_MAX_ROWS` to cap the sweep for quick runs (CI uses 100000).
 
 use nazar_analysis::FimConfig;
-use nazar_bench::report::{num, Table};
+use nazar_bench::report::{num, pct, Table};
+use nazar_bench::{animals_model, tent_method};
+use nazar_cloud::experiment::run_strategy;
 use nazar_cloud::timing::analysis_scaling;
+use nazar_cloud::{CloudConfig, Strategy};
+use nazar_data::AnimalsConfig;
 
 fn main() {
-    let rows = [10_000usize, 50_000, 100_000, 250_000, 500_000, 1_000_000];
+    let _obs = nazar_bench::ObsRun::start("fig9d");
+    let mut rows = vec![10_000usize, 50_000, 100_000, 250_000, 500_000, 1_000_000];
+    if let Ok(cap) = std::env::var("NAZAR_FIG9D_MAX_ROWS") {
+        let cap: usize = cap
+            .parse()
+            .expect("NAZAR_FIG9D_MAX_ROWS must be an integer row count");
+        rows.retain(|&r| r <= cap);
+        assert!(
+            rows.len() >= 2,
+            "NAZAR_FIG9D_MAX_ROWS={cap} leaves fewer than two scaling points"
+        );
+    }
     let points = analysis_scaling(&rows, &FimConfig::default(), 42);
 
     let mut t = Table::new(
@@ -46,4 +67,25 @@ fn main() {
         hi / lo
     );
     println!("linear-scaling check passed.");
+
+    // One reduced-scale end-to-end round so the run report's span tree
+    // covers detection, log ingest, analysis and adaptation.
+    let config = AnimalsConfig::small();
+    let setup = animals_model("tiny", &config);
+    let cloud = CloudConfig {
+        windows: 2,
+        method: tent_method(),
+        min_samples_per_cause: 8,
+        ..CloudConfig::default()
+    };
+    let r = run_strategy(
+        &setup.model,
+        &setup.dataset.streams,
+        Strategy::Nazar,
+        &cloud,
+    );
+    println!(
+        "end-to-end round (reduced scale): final-window accuracy {}",
+        pct(r.mean_accuracy_last(1))
+    );
 }

@@ -7,6 +7,7 @@ use nazar_tensor::Tensor;
 use std::collections::BTreeMap;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("probe_cityscapes");
     let cfg = CityscapesConfig::default();
     let data = CityscapesDataset::generate(&cfg);
     let classes = data.space.num_classes();

@@ -15,6 +15,7 @@ use nazar_nn::{train, ModelArch};
 use nazar_tensor::Tensor;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("real_rain");
     let config = CityscapesConfig::default();
     let dataset = CityscapesDataset::generate(&config);
     let base = train_base_model(

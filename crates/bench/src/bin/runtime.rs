@@ -13,6 +13,7 @@ use nazar_cloud::{CloudConfig, Strategy};
 use nazar_data::AnimalsConfig;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("runtime");
     let config = AnimalsConfig::default();
     let setup = animals_model("resnet50", &config);
 

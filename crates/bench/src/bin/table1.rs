@@ -44,6 +44,7 @@ fn best_threshold(
 }
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("table1");
     let config = AnimalsConfig::default();
     let mut setup = animals_model("resnet50", &config);
     let mut rng = SmallRng::seed_from_u64(41);

@@ -11,6 +11,7 @@ use nazar_bench::report::{num, Table};
 use nazar_log::paper_example_log;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("table3");
     let log = paper_example_log();
 
     let mut t2 = Table::new(

@@ -13,6 +13,7 @@ use nazar_bench::{animals_model, memo_method, partitions, tent_method};
 use nazar_data::AnimalsConfig;
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("table4");
     let config = AnimalsConfig::default();
     let setup = animals_model("resnet50", &config);
     println!("base model val accuracy: {}", pct(setup.val_accuracy));

@@ -83,6 +83,7 @@ fn predicted_clusters(obs: &[Obs], causes: &[RankedCause]) -> Vec<usize> {
 }
 
 fn main() {
+    let _obs = nazar_bench::ObsRun::start("table5");
     let config = AnimalsConfig::default();
     let mut setup = animals_model("resnet50", &config);
     let fim = FimConfig::default();

@@ -1,6 +1,40 @@
-//! Plain-text table rendering for experiment output.
+//! Plain-text table rendering and run-report emission for experiment output.
 
 use std::fmt::Write as _;
+
+/// RAII guard that wraps one experiment binary in an observability run.
+///
+/// On construction it opens the root `run` span and emits a `run_start`
+/// event; on drop it closes the span, assembles the span tree + metrics
+/// snapshot via [`nazar_obs::finish_run`], and flushes the configured sinks.
+/// Everything is a no-op unless `NAZAR_OBS` selects a sink, so the guard is
+/// unconditionally placed at the top of every bin's `main`.
+pub struct ObsRun {
+    name: &'static str,
+    root: Option<nazar_obs::SpanGuard>,
+}
+
+impl ObsRun {
+    /// Starts an observability run named after the binary (e.g. `"fig9d"`).
+    pub fn start(name: &'static str) -> ObsRun {
+        nazar_obs::event!("run_start", bin = name);
+        ObsRun {
+            name,
+            root: Some(nazar_obs::span("run")),
+        }
+    }
+}
+
+impl Drop for ObsRun {
+    fn drop(&mut self) {
+        // Close the root span before draining so it appears in the tree.
+        drop(self.root.take());
+        if nazar_obs::enabled() {
+            nazar_obs::finish_run(self.name);
+            eprintln!("obs: run report emitted for {}", self.name);
+        }
+    }
+}
 
 /// A simple aligned text table, printed to stdout by the experiment bins and
 /// pasted into EXPERIMENTS.md.

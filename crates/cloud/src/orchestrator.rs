@@ -6,6 +6,7 @@ use nazar_device::{DeviceConfig, Fleet, UploadedSample, WindowStats, LOG_SCHEMA}
 use nazar_log::{DriftLog, DriftLogEntry};
 use nazar_nn::MlpResNet;
 use nazar_nn::{BnPatch, Layer};
+use nazar_obs::{event, LazyHistogram};
 use nazar_registry::VersionMeta;
 use nazar_tensor::{parallel, Tensor};
 use rand::rngs::SmallRng;
@@ -196,6 +197,13 @@ impl RunResult {
     }
 }
 
+static ADAPT_JOB_SECONDS: LazyHistogram = LazyHistogram::new(
+    "nazar_cloud_adapt_job_seconds",
+    "Wall-clock duration of one per-cause adaptation job",
+    &[],
+    nazar_obs::duration_buckets,
+);
+
 fn mean(values: impl Iterator<Item = f32>) -> f32 {
     let v: Vec<f32> = values.collect();
     if v.is_empty() {
@@ -284,6 +292,7 @@ impl Orchestrator {
 
     /// Deploys a patch (targeted or broadcast) and charges the ledger.
     fn deploy(&mut self, meta: &VersionMeta, patch: &BnPatch) {
+        let _span = nazar_obs::span("deploy");
         let devices = if self.config.targeted_deployment {
             self.fleet.deploy_targeted(meta, patch) as u64
         } else {
@@ -292,6 +301,17 @@ impl Orchestrator {
         };
         self.ledger.0 += devices * patch.num_scalars() as u64 * 4;
         self.ledger.1 += devices * self.model_scalars * 4;
+        event!(
+            "deploy",
+            cause = meta
+                .attrs
+                .iter()
+                .map(|a| a.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            devices = devices,
+            patch_bytes = patch.num_scalars() * 4,
+        );
     }
 
     /// The cumulative drift log (for inspection and scaling measurements).
@@ -301,8 +321,15 @@ impl Orchestrator {
 
     /// Runs all windows of the workload and returns the collected results.
     pub fn run(&mut self, streams: &[nazar_data::LocationStream]) -> RunResult {
+        event!(
+            "run_start",
+            strategy = self.strategy.name(),
+            windows = self.config.windows,
+            devices = self.fleet.len(),
+        );
         let mut result = RunResult::default();
         for w in 0..self.config.windows {
+            let _window_span = nazar_obs::span_detail("window", || format!("w={w}"));
             let output = self
                 .fleet
                 .process_window(streams, w, self.config.windows, &mut self.rng);
@@ -326,6 +353,13 @@ impl Orchestrator {
                 }
             };
 
+            event!(
+                "window_complete",
+                window = w,
+                accuracy = output.stats.accuracy(),
+                flagged = output.stats.flagged,
+                causes = causes.len(),
+            );
             result
                 .causes_per_window
                 .push(causes.iter().map(RankedCause::label).collect());
@@ -338,6 +372,7 @@ impl Orchestrator {
     }
 
     fn ingest(&mut self, entries: &[DriftLogEntry]) {
+        let _span = nazar_obs::span_detail("log_ingest", || format!("rows={}", entries.len()));
         for e in entries {
             self.drift_log
                 .push(e.clone())
@@ -348,6 +383,7 @@ impl Orchestrator {
     /// The adapt-all baseline: continuously adapt one model on all uploads
     /// and deploy it as the universal (empty-attribute) version.
     fn adapt_all(&mut self, uploads: &[UploadedSample]) {
+        let _span = nazar_obs::span_detail("adapt", || "adapt_all".to_string());
         let Some(data) = stack_features(uploads) else {
             return;
         };
@@ -395,6 +431,8 @@ impl Orchestrator {
         // own pre-drawn RNG), so they fan out across scoped threads and
         // deploy back in cause order.
         let t1 = Instant::now();
+        let adapt_span = nazar_obs::span("adapt");
+        let adapt_parent = adapt_span.id();
         let mut adapted = Vec::new();
         let mut covered = vec![false; uploads.len()];
         let mut jobs: Vec<(RankedCause, Tensor, u64)> = Vec::new();
@@ -418,6 +456,12 @@ impl Orchestrator {
             if self.config.mode == OperationMode::Manual {
                 // Raise an alert and wait for the ML-ops team instead of
                 // adapting automatically (§3.1).
+                event!(
+                    "alert",
+                    window = window,
+                    cause = cause.label(),
+                    samples = rows.len(),
+                );
                 self.pending_alerts.push(DriftAlert {
                     window,
                     sample_count: rows.len(),
@@ -432,8 +476,12 @@ impl Orchestrator {
         let base_model = &self.base_model;
         let method = &self.config.method;
         let patches = parallel::par_map(jobs, |(cause, data, seed)| {
+            let mut job_span = nazar_obs::span_child("adapt_job", adapt_parent);
+            job_span.set_detail(cause.label());
+            let job_start = Instant::now();
             let mut job_rng = SmallRng::seed_from_u64(seed);
             let (patch, _) = adapt_to_patch(base_model, &data, method, &mut job_rng);
+            ADAPT_JOB_SECONDS.observe_since(job_start);
             (cause, patch)
         });
         for (cause, patch) in patches {
@@ -447,6 +495,7 @@ impl Orchestrator {
         // 'clean' when they are not associated with previously discovered
         // root causes").
         if self.config.adapt_clean {
+            let _clean_span = nazar_obs::span_child("adapt_clean", adapt_parent);
             let clean_rows: Vec<Vec<f32>> = uploads
                 .iter()
                 .zip(&covered)

@@ -4,6 +4,7 @@ use crate::device::{Device, DeviceConfig, DeviceOutput, UploadedSample};
 use nazar_data::{Corruption, LocationStream, StreamItem};
 use nazar_log::DriftLogEntry;
 use nazar_nn::{BnPatch, MlpResNet};
+use nazar_obs::LazyCounter;
 use nazar_registry::VersionMeta;
 use nazar_tensor::parallel;
 use rand::rngs::SmallRng;
@@ -24,6 +25,13 @@ pub struct WindowStats {
     pub drifted_correct: usize,
     /// Requests the on-device detector flagged as drift.
     pub flagged: usize,
+    /// Flagged requests whose input was *not* drifted in the ground truth
+    /// (detector false positives).
+    #[serde(default)]
+    pub false_positives: usize,
+    /// Drifted requests the detector did *not* flag (detector misses).
+    #[serde(default)]
+    pub misses: usize,
     /// Per-cause `(correct, total)` tallies, keyed by corruption name.
     pub per_cause: BTreeMap<String, (usize, usize)>,
 }
@@ -49,6 +57,18 @@ impl WindowStats {
         self.per_cause.get(cause.name()).map(|&(c, t)| ratio(c, t))
     }
 
+    /// Detector precision: of the flagged requests, the fraction that were
+    /// actually drifted. `0` when nothing was flagged.
+    pub fn precision(&self) -> f32 {
+        ratio(self.flagged - self.false_positives, self.flagged)
+    }
+
+    /// Detector recall: of the drifted requests, the fraction the detector
+    /// flagged. `0` when nothing was drifted.
+    pub fn recall(&self) -> f32 {
+        ratio(self.drifted_total - self.misses, self.drifted_total)
+    }
+
     /// Merges another window's statistics into this one.
     pub fn merge(&mut self, other: &WindowStats) {
         self.total += other.total;
@@ -56,6 +76,8 @@ impl WindowStats {
         self.drifted_total += other.drifted_total;
         self.drifted_correct += other.drifted_correct;
         self.flagged += other.flagged;
+        self.false_positives += other.false_positives;
+        self.misses += other.misses;
         for (k, &(c, t)) in &other.per_cause {
             let e = self.per_cause.entry(k.clone()).or_insert((0, 0));
             e.0 += c;
@@ -181,6 +203,7 @@ impl Fleet {
         windows: usize,
         rng: &mut R,
     ) -> WindowOutput {
+        let _span = nazar_obs::span_detail("detect", || format!("w={w}"));
         // Group this window's items per device, keeping stream order.
         let mut per_device: BTreeMap<&str, Vec<&StreamItem>> = BTreeMap::new();
         for stream in streams {
@@ -214,8 +237,59 @@ impl Fleet {
             out.entries.extend(part.entries);
             out.uploads.extend(part.uploads);
         }
+        record_stats(&out);
         out
     }
+}
+
+static INFERENCES: LazyCounter = LazyCounter::new(
+    "nazar_device_inferences_total",
+    "Inference requests processed by the fleet",
+    &[],
+);
+static CORRECT: LazyCounter = LazyCounter::new(
+    "nazar_device_correct_total",
+    "Correct predictions across the fleet",
+    &[],
+);
+static DRIFTED: LazyCounter = LazyCounter::new(
+    "nazar_device_drifted_total",
+    "Requests whose input was drifted in the ground truth",
+    &[],
+);
+static FLAGGED: LazyCounter = LazyCounter::new(
+    "nazar_device_flagged_total",
+    "Requests the on-device detector flagged as drift",
+    &[],
+);
+static FALSE_POSITIVES: LazyCounter = LazyCounter::new(
+    "nazar_device_false_positives_total",
+    "Flagged requests that were not drifted (detector false positives)",
+    &[],
+);
+static MISSES: LazyCounter = LazyCounter::new(
+    "nazar_device_misses_total",
+    "Drifted requests the detector did not flag (detector misses)",
+    &[],
+);
+static UPLOADS: LazyCounter = LazyCounter::new(
+    "nazar_device_uploads_total",
+    "Inputs sampled for upload to the cloud",
+    &[],
+);
+
+/// Exports one window's aggregated statistics as fleet-wide counters.
+fn record_stats(out: &WindowOutput) {
+    if !nazar_obs::enabled() {
+        return;
+    }
+    INFERENCES.add(out.stats.total as u64);
+    CORRECT.add(out.stats.correct as u64);
+    DRIFTED.add(out.stats.drifted_total as u64);
+    FLAGGED.add(out.stats.flagged as u64);
+    FALSE_POSITIVES.add(out.stats.false_positives as u64);
+    MISSES.add(out.stats.misses as u64);
+    UPLOADS.add(out.uploads.len() as u64);
 }
 
 /// Folds one processed item into a window output.
@@ -226,6 +300,11 @@ fn tally(out: &mut WindowOutput, item: &StreamItem, result: DeviceOutput) {
     }
     if result.entry.drift {
         out.stats.flagged += 1;
+        if item.true_cause.is_none() {
+            out.stats.false_positives += 1;
+        }
+    } else if item.true_cause.is_some() {
+        out.stats.misses += 1;
     }
     if let Some(cause) = item.true_cause {
         out.stats.drifted_total += 1;
@@ -295,6 +374,40 @@ mod tests {
         assert_eq!(out.entries.len(), expected);
         assert!(out.stats.correct <= out.stats.total);
         assert!(out.stats.drifted_correct <= out.stats.drifted_total);
+    }
+
+    #[test]
+    fn precision_and_recall_follow_confusion_counts() {
+        let stats = WindowStats {
+            total: 100,
+            drifted_total: 40,
+            flagged: 50,
+            false_positives: 20, // 30 true positives of 50 flagged
+            misses: 10,          // 30 caught of 40 drifted
+            ..WindowStats::default()
+        };
+        assert!((stats.precision() - 0.6).abs() < 1e-6);
+        assert!((stats.recall() - 0.75).abs() < 1e-6);
+        // Degenerate windows divide by zero into 0, not NaN.
+        let empty = WindowStats::default();
+        assert_eq!(empty.precision(), 0.0);
+        assert_eq!(empty.recall(), 0.0);
+    }
+
+    #[test]
+    fn tally_classifies_false_positives_and_misses() {
+        let (data, mut fleet) = small_world();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let out = fleet.process_window(&data.streams, 0, 8, &mut rng);
+        // Confusion counts partition consistently.
+        assert!(out.stats.false_positives <= out.stats.flagged);
+        assert!(out.stats.misses <= out.stats.drifted_total);
+        let true_positives = out.stats.flagged - out.stats.false_positives;
+        assert_eq!(
+            true_positives + out.stats.misses,
+            out.stats.drifted_total,
+            "drifted inputs split into caught + missed"
+        );
     }
 
     #[test]

@@ -1,9 +1,36 @@
 //! Columnar drift-log store with dictionary encoding.
 
 use crate::entry::{Attribute, DriftLogEntry};
+use nazar_obs::LazyCounter;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+
+static INGEST_ROWS: LazyCounter = LazyCounter::new(
+    "nazar_log_ingest_rows_total",
+    "Rows appended to the drift log",
+    &[],
+);
+static INGEST_DRIFTED: LazyCounter = LazyCounter::new(
+    "nazar_log_ingest_drifted_total",
+    "Drift-flagged rows appended to the drift log",
+    &[],
+);
+static QUERY_COUNT: LazyCounter = LazyCounter::new(
+    "nazar_log_queries_total",
+    "Counting/scan queries served by the drift log",
+    &[("op", "count_matching")],
+);
+static QUERY_ROWS: LazyCounter = LazyCounter::new(
+    "nazar_log_queries_total",
+    "Counting/scan queries served by the drift log",
+    &[("op", "rows_matching")],
+);
+static QUERY_DISTINCT: LazyCounter = LazyCounter::new(
+    "nazar_log_queries_total",
+    "Counting/scan queries served by the drift log",
+    &[("op", "distinct_values")],
+);
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, LogError>;
@@ -183,6 +210,10 @@ impl DriftLog {
         }
         self.drift.push(entry.drift);
         self.timestamps.push(entry.timestamp);
+        INGEST_ROWS.inc();
+        if entry.drift {
+            INGEST_DRIFTED.inc();
+        }
         Ok(())
     }
 
@@ -235,6 +266,7 @@ impl DriftLog {
     ///
     /// Returns [`LogError::UnknownKey`] for keys outside the schema.
     pub fn distinct_values(&self, key: &str) -> Result<Vec<(String, MatchCounts)>> {
+        QUERY_DISTINCT.inc();
         let ci = self.column_index(key)?;
         let mut counts = vec![MatchCounts::default(); self.dicts[ci].values.len()];
         for (row, &vid) in self.columns[ci].iter().enumerate() {
@@ -257,6 +289,7 @@ impl DriftLog {
     /// Returns [`LogError::UnknownKey`] if an attribute key is not in the
     /// schema.
     pub fn count_matching(&self, set: &[Attribute], mask: Option<&[bool]>) -> Result<MatchCounts> {
+        QUERY_COUNT.inc();
         let mut preds = Vec::with_capacity(set.len());
         for attr in set {
             let ci = self.column_index(&attr.key)?;
@@ -287,6 +320,7 @@ impl DriftLog {
     ///
     /// Returns [`LogError::UnknownKey`] for keys outside the schema.
     pub fn rows_matching(&self, set: &[Attribute]) -> Result<Vec<usize>> {
+        QUERY_ROWS.inc();
         let mut preds = Vec::with_capacity(set.len());
         for attr in set {
             let ci = self.column_index(&attr.key)?;
@@ -349,6 +383,35 @@ impl DriftLog {
         }
         self.drift.drain(0..drop);
         self.timestamps.drain(0..drop);
+    }
+
+    /// The dictionary codes of column `ci` (schema order), one per row.
+    ///
+    /// This is the zero-copy view FIM algorithms use to encode transactions
+    /// without materializing per-row `String`s (see
+    /// `nazar-analysis/src/fpgrowth.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` is out of range for the schema.
+    pub fn column_codes(&self, ci: usize) -> &[u32] {
+        &self.columns[ci]
+    }
+
+    /// The dictionary (distinct value strings) of column `ci`, indexed by
+    /// code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` is out of range for the schema.
+    pub fn dict_values(&self, ci: usize) -> &[String] {
+        &self.dicts[ci].values
+    }
+
+    /// The stored per-row drift flags, row-indexed (a borrowed view; see
+    /// [`DriftLog::drift_mask`] for an owned copy).
+    pub fn drift_flags(&self) -> &[bool] {
+        &self.drift
     }
 
     fn column_index(&self, key: &str) -> Result<usize> {

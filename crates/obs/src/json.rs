@@ -1,0 +1,70 @@
+//! Minimal JSON string rendering (no dependencies, write-only).
+//!
+//! The sinks emit records as hand-assembled JSON lines; this module holds
+//! the one part that needs care — string escaping — plus a float formatter
+//! that round-trips through standard JSON parsers.
+
+/// Appends `s` to `out` as a quoted, escaped JSON string.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` to `out` as a JSON number (`null` for non-finite values,
+/// which JSON cannot represent).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let s = format!("{v}");
+        out.push_str(&s);
+        // Bare integers like `3` are valid JSON numbers already.
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn escaped(s: &str) -> String {
+        let mut out = String::new();
+        write_str(&mut out, s);
+        out
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escaped("plain"), "\"plain\"");
+        assert_eq!(escaped("a\"b"), "\"a\\\"b\"");
+        assert_eq!(escaped("a\\b"), "\"a\\\\b\"");
+        assert_eq!(escaped("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(escaped("\u{1}"), "\"\\u0001\"");
+        assert_eq!(escaped("unicode ✓"), "\"unicode ✓\"");
+    }
+
+    #[test]
+    fn floats_render_as_json_numbers() {
+        let mut out = String::new();
+        write_f64(&mut out, 2.5);
+        assert_eq!(out, "2.5");
+        out.clear();
+        write_f64(&mut out, f64::INFINITY);
+        assert_eq!(out, "null");
+        out.clear();
+        write_f64(&mut out, 3.0);
+        assert_eq!(out, "3");
+    }
+}

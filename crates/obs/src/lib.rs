@@ -1,0 +1,276 @@
+//! `nazar-obs`: zero-dependency observability for the Nazar pipeline.
+//!
+//! The paper's core claim is operational — continuously *monitoring* drifting
+//! models in production — so the reproduction carries its own measurement
+//! substrate. This crate provides, with no dependencies beyond `std`:
+//!
+//! * a process-wide **metrics registry** ([`metrics`]) of labeled counters,
+//!   gauges and fixed-bucket histograms, all backed by atomics so hot paths
+//!   (kernel workspaces, log ingest, version selection) can record without
+//!   locks;
+//! * **scoped span timers** ([`span`]) that assemble a hierarchical span tree
+//!   per pipeline run — device inference → detection → log ingest → FIM →
+//!   set reduction → counterfactual analysis → per-cause adaptation →
+//!   version distribution;
+//! * **structured events** ([`event_fields`] / the [`event!`] macro), the
+//!   replacement for ad-hoc `println!` diagnostics in library crates;
+//! * two **sinks** ([`sink`]): a JSONL event/span writer and a Prometheus
+//!   text-format snapshot, selected by the `NAZAR_OBS` environment variable.
+//!
+//! # The `NAZAR_OBS` environment variable
+//!
+//! Observability is **off by default**: every instrumentation call first
+//! checks [`enabled`], which is a single relaxed atomic load, so the
+//! instrumented hot paths cost nothing measurable when monitoring is not
+//! requested (asserted by `crates/obs/tests` and the PR's bench gates).
+//!
+//! Syntax — one or more comma-separated directives:
+//!
+//! ```text
+//! NAZAR_OBS=jsonl:/tmp/run.jsonl            # stream events/spans as JSON lines
+//! NAZAR_OBS=prom:/tmp/metrics.prom          # write a Prometheus text snapshot on flush
+//! NAZAR_OBS=jsonl:run.jsonl,prom:m.prom     # both
+//! NAZAR_OBS=mem                             # collect in memory only (tests, ad-hoc probes)
+//! ```
+//!
+//! Unset, empty, `0` or `off` disable everything.
+//!
+//! # Example
+//!
+//! ```
+//! nazar_obs::testing::enable_memory_sink();
+//! static REQS: nazar_obs::LazyCounter =
+//!     nazar_obs::LazyCounter::new("nazar_example_requests_total", "Requests served", &[]);
+//! {
+//!     let _span = nazar_obs::span("window");
+//!     let _inner = nazar_obs::span("fim");
+//!     REQS.inc();
+//! }
+//! let report = nazar_obs::finish_run("example");
+//! assert!(report.contains("\"name\":\"window\""));
+//! assert!(nazar_obs::prometheus_snapshot().contains("nazar_example_requests_total 1"));
+//! # nazar_obs::testing::disable();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod span;
+
+pub use metrics::{
+    duration_buckets, pow2_buckets, registry, Counter, Gauge, Histogram, LazyCounter, LazyGauge,
+    LazyHistogram, MetricKind, MetricSnapshot, Registry,
+};
+pub use sink::{flush, prometheus_snapshot};
+pub use span::{current_span_id, span, span_child, span_detail, SpanGuard, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide observability state, initialized once.
+struct State {
+    enabled: AtomicBool,
+    epoch: Instant,
+}
+
+static STATE: OnceLock<State> = OnceLock::new();
+
+fn state() -> &'static State {
+    STATE.get_or_init(|| {
+        let spec = std::env::var("NAZAR_OBS").unwrap_or_default();
+        let config = sink::SinkConfig::parse(&spec);
+        let on = config.is_some();
+        if let Some(config) = config {
+            sink::install(config);
+        }
+        State {
+            enabled: AtomicBool::new(on),
+            epoch: Instant::now(),
+        }
+    })
+}
+
+/// Whether observability is active.
+///
+/// This is the no-op fast path: one lazy-init check plus one relaxed atomic
+/// load. Every instrumentation helper in this crate calls it first and
+/// returns immediately when it is `false`.
+#[inline]
+pub fn enabled() -> bool {
+    state().enabled.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the observability epoch (first touch of the crate).
+///
+/// Timestamps in emitted records are relative to this epoch, which keeps the
+/// output deterministic in shape (monotonic, starting near zero) without
+/// needing a wall clock.
+pub fn now_ns() -> u64 {
+    u64::try_from(state().epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Emits one structured event with pre-rendered field values.
+///
+/// Prefer the [`event!`] macro, which skips field rendering entirely when
+/// observability is disabled.
+pub fn event_fields(name: &str, fields: &[(&str, String)]) {
+    if !enabled() {
+        return;
+    }
+    let mut line = String::with_capacity(64);
+    line.push_str("{\"type\":\"event\",\"ts_ns\":");
+    line.push_str(&now_ns().to_string());
+    line.push_str(",\"name\":");
+    json::write_str(&mut line, name);
+    if !fields.is_empty() {
+        line.push_str(",\"fields\":{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            json::write_str(&mut line, k);
+            line.push(':');
+            json::write_str(&mut line, v);
+        }
+        line.push('}');
+    }
+    line.push('}');
+    sink::write_line(&line);
+}
+
+/// Emits a structured event: `event!("deploy", cause = label, devices = n)`.
+///
+/// Field values are rendered with `to_string()` only when observability is
+/// enabled, so call sites are free on the disabled path.
+#[macro_export]
+macro_rules! event {
+    ($name:expr $(, $key:ident = $value:expr)* $(,)?) => {
+        if $crate::enabled() {
+            $crate::event_fields($name, &[$((stringify!($key), $value.to_string())),*]);
+        }
+    };
+}
+
+/// Finishes one pipeline run: drains the collected spans, assembles the span
+/// tree, snapshots the metrics registry, and emits a `run_report` record.
+///
+/// The report is appended to the JSONL sink (when configured), the
+/// Prometheus snapshot is written to the `prom:` sink (when configured), and
+/// the rendered report JSON is returned for programmatic use. Returns an
+/// empty string when observability is disabled.
+pub fn finish_run(name: &str) -> String {
+    if !enabled() {
+        return String::new();
+    }
+    let spans = span::drain();
+    let tree = span::render_tree(&spans);
+    let metrics = registry().snapshot_json();
+    let prometheus = sink::render_prometheus();
+    let mut line = String::with_capacity(256);
+    line.push_str("{\"type\":\"run_report\",\"ts_ns\":");
+    line.push_str(&now_ns().to_string());
+    line.push_str(",\"name\":");
+    json::write_str(&mut line, name);
+    line.push_str(",\"spans\":");
+    line.push_str(&tree);
+    line.push_str(",\"metrics\":");
+    line.push_str(&metrics);
+    line.push_str(",\"prometheus\":");
+    json::write_str(&mut line, &prometheus);
+    line.push('}');
+    sink::write_line(&line);
+    sink::flush();
+    line
+}
+
+/// Test and embedding hooks: enable/disable observability programmatically.
+///
+/// Global observability state is shared across the process; tests that use
+/// these helpers must serialize themselves (see `crates/obs/tests`).
+pub mod testing {
+    use super::*;
+
+    /// Enables observability with in-memory collection only (no files).
+    pub fn enable_memory_sink() {
+        sink::install(sink::SinkConfig::default());
+        state().enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Enables observability streaming JSONL records to `path`.
+    pub fn enable_jsonl_sink(path: &std::path::Path) {
+        sink::install(sink::SinkConfig {
+            jsonl: Some(path.to_path_buf()),
+            prom: None,
+        });
+        state().enabled.store(true, Ordering::SeqCst);
+    }
+
+    /// Disables observability and clears collected spans (metrics persist;
+    /// they are cumulative by design).
+    pub fn disable() {
+        state().enabled.store(false, Ordering::SeqCst);
+        let _ = span::drain();
+        sink::uninstall();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that toggle the global enabled flag.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_by_default_and_event_is_noop() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        testing::disable();
+        assert!(!enabled());
+        event!("ignored", value = 1);
+        event_fields("also-ignored", &[]);
+        assert!(finish_run("nothing").is_empty());
+    }
+
+    #[test]
+    fn event_macro_renders_fields() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        testing::enable_memory_sink();
+        event!("deploy", cause = "{weather=snow}", devices = 12);
+        let lines = sink::memory_lines();
+        let line = lines
+            .iter()
+            .find(|l| l.contains("\"name\":\"deploy\""))
+            .expect("event recorded");
+        assert!(line.contains("\"cause\":\"{weather=snow}\""));
+        assert!(line.contains("\"devices\":\"12\""));
+        testing::disable();
+    }
+
+    #[test]
+    fn finish_run_emits_tree_metrics_and_prometheus() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        testing::enable_memory_sink();
+        {
+            let _outer = span("window");
+            let _inner = span("fim");
+        }
+        let report = finish_run("unit");
+        assert!(report.contains("\"type\":\"run_report\""));
+        assert!(report.contains("\"name\":\"window\""));
+        assert!(report.contains("\"name\":\"fim\""));
+        assert!(report.contains("\"prometheus\":"));
+        testing::disable();
+    }
+
+    #[test]
+    fn now_ns_is_monotonic() {
+        let a = now_ns();
+        let b = now_ns();
+        assert!(b >= a);
+    }
+}

@@ -37,7 +37,39 @@
 #![warn(missing_docs)]
 
 use nazar_log::Attribute;
+use nazar_obs::LazyCounter;
 use serde::{Deserialize, Serialize};
+
+static DEPLOYS: LazyCounter = LazyCounter::new(
+    "nazar_registry_deploys_total",
+    "Model versions deployed into a pool",
+    &[],
+);
+static EVICT_REPLACED: LazyCounter = LazyCounter::new(
+    "nazar_registry_evictions_total",
+    "Pool evictions by consolidation rule",
+    &[("reason", "replaced")],
+);
+static EVICT_SUBSUMED: LazyCounter = LazyCounter::new(
+    "nazar_registry_evictions_total",
+    "Pool evictions by consolidation rule",
+    &[("reason", "subsumed")],
+);
+static EVICT_LRU: LazyCounter = LazyCounter::new(
+    "nazar_registry_evictions_total",
+    "Pool evictions by consolidation rule",
+    &[("reason", "lru")],
+);
+static SELECT_HITS: LazyCounter = LazyCounter::new(
+    "nazar_registry_selects_total",
+    "Version selections by outcome",
+    &[("result", "hit")],
+);
+static SELECT_MISSES: LazyCounter = LazyCounter::new(
+    "nazar_registry_selects_total",
+    "Version selections by outcome",
+    &[("result", "miss")],
+);
 
 /// Metadata of a model version: the root cause it was adapted to and the
 /// cause's risk-ratio rank.
@@ -147,6 +179,11 @@ impl<P> ModelPool<P> {
                 && v.meta.attrs.len() > meta.attrs.len()
                 && meta.attrs.iter().all(|a| v.meta.attrs.contains(a));
             if same || subsumed {
+                if same {
+                    EVICT_REPLACED.inc();
+                } else {
+                    EVICT_SUBSUMED.inc();
+                }
                 evicted.push(v.id);
                 false
             } else {
@@ -174,7 +211,21 @@ impl<P> ModelPool<P> {
                     .expect("pool is non-empty");
                 evicted.push(self.versions[idx].id);
                 self.versions.remove(idx);
+                EVICT_LRU.inc();
             }
+        }
+        DEPLOYS.inc();
+        if !evicted.is_empty() {
+            nazar_obs::event!(
+                "pool_evict",
+                version = id,
+                evicted = evicted
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(","),
+                pool_size = self.versions.len(),
+            );
         }
         DeployOutcome { id, evicted }
     }
@@ -183,7 +234,8 @@ impl<P> ModelPool<P> {
     /// attributes, or `None` if the pool is empty or nothing matches
     /// (callers then fall back to the base model).
     pub fn select(&self, input_attrs: &[Attribute]) -> Option<&ModelVersion<P>> {
-        self.versions
+        let chosen = self
+            .versions
             .iter()
             .filter(|v| v.meta.matches(input_attrs))
             .max_by(|a, b| {
@@ -198,7 +250,13 @@ impl<P> ModelPool<P> {
                             .unwrap_or(std::cmp::Ordering::Equal),
                     )
                     .then(a.updated_at.cmp(&b.updated_at))
-            })
+            });
+        if chosen.is_some() {
+            SELECT_HITS.inc();
+        } else {
+            SELECT_MISSES.inc();
+        }
+        chosen
     }
 }
 

@@ -10,7 +10,21 @@
 //!
 //! Everything is built on [`std::thread::scope`]; no external crates.
 
+use nazar_obs::LazyHistogram;
 use std::sync::OnceLock;
+
+static FANOUT: LazyHistogram = LazyHistogram::new(
+    "nazar_tensor_parallel_fanout_width",
+    "Worker threads actually used per parallel fan-out",
+    &[("op", "par_map")],
+    nazar_obs::pow2_buckets,
+);
+static BAND_FANOUT: LazyHistogram = LazyHistogram::new(
+    "nazar_tensor_parallel_fanout_width",
+    "Worker threads actually used per parallel fan-out",
+    &[("op", "par_row_bands")],
+    nazar_obs::pow2_buckets,
+);
 
 /// Number of worker threads to use, read once from `NAZAR_NUM_THREADS`.
 ///
@@ -49,9 +63,11 @@ where
     assert_eq!(out.len(), n_rows * row_len, "row band buffer length");
     let threads = threads.clamp(1, n_rows.max(1));
     if threads <= 1 || n_rows == 0 {
+        BAND_FANOUT.observe(1.0);
         f(0, out);
         return;
     }
+    BAND_FANOUT.observe(threads as f64);
     let rows_per_band = n_rows.div_ceil(threads);
     let f = &f;
     std::thread::scope(|s| {
@@ -74,8 +90,10 @@ where
 {
     let threads = num_threads().clamp(1, items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
+        FANOUT.observe(1.0);
         return items.into_iter().map(f).collect();
     }
+    FANOUT.observe(threads as f64);
     // Deal items into `threads` contiguous batches, preserving order.
     let per_batch = items.len().div_ceil(threads);
     let mut batches: Vec<Vec<T>> = Vec::with_capacity(threads);

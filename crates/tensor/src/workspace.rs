@@ -7,10 +7,22 @@
 //! methods route through a thread-local workspace, which keeps the public
 //! API unchanged while still amortizing allocations.
 
+use nazar_obs::LazyCounter;
 use std::cell::RefCell;
 
 /// How many returned buffers a workspace keeps before dropping the rest.
 const MAX_POOLED: usize = 16;
+
+static POOL_HITS: LazyCounter = LazyCounter::new(
+    "nazar_tensor_workspace_pool_total",
+    "Workspace buffer requests by outcome",
+    &[("result", "hit")],
+);
+static POOL_MISSES: LazyCounter = LazyCounter::new(
+    "nazar_tensor_workspace_pool_total",
+    "Workspace buffer requests by outcome",
+    &[("result", "miss")],
+);
 
 /// A recycling pool of `Vec<f32>` scratch buffers.
 #[derive(Debug, Default)]
@@ -61,8 +73,14 @@ impl Workspace {
             .position(|b| b.capacity() >= len)
             .map(|i| self.pool.swap_remove(i))
         {
-            Some(buf) => buf,
-            None => Vec::with_capacity(len),
+            Some(buf) => {
+                POOL_HITS.inc();
+                buf
+            }
+            None => {
+                POOL_MISSES.inc();
+                Vec::with_capacity(len)
+            }
         }
     }
 

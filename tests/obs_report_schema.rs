@@ -1,0 +1,282 @@
+//! Schema validation for `nazar-obs` run reports.
+//!
+//! CI runs `fig9d` at reduced scale with `NAZAR_OBS=jsonl:...` and points
+//! `NAZAR_OBS_REPORT` at the resulting file before running this test; the
+//! test then checks that the report is well-formed JSONL, that its span tree
+//! covers every pipeline stage, and that the embedded Prometheus snapshot
+//! parses. Without the environment variable the test generates its own
+//! report from a miniature pipeline run, so it is self-contained locally.
+//!
+//! The vendored `serde_json` stand-in has no dynamic `Value` type, so the
+//! JSON well-formedness check is a small recursive-descent validator.
+
+use std::path::PathBuf;
+
+/// Validates that `s` is one complete JSON value (no trailing bytes).
+fn assert_valid_json(s: &str) {
+    let bytes = s.as_bytes();
+    let end = parse_value(bytes, skip_ws(bytes, 0));
+    assert_eq!(
+        skip_ws(bytes, end),
+        bytes.len(),
+        "trailing bytes after JSON value"
+    );
+}
+
+fn skip_ws(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+        i += 1;
+    }
+    i
+}
+
+/// Parses one JSON value starting at `i`, returning the index after it.
+/// Panics (failing the test) on malformed input.
+fn parse_value(b: &[u8], i: usize) -> usize {
+    assert!(i < b.len(), "unexpected end of JSON");
+    match b[i] {
+        b'{' => parse_object(b, i),
+        b'[' => parse_array(b, i),
+        b'"' => parse_string(b, i),
+        b't' => parse_literal(b, i, b"true"),
+        b'f' => parse_literal(b, i, b"false"),
+        b'n' => parse_literal(b, i, b"null"),
+        b'-' | b'0'..=b'9' => parse_number(b, i),
+        c => panic!("unexpected byte {:?} at offset {i}", c as char),
+    }
+}
+
+fn parse_object(b: &[u8], mut i: usize) -> usize {
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&b'}') {
+        return i + 1;
+    }
+    loop {
+        i = parse_string(b, skip_ws(b, i));
+        i = skip_ws(b, i);
+        assert_eq!(b.get(i), Some(&b':'), "expected ':' at offset {i}");
+        i = parse_value(b, skip_ws(b, i + 1));
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(&b',') => i += 1,
+            Some(&b'}') => return i + 1,
+            other => panic!("expected ',' or '}}' at offset {i}, got {other:?}"),
+        }
+    }
+}
+
+fn parse_array(b: &[u8], mut i: usize) -> usize {
+    i = skip_ws(b, i + 1);
+    if b.get(i) == Some(&b']') {
+        return i + 1;
+    }
+    loop {
+        i = parse_value(b, skip_ws(b, i));
+        i = skip_ws(b, i);
+        match b.get(i) {
+            Some(&b',') => i += 1,
+            Some(&b']') => return i + 1,
+            other => panic!("expected ',' or ']' at offset {i}, got {other:?}"),
+        }
+    }
+}
+
+fn parse_string(b: &[u8], i: usize) -> usize {
+    assert_eq!(b.get(i), Some(&b'"'), "expected string at offset {i}");
+    let mut i = i + 1;
+    while i < b.len() {
+        match b[i] {
+            b'"' => return i + 1,
+            b'\\' => {
+                assert!(i + 1 < b.len(), "dangling escape");
+                i += if b[i + 1] == b'u' { 6 } else { 2 };
+            }
+            _ => i += 1,
+        }
+    }
+    panic!("unterminated string");
+}
+
+fn parse_literal(b: &[u8], i: usize, lit: &[u8]) -> usize {
+    assert_eq!(
+        b.get(i..i + lit.len()),
+        Some(lit),
+        "bad literal at offset {i}"
+    );
+    i + lit.len()
+}
+
+fn parse_number(b: &[u8], mut i: usize) -> usize {
+    let start = i;
+    while i < b.len() && matches!(b[i], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+        i += 1;
+    }
+    let s = std::str::from_utf8(&b[start..i]).expect("ascii number");
+    s.parse::<f64>()
+        .unwrap_or_else(|_| panic!("bad number {s:?}"));
+    i
+}
+
+/// Validates a Prometheus text-format snapshot: every non-comment line must
+/// be `name{labels} value` or `name value` with a parseable float value.
+fn assert_prometheus_parses(text: &str) {
+    let mut samples = 0;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "unknown comment {line:?}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        assert!(
+            !name.is_empty()
+                && name
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name in {line:?}"
+        );
+        if name_end < series.len() {
+            assert!(series.ends_with('}'), "unclosed label set in {line:?}");
+        }
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "bad sample value in {line:?}"
+        );
+        samples += 1;
+    }
+    assert!(samples > 0, "prometheus snapshot has no samples");
+}
+
+/// Extracts the string value of `"key":"..."` occurrences from raw JSON.
+fn string_values<'a>(json: &'a str, key: &str) -> Vec<&'a str> {
+    let needle = format!("\"{key}\":\"");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find(&needle) {
+        let tail = &rest[pos + needle.len()..];
+        let mut end = 0;
+        let bytes = tail.as_bytes();
+        while end < bytes.len() && bytes[end] != b'"' {
+            end += if bytes[end] == b'\\' { 2 } else { 1 };
+        }
+        out.push(&tail[..end]);
+        rest = &tail[end..];
+    }
+    out
+}
+
+/// Decodes the minimal JSON string escapes the obs writer emits.
+fn unescape(s: &str) -> String {
+    s.replace("\\n", "\n")
+        .replace("\\\"", "\"")
+        .replace("\\\\", "\\")
+}
+
+/// Validates one report file's lines; returns the `run_report` line.
+fn validate_report_lines(lines: &[String]) -> String {
+    assert!(!lines.is_empty(), "report is empty");
+    let mut reports = Vec::new();
+    for line in lines {
+        assert_valid_json(line);
+        let kinds = string_values(line, "type");
+        let kind = kinds.first().expect("record has a type");
+        match *kind {
+            "event" | "run_report" => assert!(
+                line.contains("\"ts_ns\":"),
+                "record missing timestamp: {line}"
+            ),
+            "span" => assert!(
+                line.contains("\"start_ns\":") && line.contains("\"dur_ns\":"),
+                "span record missing timing: {line}"
+            ),
+            other => panic!("unknown record type {other:?}"),
+        }
+        if *kind == "run_report" {
+            reports.push(line.clone());
+        }
+    }
+    assert_eq!(reports.len(), 1, "expected exactly one run_report");
+    let report = reports.pop().expect("one report");
+    for key in ["\"spans\":[", "\"metrics\":[", "\"prometheus\":\""] {
+        assert!(report.contains(key), "run_report missing {key}");
+    }
+    report
+}
+
+/// The pipeline stages a full Nazar round must cover (ISSUE acceptance).
+const REQUIRED_STAGES: &[&str] = &[
+    "detect",
+    "log_ingest",
+    "fim",
+    "reduction",
+    "counterfactual",
+    "adapt",
+];
+
+#[test]
+fn run_report_schema_and_stage_coverage() {
+    let (lines, external) = match std::env::var("NAZAR_OBS_REPORT") {
+        Ok(path) => {
+            let text = std::fs::read_to_string(PathBuf::from(&path))
+                .unwrap_or_else(|e| panic!("NAZAR_OBS_REPORT={path}: {e}"));
+            (text.lines().map(str::to_string).collect::<Vec<_>>(), true)
+        }
+        Err(_) => (self_generated_report(), false),
+    };
+
+    let report = validate_report_lines(&lines);
+
+    let span_names: Vec<&str> = string_values(&report, "name");
+    for stage in REQUIRED_STAGES {
+        assert!(
+            span_names.contains(stage),
+            "span tree missing stage {stage:?} (have {span_names:?})"
+        );
+    }
+    if external {
+        // fig9d's end-to-end round also exercises the window/deploy spans.
+        for extra in ["run", "window", "analysis"] {
+            assert!(span_names.contains(&extra), "report missing {extra:?} span");
+        }
+    }
+
+    let prom_escaped = string_values(&report, "prometheus");
+    let prom = unescape(prom_escaped.first().expect("prometheus field"));
+    assert_prometheus_parses(&prom);
+}
+
+/// Runs a miniature pipeline with the JSONL sink and returns its lines.
+fn self_generated_report() -> Vec<String> {
+    let dir = std::env::temp_dir().join("nazar-obs-schema-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("report-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    nazar_obs::testing::enable_jsonl_sink(&path);
+
+    {
+        let _run = nazar_obs::span("run");
+        let log = nazar_log::paper_example_log();
+        {
+            let _ingest = nazar_obs::span("log_ingest");
+        }
+        {
+            let _detect = nazar_obs::span("detect");
+        }
+        let causes = nazar_analysis::analyze(&log, &nazar_analysis::FimConfig::default());
+        assert!(!causes.is_empty());
+        let _adapt = nazar_obs::span("adapt");
+    }
+    nazar_obs::finish_run("schema-test");
+    nazar_obs::testing::disable();
+
+    let text = std::fs::read_to_string(&path).expect("report written");
+    let _ = std::fs::remove_file(&path);
+    text.lines().map(str::to_string).collect()
+}

@@ -1,0 +1,226 @@
+//! Observability invariants: the `nazar-obs` layer must not perturb the
+//! system it measures.
+//!
+//! Three guarantees are asserted here:
+//!
+//! 1. with `NAZAR_OBS` unset the instrumentation is a no-op cheap enough to
+//!    sit on kernel hot paths (sub-100ns per call, and instrumented
+//!    operations time the same with observability on and off);
+//! 2. experiment *outputs* are bitwise identical with observability on and
+//!    off — monitoring reads the pipeline, never steers it;
+//! 3. counters and histograms stay exact under the workspace's own
+//!    [`nazar_tensor::parallel`] fan-out at 1–8 threads.
+//!
+//! Observability state is process-global, so every test takes `OBS_LOCK`.
+
+use nazar_cloud::experiment::{run_strategy, train_base_model};
+use nazar_cloud::{CloudConfig, RunResult, Strategy};
+use nazar_data::{AnimalsConfig, AnimalsDataset};
+use nazar_device::{DeviceConfig, Fleet};
+use nazar_nn::{MlpResNet, ModelArch};
+use nazar_tensor::parallel::{par_map, par_row_bands};
+use nazar_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Serializes tests that toggle the global observability state.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// A small trained workload, built once and shared across tests.
+fn small_world() -> &'static (AnimalsDataset, MlpResNet) {
+    static WORLD: OnceLock<(AnimalsDataset, MlpResNet)> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let config = AnimalsConfig::small();
+        let dataset = AnimalsDataset::generate(&config);
+        let trained = train_base_model(
+            &dataset.train,
+            &dataset.val,
+            ModelArch::tiny(config.dim, config.classes),
+            7,
+        );
+        (dataset, trained.model)
+    })
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+static PROBE_COUNTER: nazar_obs::LazyCounter =
+    nazar_obs::LazyCounter::new("nazar_test_probe_total", "Disabled-path probe", &[]);
+static PROBE_HIST: nazar_obs::LazyHistogram = nazar_obs::LazyHistogram::new(
+    "nazar_test_probe_width",
+    "Disabled-path probe",
+    &[],
+    nazar_obs::pow2_buckets,
+);
+
+#[test]
+fn disabled_instrumentation_costs_nanoseconds_per_call() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    nazar_obs::testing::disable();
+    assert!(!nazar_obs::enabled());
+
+    let n = 1_000_000u64;
+    // Warm the lazy-init path before timing.
+    for i in 0..1_000u64 {
+        PROBE_COUNTER.inc();
+        PROBE_HIST.observe(i as f64);
+        let _span = nazar_obs::span("noop");
+    }
+    let start = Instant::now();
+    for i in 0..n {
+        PROBE_COUNTER.inc();
+        PROBE_HIST.observe(i as f64);
+        let _span = nazar_obs::span("noop");
+    }
+    let per_call = start.elapsed().as_nanos() as f64 / (n * 3) as f64;
+    // The disabled path is one lazy-init check plus a relaxed load; 100ns is
+    // ~50x slack over what it measures on any modern core.
+    assert!(
+        per_call < 100.0,
+        "disabled instrumentation costs {per_call:.1}ns per call"
+    );
+}
+
+#[test]
+fn matmul_and_process_window_time_the_same_with_obs_on_and_off() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let (dataset, model) = small_world();
+    let mut rng = SmallRng::seed_from_u64(3);
+    let a = Tensor::randn(&mut rng, &[256, 256], 0.0, 1.0);
+    let b = Tensor::randn(&mut rng, &[256, 256], 0.0, 1.0);
+    let fleet = Fleet::from_streams(&dataset.streams, model, &DeviceConfig::default());
+
+    let time_matmul = || {
+        let start = Instant::now();
+        let _ = std::hint::black_box(a.matmul(&b).expect("shapes match"));
+        start.elapsed().as_secs_f64()
+    };
+    let time_window = || {
+        let mut fleet = fleet.clone();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let start = Instant::now();
+        let _ = std::hint::black_box(fleet.process_window(&dataset.streams, 0, 4, &mut rng));
+        start.elapsed().as_secs_f64()
+    };
+
+    // Interleave the two modes so drift (thermal, scheduler) hits both.
+    let mut mm = (Vec::new(), Vec::new());
+    let mut win = (Vec::new(), Vec::new());
+    for _ in 0..9 {
+        nazar_obs::testing::disable();
+        mm.0.push(time_matmul());
+        win.0.push(time_window());
+        nazar_obs::testing::enable_memory_sink();
+        mm.1.push(time_matmul());
+        win.1.push(time_window());
+    }
+    nazar_obs::testing::disable();
+
+    let (mm_off, mm_on) = (median(mm.0), median(mm.1));
+    let (win_off, win_on) = (median(win.0), median(win.1));
+    let mm_ratio = mm_off.max(mm_on) / mm_off.min(mm_on);
+    let win_ratio = win_off.max(win_on) / win_off.min(win_on);
+    assert!(
+        mm_ratio < 1.5,
+        "matmul_256 medians differ {mm_ratio:.2}x (off {mm_off:.2e}s, on {mm_on:.2e}s)"
+    );
+    assert!(
+        win_ratio < 2.0,
+        "process_window medians differ {win_ratio:.2}x (off {win_off:.2e}s, on {win_on:.2e}s)"
+    );
+}
+
+/// Serializes the parts of a [`RunResult`] that experiment tables are built
+/// from (everything except the wall-clock timing fields).
+fn output_fingerprint(r: &RunResult) -> String {
+    format!(
+        "{}|{}|{}|{}|{}|{}",
+        serde_json::to_string(&r.per_window).expect("serialize"),
+        serde_json::to_string(&r.version_counts).expect("serialize"),
+        serde_json::to_string(&r.causes_per_window).expect("serialize"),
+        r.log_rows,
+        r.patch_bytes_shipped,
+        r.full_model_bytes_equivalent,
+    )
+}
+
+#[test]
+fn experiment_outputs_are_bitwise_identical_with_obs_on_and_off() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    let (dataset, model) = small_world();
+    let config = CloudConfig {
+        windows: 3,
+        min_samples_per_cause: 8,
+        ..CloudConfig::default()
+    };
+
+    nazar_obs::testing::disable();
+    let off = run_strategy(model, &dataset.streams, Strategy::Nazar, &config);
+    nazar_obs::testing::enable_memory_sink();
+    let on = run_strategy(model, &dataset.streams, Strategy::Nazar, &config);
+    nazar_obs::testing::disable();
+
+    assert_eq!(
+        output_fingerprint(&off),
+        output_fingerprint(&on),
+        "observability changed experiment outputs"
+    );
+}
+
+#[test]
+fn concurrent_counter_and_histogram_updates_are_exact() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    nazar_obs::testing::enable_memory_sink();
+    let registry = nazar_obs::registry();
+
+    // par_row_bands pins the fan-out width explicitly: exercise 1–8 threads.
+    for threads in 1..=8usize {
+        let label = threads.to_string();
+        let labels = [("threads", label.as_str())];
+        let counter =
+            registry.counter("nazar_test_band_updates_total", "Concurrency test", &labels);
+        let hist = registry.histogram(
+            "nazar_test_band_width",
+            "Concurrency test",
+            &labels,
+            &[1.0, 8.0, 64.0],
+        );
+        let rows = 64usize;
+        let mut buf = vec![0.0f32; rows * 4];
+        par_row_bands(&mut buf, rows, 4, threads, |first_row, band| {
+            for r in 0..band.len() / 4 {
+                counter.inc();
+                hist.observe((first_row + r) as f64);
+            }
+        });
+        assert_eq!(counter.get(), rows as u64, "threads={threads}");
+        assert_eq!(hist.count(), rows as u64, "threads={threads}");
+        let expected_sum = (rows * (rows - 1) / 2) as f64;
+        assert!(
+            (hist.sum() - expected_sum).abs() < 1e-9,
+            "threads={threads}: sum {} != {expected_sum}",
+            hist.sum()
+        );
+        assert_eq!(
+            hist.bucket_counts().iter().sum::<u64>(),
+            rows as u64,
+            "threads={threads}"
+        );
+    }
+
+    // par_map picks its own width; the totals must still be exact.
+    let counter = registry.counter("nazar_test_map_updates_total", "Concurrency test", &[]);
+    let n = 10_000usize;
+    let out = par_map((0..n).collect::<Vec<usize>>(), |i| {
+        counter.add(2);
+        i
+    });
+    assert_eq!(out.len(), n);
+    assert_eq!(counter.get(), 2 * n as u64);
+    nazar_obs::testing::disable();
+}
