@@ -1,6 +1,6 @@
 //! FP-growth: frequent-itemset mining without candidate generation.
 //!
-//! The paper's FIM stage cites both apriori [4] and FP-growth [8, 16] as
+//! The paper's FIM stage cites both apriori \[4\] and FP-growth \[8, 16\] as
 //! standard algorithms and implements apriori over SQL. This module provides
 //! FP-growth (Han, Pei & Yin 2000) as a drop-in alternative: it builds a
 //! compact prefix tree (the *FP-tree*) over the drifted rows' attribute sets

@@ -52,7 +52,7 @@ use serde::{Deserialize, Serialize};
 
 /// Which frequent-itemset mining algorithm powers the first stage.
 ///
-/// Both are standard (the paper cites apriori [4] and FP-growth [8, 16] and
+/// Both are standard (the paper cites apriori \[4\] and FP-growth \[8, 16\] and
 /// implements apriori over SQL); they produce identical tables and differ
 /// only in runtime characteristics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]

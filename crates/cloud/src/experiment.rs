@@ -205,16 +205,21 @@ mod tests {
 
         // Approving an alert deploys a version for its cause.
         let before = result.patch_bytes_shipped;
-        let cause = orch.approve_alert(0);
+        let cause = orch.approve_alert(0).expect("alert 0 is pending");
         assert!(!cause.attrs.is_empty());
         let _ = before;
 
         // Dismissal removes without deploying.
         if !orch.pending_alerts().is_empty() {
             let n = orch.pending_alerts().len();
-            orch.dismiss_alert(0);
+            orch.dismiss_alert(0).expect("alert 0 is pending");
             assert_eq!(orch.pending_alerts().len(), n - 1);
         }
+
+        // Out-of-range indices are an error, not a panic.
+        let oob = orch.pending_alerts().len() + 3;
+        assert!(orch.approve_alert(oob).is_err());
+        assert!(orch.dismiss_alert(oob).is_err());
     }
 
     #[test]

@@ -27,4 +27,9 @@ pub mod experiment;
 mod orchestrator;
 pub mod timing;
 
-pub use orchestrator::{CloudConfig, DriftAlert, OperationMode, Orchestrator, RunResult, Strategy};
+pub use orchestrator::{
+    AlertIndexError, CloudConfig, DriftAlert, OperationMode, Orchestrator, RunResult, Strategy,
+};
+// Re-exported so experiment drivers can configure the transport without
+// depending on `nazar-net` directly.
+pub use nazar_net::{LinkConfig, NetConfig, NetReport};

@@ -4,6 +4,7 @@ use nazar_adapt::{adapt_to_patch, AdaptMethod};
 use nazar_analysis::{analyze_variant_with, AnalysisVariant, FimAlgorithm, FimConfig, RankedCause};
 use nazar_device::{DeviceConfig, Fleet, UploadedSample, WindowStats, LOG_SCHEMA};
 use nazar_log::{DriftLog, DriftLogEntry};
+use nazar_net::{Exchange, NetConfig, NetReport};
 use nazar_nn::MlpResNet;
 use nazar_nn::{BnPatch, Layer};
 use nazar_obs::{event, LazyHistogram};
@@ -47,6 +48,28 @@ pub enum OperationMode {
     /// team to approve each cause ([`Orchestrator::approve_alert`]).
     Manual,
 }
+
+/// Referencing a pending alert that does not exist (wrong index, or it was
+/// already approved/dismissed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlertIndexError {
+    /// The index that was requested.
+    pub index: usize,
+    /// How many alerts were actually pending.
+    pub pending: usize,
+}
+
+impl std::fmt::Display for AlertIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "alert index {} out of range ({} pending)",
+            self.index, self.pending
+        )
+    }
+}
+
+impl std::error::Error for AlertIndexError {}
 
 /// An alert raised for the ML-ops team in [`OperationMode::Manual`]:
 /// a discovered root cause with the evidence behind it.
@@ -109,6 +132,12 @@ pub struct CloudConfig {
     /// Which FIM algorithm powers the analysis (apriori by default).
     #[serde(default)]
     pub algorithm: FimAlgorithm,
+    /// Device↔cloud transport. `Some` routes every upload and deployment
+    /// through the `nazar-net` wire protocol and link simulator (the
+    /// default — a perfect link unless `NAZAR_NET_*` knobs say otherwise);
+    /// `None` keeps the legacy direct in-process path.
+    #[serde(default)]
+    pub net: Option<NetConfig>,
 }
 
 impl Default for CloudConfig {
@@ -126,6 +155,7 @@ impl Default for CloudConfig {
             mode: OperationMode::default(),
             targeted_deployment: false,
             algorithm: FimAlgorithm::default(),
+            net: Some(NetConfig::from_env()),
         }
     }
 }
@@ -145,11 +175,21 @@ pub struct RunResult {
     pub adapt_time: Duration,
     /// Total drift-log rows ingested.
     pub log_rows: usize,
-    /// Bytes shipped to devices as BN patches (4 bytes per scalar).
+    /// Bytes shipped to devices as BN patches, at the encoded wire size
+    /// ([`BnPatch::encoded_len`]: scalars plus per-layer framing).
     pub patch_bytes_shipped: u64,
+    /// The same deployments accounted at raw scalar width (4 bytes per
+    /// scalar, no framing) — the paper's own accounting, kept for
+    /// comparability.
+    #[serde(default)]
+    pub patch_scalar_bytes: u64,
     /// Bytes the same deployments would have cost as full model pushes —
     /// the §3.4 efficiency argument ("the BN layer is 217× smaller").
     pub full_model_bytes_equivalent: u64,
+    /// Wire-level transport statistics (all zeros on the legacy direct
+    /// path, which never touches the simulated network).
+    #[serde(default)]
+    pub net: NetReport,
 }
 
 impl RunResult {
@@ -181,6 +221,23 @@ impl RunResult {
             return 1.0;
         }
         self.full_model_bytes_equivalent as f64 / self.patch_bytes_shipped as f64
+    }
+
+    /// A one-paragraph human-readable summary of the transfer ledger,
+    /// reporting both accountings: encoded wire size (what the transport
+    /// actually ships) and raw scalar width (the paper's 4-bytes-per-scalar
+    /// figure).
+    pub fn summary(&self) -> String {
+        format!(
+            "shipped {} patch bytes encoded ({} as raw scalars) vs {} full-model bytes \
+             ({:.1}x savings); {} log rows; {} wire bytes on the simulated network",
+            self.patch_bytes_shipped,
+            self.patch_scalar_bytes,
+            self.full_model_bytes_equivalent,
+            self.transfer_savings(),
+            self.log_rows,
+            self.net.wire_bytes(),
+        )
     }
 
     /// Cumulative (all data, drifted data) accuracy after each window —
@@ -231,8 +288,13 @@ pub struct Orchestrator {
     pending_alerts: Vec<DriftAlert>,
     /// Scalar weights in the full model (for the transfer ledger).
     model_scalars: u64,
-    /// Running transfer ledger (patch bytes, full-model-equivalent bytes).
+    /// Running transfer ledger (encoded patch bytes, full-model-equivalent
+    /// bytes).
     ledger: (u64, u64),
+    /// The same deployments accounted at raw scalar width (no framing).
+    scalar_ledger: u64,
+    /// The simulated device↔cloud network (`None` = legacy direct path).
+    exchange: Option<Exchange>,
 }
 
 impl Orchestrator {
@@ -246,6 +308,10 @@ impl Orchestrator {
         let fleet = Fleet::from_streams(streams, &base_model, &config.device);
         let mut sizer = base_model.clone();
         let model_scalars = sizer.num_params() as u64;
+        let exchange = config
+            .net
+            .clone()
+            .map(|net| Exchange::new(fleet.device_ids(), net));
         Orchestrator {
             strategy,
             rolling_model: base_model.clone(),
@@ -257,6 +323,8 @@ impl Orchestrator {
             pending_alerts: Vec::new(),
             model_scalars,
             ledger: (0, 0),
+            scalar_ledger: 0,
+            exchange,
         }
     }
 
@@ -268,39 +336,77 @@ impl Orchestrator {
     /// Approves pending alert `index`: adapts to its cause on the retained
     /// samples and deploys the patch. Returns the adapted cause.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is out of range.
-    pub fn approve_alert(&mut self, index: usize) -> RankedCause {
+    /// Returns [`AlertIndexError`] (and changes nothing) if `index` does not
+    /// name a pending alert — an ML-ops console racing a concurrent
+    /// approval must not crash the orchestrator.
+    pub fn approve_alert(&mut self, index: usize) -> Result<RankedCause, AlertIndexError> {
+        if index >= self.pending_alerts.len() {
+            return Err(AlertIndexError {
+                index,
+                pending: self.pending_alerts.len(),
+            });
+        }
         let alert = self.pending_alerts.remove(index);
         let data = Tensor::stack_rows(&alert.samples).expect("uniform feature width");
         let (patch, _) =
             adapt_to_patch(&self.base_model, &data, &self.config.method, &mut self.rng);
         let meta = VersionMeta::new(alert.cause.attrs.clone(), alert.cause.stats.risk_ratio);
         self.deploy(&meta, &patch);
-        alert.cause
+        Ok(alert.cause)
     }
 
     /// Dismisses pending alert `index` without adapting.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `index` is out of range.
-    pub fn dismiss_alert(&mut self, index: usize) {
+    /// Returns [`AlertIndexError`] if `index` does not name a pending alert.
+    pub fn dismiss_alert(&mut self, index: usize) -> Result<(), AlertIndexError> {
+        if index >= self.pending_alerts.len() {
+            return Err(AlertIndexError {
+                index,
+                pending: self.pending_alerts.len(),
+            });
+        }
         self.pending_alerts.remove(index);
+        Ok(())
     }
 
     /// Deploys a patch (targeted or broadcast) and charges the ledger.
+    ///
+    /// With a transport configured, the patch crosses the simulated network
+    /// as a chunked, resumable download and only the devices whose transfer
+    /// completed install it — each installing the copy it decoded off the
+    /// wire. The ledger charges the devices that actually received it.
     fn deploy(&mut self, meta: &VersionMeta, patch: &BnPatch) {
         let _span = nazar_obs::span("deploy");
-        let devices = if self.config.targeted_deployment {
-            self.fleet.deploy_targeted(meta, patch) as u64
-        } else {
-            self.fleet.deploy(meta, patch);
-            self.fleet.len() as u64
+        let devices = match self.exchange.as_mut() {
+            Some(exchange) => {
+                let targets = if self.config.targeted_deployment {
+                    self.fleet.target_ids(meta)
+                } else {
+                    self.fleet.device_ids()
+                };
+                let delivery = exchange.deploy(&targets, meta, patch);
+                let delivered = delivery.delivered.len() as u64;
+                for (device, meta, patch) in delivery.delivered {
+                    self.fleet.install_on(&device, &meta, &patch);
+                }
+                delivered
+            }
+            None => {
+                if self.config.targeted_deployment {
+                    self.fleet.deploy_targeted(meta, patch) as u64
+                } else {
+                    self.fleet.deploy(meta, patch);
+                    self.fleet.len() as u64
+                }
+            }
         };
-        self.ledger.0 += devices * patch.num_scalars() as u64 * 4;
+        self.ledger.0 += devices * patch.encoded_len() as u64;
         self.ledger.1 += devices * self.model_scalars * 4;
+        self.scalar_ledger += devices * patch.num_scalars() as u64 * 4;
         event!(
             "deploy",
             cause = meta
@@ -310,7 +416,7 @@ impl Orchestrator {
                 .collect::<Vec<_>>()
                 .join(","),
             devices = devices,
-            patch_bytes = patch.num_scalars() * 4,
+            patch_bytes = patch.encoded_len(),
         );
     }
 
@@ -330,23 +436,41 @@ impl Orchestrator {
         let mut result = RunResult::default();
         for w in 0..self.config.windows {
             let _window_span = nazar_obs::span_detail("window", || format!("w={w}"));
-            let output = self
-                .fleet
-                .process_window(streams, w, self.config.windows, &mut self.rng);
-            self.ingest(&output.entries);
+            // Replay the window on-device; with a transport configured, the
+            // entries and uploads the cloud sees are only what survived the
+            // link (stats stay ground truth — they are measured on-device).
+            let (stats, entries, uploads) = if let Some(exchange) = &mut self.exchange {
+                let parts =
+                    self.fleet
+                        .process_window_parts(streams, w, self.config.windows, &mut self.rng);
+                let mut stats = WindowStats::default();
+                let mut batches = Vec::with_capacity(parts.len());
+                for (id, part) in parts {
+                    stats.merge(&part.stats);
+                    batches.push((id, part.entries, part.uploads));
+                }
+                let _net_span = nazar_obs::span_detail("net_upload", || format!("w={w}"));
+                let delivery = exchange.upload_window(batches);
+                (stats, delivery.entries, delivery.uploads)
+            } else {
+                let output =
+                    self.fleet
+                        .process_window(streams, w, self.config.windows, &mut self.rng);
+                (output.stats, output.entries, output.uploads)
+            };
+            self.ingest(&entries);
             result.log_rows = self.drift_log.num_rows();
 
             let causes = match self.strategy {
                 Strategy::NoAdapt => Vec::new(),
                 Strategy::AdaptAll => {
                     let t0 = Instant::now();
-                    self.adapt_all(&output.uploads);
+                    self.adapt_all(&uploads);
                     result.adapt_time += t0.elapsed();
                     Vec::new()
                 }
                 Strategy::Nazar => {
-                    let (causes, analysis_d, adapt_d) =
-                        self.nazar_window(w, &output.entries, &output.uploads);
+                    let (causes, analysis_d, adapt_d) = self.nazar_window(w, &entries, &uploads);
                     result.analysis_time += analysis_d;
                     result.adapt_time += adapt_d;
                     causes
@@ -356,18 +480,22 @@ impl Orchestrator {
             event!(
                 "window_complete",
                 window = w,
-                accuracy = output.stats.accuracy(),
-                flagged = output.stats.flagged,
+                accuracy = stats.accuracy(),
+                flagged = stats.flagged,
                 causes = causes.len(),
             );
             result
                 .causes_per_window
                 .push(causes.iter().map(RankedCause::label).collect());
             result.version_counts.push(self.fleet.max_versions());
-            result.per_window.push(output.stats);
+            result.per_window.push(stats);
         }
         result.patch_bytes_shipped = self.ledger.0;
+        result.patch_scalar_bytes = self.scalar_ledger;
         result.full_model_bytes_equivalent = self.ledger.1;
+        if let Some(exchange) = &self.exchange {
+            result.net = *exchange.report();
+        }
         result
     }
 

@@ -155,6 +155,11 @@ impl Fleet {
             .unwrap_or(0)
     }
 
+    /// All device ids, sorted.
+    pub fn device_ids(&self) -> Vec<String> {
+        self.devices.keys().cloned().collect()
+    }
+
     /// Pushes a model version to every device (the cloud's deployment step).
     pub fn deploy(&mut self, meta: &VersionMeta, patch: &BnPatch) {
         for device in self.devices.values_mut() {
@@ -162,11 +167,22 @@ impl Fleet {
         }
     }
 
-    /// Pushes a model version only to the devices its cause can ever match:
-    /// if the cause names a `location` or `device_id`, other devices never
-    /// select the version, so shipping it to them wastes network and pool
-    /// slots. Returns how many devices received the version.
-    pub fn deploy_targeted(&mut self, meta: &VersionMeta, patch: &BnPatch) -> usize {
+    /// Installs a model version on one specific device (the transport
+    /// layer's per-device delivery path). Returns `false` for unknown ids.
+    pub fn install_on(&mut self, device_id: &str, meta: &VersionMeta, patch: &BnPatch) -> bool {
+        match self.devices.get_mut(device_id) {
+            Some(device) => {
+                device.install(meta.clone(), patch.clone());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The devices a version's cause can ever match, sorted by id: if the
+    /// cause names a `location` or `device_id`, other devices never select
+    /// the version, so shipping it to them wastes network and pool slots.
+    pub fn target_ids(&self, meta: &VersionMeta) -> Vec<String> {
         let location = meta
             .attrs
             .iter()
@@ -177,12 +193,24 @@ impl Fleet {
             .iter()
             .find(|a| a.key == "device_id")
             .map(|a| a.value.clone());
+        self.devices
+            .values()
+            .filter(|device| {
+                let location_ok = location.as_deref().is_none_or(|l| device.location() == l);
+                let device_ok = device_id.as_deref().is_none_or(|d| device.id() == d);
+                location_ok && device_ok
+            })
+            .map(|device| device.id().to_string())
+            .collect()
+    }
+
+    /// Pushes a model version only to the devices [`Fleet::target_ids`]
+    /// selects. Returns how many devices received the version.
+    pub fn deploy_targeted(&mut self, meta: &VersionMeta, patch: &BnPatch) -> usize {
+        let targets = self.target_ids(meta);
         let mut installed = 0;
-        for device in self.devices.values_mut() {
-            let location_ok = location.as_deref().is_none_or(|l| device.location() == l);
-            let device_ok = device_id.as_deref().is_none_or(|d| device.id() == d);
-            if location_ok && device_ok {
-                device.install(meta.clone(), patch.clone());
+        for id in &targets {
+            if self.install_on(id, meta, patch) {
                 installed += 1;
             }
         }
@@ -203,6 +231,28 @@ impl Fleet {
         windows: usize,
         rng: &mut R,
     ) -> WindowOutput {
+        let parts = self.process_window_parts(streams, w, windows, rng);
+        let mut out = WindowOutput::default();
+        for (_, part) in parts {
+            out.stats.merge(&part.stats);
+            out.entries.extend(part.entries);
+            out.uploads.extend(part.uploads);
+        }
+        out
+    }
+
+    /// Like [`Fleet::process_window`], but returns each participating
+    /// device's output separately (sorted by device id) instead of a merged
+    /// whole — the shape the transport layer needs, since every device
+    /// uploads its own batch. Concatenating the parts in the returned order
+    /// reproduces [`Fleet::process_window`] exactly.
+    pub fn process_window_parts<R: Rng + ?Sized>(
+        &mut self,
+        streams: &[LocationStream],
+        w: usize,
+        windows: usize,
+        rng: &mut R,
+    ) -> Vec<(String, WindowOutput)> {
         let _span = nazar_obs::span_detail("detect", || format!("w={w}"));
         // Group this window's items per device, keeping stream order.
         let mut per_device: BTreeMap<&str, Vec<&StreamItem>> = BTreeMap::new();
@@ -228,17 +278,12 @@ impl Fleet {
                 let result = device.process(item, &mut device_rng);
                 tally(&mut part, item, result);
             }
-            part
+            (device.id().to_string(), part)
         });
-
-        let mut out = WindowOutput::default();
-        for part in parts {
-            out.stats.merge(&part.stats);
-            out.entries.extend(part.entries);
-            out.uploads.extend(part.uploads);
+        for (_, part) in &parts {
+            record_stats(part);
         }
-        record_stats(&out);
-        out
+        parts
     }
 }
 

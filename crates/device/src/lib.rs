@@ -14,7 +14,8 @@
 //! 5. **sample** a configurable fraction of raw inputs for upload to the
 //!    cloud (the data by-cause adaptation trains on).
 //!
-//! A [`Fleet`] replays pre-generated [`StreamItem`]s through many devices
+//! A [`Fleet`] replays pre-generated [`nazar_data::StreamItem`]s through
+//! many devices
 //! and aggregates accuracy statistics per window — the measurement loop
 //! behind every end-to-end figure (Fig. 8 / 9).
 

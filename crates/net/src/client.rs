@@ -1,0 +1,386 @@
+//! The device-side transport endpoint.
+//!
+//! Owns the bounded upload outbox (drop-oldest backpressure), per-device
+//! sequence numbering, and the reassembly state of chunked, resumable
+//! patch downloads. All *timing* (when to transmit, when to retry) lives
+//! in [`crate::exchange::Exchange`]; the client is pure state, which keeps
+//! it trivially deterministic.
+
+use crate::config::NetConfig;
+use crate::error::Result;
+use crate::wire::{self, Message};
+use nazar_device::UploadedSample;
+use nazar_log::DriftLogEntry;
+use nazar_nn::BnPatch;
+use nazar_registry::VersionMeta;
+use std::collections::{BTreeMap, VecDeque};
+
+/// One frame awaiting acknowledgement.
+#[derive(Debug, Clone)]
+pub(crate) struct OutFrame {
+    pub seq: u64,
+    pub bytes: Vec<u8>,
+    /// Transmission attempts so far (0 = not yet sent).
+    pub attempts: u32,
+}
+
+/// Reassembly state of one in-progress deploy download.
+#[derive(Debug, Clone)]
+struct Download {
+    total_len: u32,
+    buf: Vec<u8>,
+    /// Received byte ranges `[start, end)`, kept merged and sorted.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl Download {
+    fn new(total_len: u32) -> Self {
+        Download {
+            total_len,
+            buf: vec![0; total_len as usize],
+            ranges: Vec::new(),
+        }
+    }
+
+    fn insert(&mut self, offset: u32, data: &[u8]) {
+        let start = offset.min(self.total_len);
+        let end = (offset as usize + data.len()).min(self.total_len as usize) as u32;
+        if start >= end {
+            return;
+        }
+        self.buf[start as usize..end as usize].copy_from_slice(&data[..(end - start) as usize]);
+        self.ranges.push((start, end));
+        self.ranges.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(self.ranges.len());
+        for &(s, e) in &self.ranges {
+            match merged.last_mut() {
+                Some(last) if s <= last.1 => last.1 = last.1.max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// Contiguous bytes received from offset 0 — the resume point.
+    fn contiguous(&self) -> u32 {
+        match self.ranges.first() {
+            Some(&(0, end)) => end,
+            _ => 0,
+        }
+    }
+}
+
+/// What a received frame asks the device to do next.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAction {
+    /// Nothing further (e.g. a duplicate ack).
+    None,
+    /// An upload batch was acknowledged; stop retrying it.
+    UploadAcked {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+    /// Send a cumulative chunk acknowledgement back to the cloud.
+    SendChunkAck {
+        /// The transfer being acknowledged.
+        transfer_id: u64,
+        /// Contiguous prefix bytes now held.
+        received: u32,
+    },
+    /// A transfer completed and decoded into a deployable version.
+    InstallPatch {
+        /// The completed transfer.
+        transfer_id: u64,
+        /// Decoded version metadata.
+        meta: VersionMeta,
+        /// Decoded BN patch.
+        patch: BnPatch,
+    },
+}
+
+/// Per-device transport endpoint state.
+#[derive(Debug, Clone)]
+pub struct DeviceClient {
+    device_id: String,
+    next_seq: u64,
+    outbox: VecDeque<OutFrame>,
+    downloads: BTreeMap<u64, Download>,
+    /// Completed transfers and their lengths, so duplicate chunks after
+    /// completion still elicit a final ack instead of a fresh download.
+    completed: BTreeMap<u64, u32>,
+    /// Batches dropped by outbox backpressure.
+    pub(crate) dropped: u64,
+}
+
+impl DeviceClient {
+    /// A fresh endpoint for `device_id`.
+    pub fn new(device_id: impl Into<String>) -> Self {
+        DeviceClient {
+            device_id: device_id.into(),
+            next_seq: 0,
+            outbox: VecDeque::new(),
+            downloads: BTreeMap::new(),
+            completed: BTreeMap::new(),
+            dropped: 0,
+        }
+    }
+
+    /// The device this endpoint belongs to.
+    pub fn device_id(&self) -> &str {
+        &self.device_id
+    }
+
+    /// Frames queued and not yet acknowledged.
+    pub fn outbox_depth(&self) -> usize {
+        self.outbox.len()
+    }
+
+    /// Batches and coalesces `entries` + `samples` into sequence-numbered
+    /// upload frames on the outbox, respecting the configured batch limits.
+    /// When the bounded outbox would overflow, the *oldest* queued frame is
+    /// dropped (fresh telemetry beats stale telemetry on a congested
+    /// uplink). Returns the seqs of the newly queued frames.
+    pub fn queue_upload(
+        &mut self,
+        entries: &[DriftLogEntry],
+        samples: &[UploadedSample],
+        cfg: &NetConfig,
+    ) -> Vec<u64> {
+        let mut new_seqs = Vec::new();
+        let mut e = 0usize;
+        let mut s = 0usize;
+        while e < entries.len() || s < samples.len() {
+            let e_end = (e + cfg.max_batch_entries.max(1)).min(entries.len());
+            let s_end = (s + cfg.max_batch_samples.max(1)).min(samples.len());
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let msg = Message::UploadBatch {
+                device_id: self.device_id.clone(),
+                seq,
+                entries: entries[e..e_end].to_vec(),
+                samples: samples[s..s_end].to_vec(),
+            };
+            e = e_end;
+            s = s_end;
+            self.outbox.push_back(OutFrame {
+                seq,
+                bytes: wire::encode_frame(&msg),
+                attempts: 0,
+            });
+            new_seqs.push(seq);
+            while self.outbox.len() > cfg.outbox_frames.max(1) {
+                let dropped = self.outbox.pop_front().expect("outbox non-empty");
+                new_seqs.retain(|&q| q != dropped.seq);
+                self.dropped += 1;
+            }
+        }
+        new_seqs
+    }
+
+    /// The encoded frame for `seq`, if still queued.
+    pub fn frame_bytes(&self, seq: u64) -> Option<&[u8]> {
+        self.outbox
+            .iter()
+            .find(|f| f.seq == seq)
+            .map(|f| f.bytes.as_slice())
+    }
+
+    /// Records a transmission attempt for `seq`; returns the attempt number
+    /// (1-based), or `None` if the frame is no longer queued.
+    pub fn mark_attempt(&mut self, seq: u64) -> Option<u32> {
+        let f = self.outbox.iter_mut().find(|f| f.seq == seq)?;
+        f.attempts += 1;
+        Some(f.attempts)
+    }
+
+    /// Whether `seq` is still awaiting acknowledgement.
+    pub fn is_pending(&self, seq: u64) -> bool {
+        self.outbox.iter().any(|f| f.seq == seq)
+    }
+
+    /// Transmission attempts recorded for `seq`, if still queued.
+    pub fn attempts_of(&self, seq: u64) -> Option<u32> {
+        self.outbox
+            .iter()
+            .find(|f| f.seq == seq)
+            .map(|f| f.attempts)
+    }
+
+    /// Abandons `seq` after exhausting its retry budget.
+    pub fn give_up(&mut self, seq: u64) {
+        self.outbox.retain(|f| f.seq != seq);
+    }
+
+    /// Drops every queued frame (round cutoff); returns how many were lost.
+    pub fn abandon_round(&mut self) -> u64 {
+        let n = self.outbox.len() as u64;
+        self.outbox.clear();
+        n
+    }
+
+    /// Handles one frame arriving from the cloud.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode error for corrupt frames (the caller counts it
+    /// and drops the frame; a flaky link must never panic the device).
+    pub fn on_frame(&mut self, bytes: &[u8]) -> Result<ClientAction> {
+        match wire::decode_frame(bytes)? {
+            Message::UploadAck { seq } => {
+                if self.is_pending(seq) {
+                    self.outbox.retain(|f| f.seq != seq);
+                    Ok(ClientAction::UploadAcked { seq })
+                } else {
+                    Ok(ClientAction::None)
+                }
+            }
+            Message::DeployChunk {
+                transfer_id,
+                offset,
+                total_len,
+                data,
+            } => {
+                if let Some(&len) = self.completed.get(&transfer_id) {
+                    // Late duplicate after completion: re-ack so the cloud
+                    // stops resending.
+                    return Ok(ClientAction::SendChunkAck {
+                        transfer_id,
+                        received: len,
+                    });
+                }
+                let dl = self
+                    .downloads
+                    .entry(transfer_id)
+                    .or_insert_with(|| Download::new(total_len));
+                dl.insert(offset, &data);
+                let received = dl.contiguous();
+                if received == dl.total_len {
+                    let dl = self.downloads.remove(&transfer_id).expect("present");
+                    self.completed.insert(transfer_id, dl.total_len);
+                    let (meta, patch) = wire::decode_deploy_payload(&dl.buf)?;
+                    Ok(ClientAction::InstallPatch {
+                        transfer_id,
+                        meta,
+                        patch,
+                    })
+                } else {
+                    Ok(ClientAction::SendChunkAck {
+                        transfer_id,
+                        received,
+                    })
+                }
+            }
+            // Client-bound links never carry these; tolerate them quietly.
+            Message::UploadBatch { .. } | Message::ChunkAck { .. } => Ok(ClientAction::None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(i: u64) -> DriftLogEntry {
+        DriftLogEntry::new(i, &[("weather", "snow")], i.is_multiple_of(2))
+    }
+
+    #[test]
+    fn batching_splits_large_windows() {
+        let mut c = DeviceClient::new("d0");
+        let cfg = NetConfig {
+            max_batch_entries: 10,
+            ..NetConfig::default()
+        };
+        let entries: Vec<_> = (0..25).map(entry).collect();
+        let seqs = c.queue_upload(&entries, &[], &cfg);
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(c.outbox_depth(), 3);
+    }
+
+    #[test]
+    fn outbox_backpressure_drops_oldest() {
+        let mut c = DeviceClient::new("d0");
+        let cfg = NetConfig {
+            max_batch_entries: 1,
+            outbox_frames: 3,
+            ..NetConfig::default()
+        };
+        let entries: Vec<_> = (0..5).map(entry).collect();
+        let seqs = c.queue_upload(&entries, &[], &cfg);
+        // Seqs 0 and 1 were dropped to make room for 2, 3, 4.
+        assert_eq!(seqs, vec![2, 3, 4]);
+        assert_eq!(c.outbox_depth(), 3);
+        assert_eq!(c.dropped, 2);
+        assert!(!c.is_pending(0) && c.is_pending(4));
+    }
+
+    #[test]
+    fn ack_clears_pending_frame_once() {
+        let mut c = DeviceClient::new("d0");
+        let cfg = NetConfig::default();
+        let seqs = c.queue_upload(&[entry(0)], &[], &cfg);
+        let ack = wire::encode_frame(&Message::UploadAck { seq: seqs[0] });
+        assert_eq!(
+            c.on_frame(&ack).unwrap(),
+            ClientAction::UploadAcked { seq: seqs[0] }
+        );
+        assert_eq!(c.on_frame(&ack).unwrap(), ClientAction::None);
+        assert_eq!(c.outbox_depth(), 0);
+    }
+
+    #[test]
+    fn download_reassembles_out_of_order_chunks() {
+        use nazar_nn::{MlpResNet, ModelArch};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut model = MlpResNet::new(ModelArch::tiny(8, 3), &mut rng);
+        let patch = BnPatch::extract(&mut model);
+        let meta = VersionMeta::clean();
+        let payload = wire::encode_deploy_payload(&meta, &patch);
+        let total = payload.len() as u32;
+
+        let mut c = DeviceClient::new("d0");
+        let chunk = 16usize;
+        let mut offsets: Vec<usize> = (0..payload.len()).step_by(chunk).collect();
+        offsets.reverse(); // worst-case reordering
+        let mut installed = None;
+        for off in offsets {
+            let end = (off + chunk).min(payload.len());
+            let frame = wire::encode_frame(&Message::DeployChunk {
+                transfer_id: 9,
+                offset: off as u32,
+                total_len: total,
+                data: payload[off..end].to_vec(),
+            });
+            match c.on_frame(&frame).unwrap() {
+                ClientAction::InstallPatch {
+                    meta: m, patch: p, ..
+                } => installed = Some((m, p)),
+                ClientAction::SendChunkAck { received, .. } => {
+                    assert!(received < total);
+                }
+                other => panic!("unexpected action {other:?}"),
+            }
+        }
+        let (m, p) = installed.expect("download completed");
+        assert_eq!(m, meta);
+        assert_eq!(p, patch);
+
+        // A duplicate chunk after completion re-acks the full length.
+        let dup = wire::encode_frame(&Message::DeployChunk {
+            transfer_id: 9,
+            offset: 0,
+            total_len: total,
+            data: payload[..chunk].to_vec(),
+        });
+        assert_eq!(
+            c.on_frame(&dup).unwrap(),
+            ClientAction::SendChunkAck {
+                transfer_id: 9,
+                received: total
+            }
+        );
+    }
+}

@@ -1,0 +1,664 @@
+//! The versioned binary wire protocol.
+//!
+//! Every message travels as one **frame**:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  "NZRF"
+//! 4       1     protocol version (currently 1)
+//! 5       1     message type
+//! 6       4     payload length (u32 LE)
+//! 10      n     payload
+//! 10+n    4     CRC-32 (IEEE) over bytes [4, 10+n) — version, type, length, payload
+//! ```
+//!
+//! All integers are little-endian; `f32`/`f64` travel as their raw LE bit
+//! patterns, so numeric round trips are *exact* (bitwise), which is what
+//! keeps the perfect-link transport path bit-identical to the in-process
+//! direct-call path. Strings are `u32` length + UTF-8 bytes. Decoding never
+//! panics: every violation surfaces as a [`NetError`].
+
+use crate::error::{NetError, Result};
+use nazar_data::{Corruption, SimDate};
+use nazar_device::UploadedSample;
+use nazar_log::{Attribute, DriftLogEntry};
+use nazar_nn::{BnLayerState, BnPatch};
+use nazar_registry::VersionMeta;
+use nazar_tensor::Tensor;
+
+/// The frame magic.
+pub const MAGIC: [u8; 4] = *b"NZRF";
+/// The protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed per-frame overhead: magic + version + type + length + CRC trailer.
+pub const FRAME_OVERHEAD: usize = 4 + 1 + 1 + 4 + 4;
+
+/// Hard cap on decoded collection sizes, so a corrupt length field cannot
+/// ask the decoder to allocate gigabytes.
+const MAX_ELEMS: usize = 1 << 24;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), small compile-time table.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Byte-level writer / reader
+// ---------------------------------------------------------------------------
+
+/// Append-only little-endian byte writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// A writer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> Self {
+        Writer {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Consumes the writer, returning the bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u16` LE.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` LE.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` LE.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` as its raw LE bits.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its raw LE bits.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends raw bytes (no length prefix).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(NetError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16` LE.
+    pub fn get_u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u32` LE.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` LE.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f32` from raw LE bits.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads an `f64` from raw LE bits.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn get_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String> {
+        let n = self.get_u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| NetError::Utf8)
+    }
+
+    fn get_count(&mut self, what: &'static str) -> Result<usize> {
+        let n = self.get_u32()? as usize;
+        if n > MAX_ELEMS {
+            return Err(NetError::Malformed(what));
+        }
+        Ok(n)
+    }
+
+    /// Errors unless every byte was consumed (frames must not carry slack).
+    pub fn finish(&self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(NetError::Malformed("trailing bytes after message"));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// One device→cloud or cloud→device message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Device→cloud: a batch of drift-log entries and sampled inputs,
+    /// identified by a per-device sequence number (idempotency key).
+    UploadBatch {
+        /// Sender device id.
+        device_id: String,
+        /// Per-device monotonically increasing batch number.
+        seq: u64,
+        /// Drift-log rows in this batch.
+        entries: Vec<DriftLogEntry>,
+        /// Sampled inputs riding along for adaptation.
+        samples: Vec<UploadedSample>,
+    },
+    /// Cloud→device: acknowledges an [`Message::UploadBatch`] by seq.
+    UploadAck {
+        /// Acknowledged batch number.
+        seq: u64,
+    },
+    /// Cloud→device: one chunk of a deploy payload
+    /// (`encode_deploy_payload`), resumable by offset.
+    DeployChunk {
+        /// Transfer identifier (unique per deploy × device).
+        transfer_id: u64,
+        /// Byte offset of this chunk within the payload.
+        offset: u32,
+        /// Total payload length, repeated on every chunk so any one chunk
+        /// can start a transfer.
+        total_len: u32,
+        /// The chunk bytes.
+        data: Vec<u8>,
+    },
+    /// Device→cloud: cumulative acknowledgement of a deploy transfer —
+    /// `received` is the contiguous prefix length held by the device, the
+    /// resume point after a lost chunk.
+    ChunkAck {
+        /// Transfer identifier being acknowledged.
+        transfer_id: u64,
+        /// Contiguous bytes received from offset 0.
+        received: u32,
+    },
+}
+
+impl Message {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Message::UploadBatch { .. } => 1,
+            Message::UploadAck { .. } => 2,
+            Message::DeployChunk { .. } => 3,
+            Message::ChunkAck { .. } => 4,
+        }
+    }
+}
+
+// -- field codecs -----------------------------------------------------------
+
+fn put_attrs(w: &mut Writer, attrs: &[Attribute]) {
+    w.put_u32(attrs.len() as u32);
+    for a in attrs {
+        w.put_str(&a.key);
+        w.put_str(&a.value);
+    }
+}
+
+fn get_attrs(r: &mut Reader<'_>) -> Result<Vec<Attribute>> {
+    let n = r.get_count("attribute count")?;
+    let mut attrs = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        let key = r.get_str()?;
+        let value = r.get_str()?;
+        attrs.push(Attribute { key, value });
+    }
+    Ok(attrs)
+}
+
+/// Encodes one drift-log entry into `w`.
+pub fn put_entry(w: &mut Writer, e: &DriftLogEntry) {
+    w.put_u64(e.timestamp);
+    w.put_u8(e.drift as u8);
+    put_attrs(w, &e.attrs);
+}
+
+/// Decodes one drift-log entry.
+pub fn get_entry(r: &mut Reader<'_>) -> Result<DriftLogEntry> {
+    let timestamp = r.get_u64()?;
+    let drift = match r.get_u8()? {
+        0 => false,
+        1 => true,
+        _ => return Err(NetError::Malformed("drift flag must be 0 or 1")),
+    };
+    let attrs = get_attrs(r)?;
+    Ok(DriftLogEntry {
+        timestamp,
+        attrs,
+        drift,
+    })
+}
+
+/// Encodes one uploaded sample into `w`.
+pub fn put_sample(w: &mut Writer, s: &UploadedSample) {
+    w.put_u32(s.features.len() as u32);
+    for &f in &s.features {
+        w.put_f32(f);
+    }
+    put_attrs(w, &s.attrs);
+    w.put_u16(s.date.day_index());
+    w.put_u32(s.label as u32);
+    match s.true_cause {
+        None => w.put_u8(0),
+        Some(c) => {
+            w.put_u8(1);
+            w.put_str(c.name());
+        }
+    }
+}
+
+/// Decodes one uploaded sample.
+pub fn get_sample(r: &mut Reader<'_>) -> Result<UploadedSample> {
+    let n = r.get_count("feature count")?;
+    let mut features = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        features.push(r.get_f32()?);
+    }
+    let attrs = get_attrs(r)?;
+    let day = r.get_u16()?;
+    if day >= SimDate::TOTAL_DAYS {
+        return Err(NetError::Malformed("sample date outside simulated range"));
+    }
+    let date = SimDate::new(day);
+    let label = r.get_u32()? as usize;
+    let true_cause = match r.get_u8()? {
+        0 => None,
+        1 => {
+            let name = r.get_str()?;
+            Some(
+                Corruption::from_name(&name)
+                    .ok_or(NetError::Malformed("unknown corruption name"))?,
+            )
+        }
+        _ => return Err(NetError::Malformed("cause flag must be 0 or 1")),
+    };
+    Ok(UploadedSample {
+        features,
+        attrs,
+        date,
+        label,
+        true_cause,
+    })
+}
+
+/// Encodes version metadata into `w`.
+pub fn put_meta(w: &mut Writer, m: &VersionMeta) {
+    put_attrs(w, &m.attrs);
+    w.put_f64(m.risk_ratio);
+}
+
+/// Decodes version metadata.
+pub fn get_meta(r: &mut Reader<'_>) -> Result<VersionMeta> {
+    let attrs = get_attrs(r)?;
+    let risk_ratio = r.get_f64()?;
+    // Re-canonicalize through the constructor so a hand-forged frame cannot
+    // smuggle an unsorted attribute set past pool consolidation.
+    Ok(VersionMeta::new(attrs, risk_ratio))
+}
+
+fn put_bn_vec(w: &mut Writer, t: &Tensor) {
+    w.put_u32(t.len() as u32);
+    for &v in t.data() {
+        w.put_f32(v);
+    }
+}
+
+fn get_bn_vec(r: &mut Reader<'_>) -> Result<Tensor> {
+    let n = r.get_count("bn vector length")?;
+    let mut data = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        data.push(r.get_f32()?);
+    }
+    Tensor::from_vec(data, &[n]).map_err(|_| NetError::Malformed("bn vector shape"))
+}
+
+/// Encodes a BN patch into `w`.
+///
+/// The layout is the contract behind [`BnPatch::encoded_len`]: a `u16`
+/// layer count, then per layer four length-prefixed `f32` vectors
+/// (γ, β, running mean, running variance).
+pub fn put_patch(w: &mut Writer, p: &BnPatch) {
+    w.put_u16(p.num_layers() as u16);
+    for l in p.layers() {
+        put_bn_vec(w, &l.gamma);
+        put_bn_vec(w, &l.beta);
+        put_bn_vec(w, &l.running_mean);
+        put_bn_vec(w, &l.running_var);
+    }
+}
+
+/// Decodes a BN patch.
+pub fn get_patch(r: &mut Reader<'_>) -> Result<BnPatch> {
+    let layers = r.get_u16()? as usize;
+    let mut out = Vec::with_capacity(layers.min(256));
+    for _ in 0..layers {
+        let gamma = get_bn_vec(r)?;
+        let beta = get_bn_vec(r)?;
+        let running_mean = get_bn_vec(r)?;
+        let running_var = get_bn_vec(r)?;
+        out.push(BnLayerState {
+            gamma,
+            beta,
+            running_mean,
+            running_var,
+        });
+    }
+    Ok(BnPatch::from_layers(out))
+}
+
+/// Encodes the full deploy payload (meta + patch) that the chunked
+/// transfer ships.
+pub fn encode_deploy_payload(meta: &VersionMeta, patch: &BnPatch) -> Vec<u8> {
+    let mut w = Writer::with_capacity(64 + patch.encoded_len());
+    put_meta(&mut w, meta);
+    put_patch(&mut w, patch);
+    w.into_bytes()
+}
+
+/// Decodes a reassembled deploy payload.
+pub fn decode_deploy_payload(bytes: &[u8]) -> Result<(VersionMeta, BnPatch)> {
+    let mut r = Reader::new(bytes);
+    let meta = get_meta(&mut r)?;
+    let patch = get_patch(&mut r)?;
+    r.finish()?;
+    Ok((meta, patch))
+}
+
+// -- frame codec ------------------------------------------------------------
+
+/// Encodes one message as a wire frame.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let mut payload = Writer::with_capacity(128);
+    match msg {
+        Message::UploadBatch {
+            device_id,
+            seq,
+            entries,
+            samples,
+        } => {
+            payload.put_str(device_id);
+            payload.put_u64(*seq);
+            payload.put_u32(entries.len() as u32);
+            for e in entries {
+                put_entry(&mut payload, e);
+            }
+            payload.put_u32(samples.len() as u32);
+            for s in samples {
+                put_sample(&mut payload, s);
+            }
+        }
+        Message::UploadAck { seq } => payload.put_u64(*seq),
+        Message::DeployChunk {
+            transfer_id,
+            offset,
+            total_len,
+            data,
+        } => {
+            payload.put_u64(*transfer_id);
+            payload.put_u32(*offset);
+            payload.put_u32(*total_len);
+            payload.put_u32(data.len() as u32);
+            payload.put_bytes(data);
+        }
+        Message::ChunkAck {
+            transfer_id,
+            received,
+        } => {
+            payload.put_u64(*transfer_id);
+            payload.put_u32(*received);
+        }
+    }
+    let payload = payload.into_bytes();
+
+    let mut w = Writer::with_capacity(FRAME_OVERHEAD + payload.len());
+    w.put_bytes(&MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(msg.type_byte());
+    w.put_u32(payload.len() as u32);
+    w.put_bytes(&payload);
+    let bytes = w.into_bytes();
+    let crc = crc32(&bytes[4..]);
+    let mut bytes = bytes;
+    bytes.extend_from_slice(&crc.to_le_bytes());
+    bytes
+}
+
+/// Decodes one wire frame back into a message.
+pub fn decode_frame(bytes: &[u8]) -> Result<Message> {
+    let mut r = Reader::new(bytes);
+    let magic: [u8; 4] = r.get_bytes(4)?.try_into().unwrap();
+    if magic != MAGIC {
+        return Err(NetError::BadMagic(magic));
+    }
+    let version = r.get_u8()?;
+    if version != VERSION {
+        return Err(NetError::UnsupportedVersion(version));
+    }
+    let msg_type = r.get_u8()?;
+    let payload_len = r.get_u32()? as usize;
+    if r.remaining() != payload_len + 4 {
+        return Err(NetError::Truncated {
+            needed: payload_len + 4,
+            remaining: r.remaining(),
+        });
+    }
+    let expected = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    let actual = crc32(&bytes[4..bytes.len() - 4]);
+    if expected != actual {
+        return Err(NetError::ChecksumMismatch { expected, actual });
+    }
+
+    let mut r = Reader::new(&bytes[10..bytes.len() - 4]);
+    let msg = match msg_type {
+        1 => {
+            let device_id = r.get_str()?;
+            let seq = r.get_u64()?;
+            let n_entries = r.get_count("entry count")?;
+            let mut entries = Vec::with_capacity(n_entries.min(1024));
+            for _ in 0..n_entries {
+                entries.push(get_entry(&mut r)?);
+            }
+            let n_samples = r.get_count("sample count")?;
+            let mut samples = Vec::with_capacity(n_samples.min(1024));
+            for _ in 0..n_samples {
+                samples.push(get_sample(&mut r)?);
+            }
+            Message::UploadBatch {
+                device_id,
+                seq,
+                entries,
+                samples,
+            }
+        }
+        2 => Message::UploadAck { seq: r.get_u64()? },
+        3 => {
+            let transfer_id = r.get_u64()?;
+            let offset = r.get_u32()?;
+            let total_len = r.get_u32()?;
+            let n = r.get_count("chunk length")?;
+            let data = r.get_bytes(n)?.to_vec();
+            Message::DeployChunk {
+                transfer_id,
+                offset,
+                total_len,
+                data,
+            }
+        }
+        4 => Message::ChunkAck {
+            transfer_id: r.get_u64()?,
+            received: r.get_u32()?,
+        },
+        t => return Err(NetError::UnknownMessageType(t)),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frame_round_trip_upload_ack() {
+        let msg = Message::UploadAck { seq: 42 };
+        let bytes = encode_frame(&msg);
+        assert_eq!(decode_frame(&bytes).unwrap(), msg);
+        assert_eq!(bytes.len(), FRAME_OVERHEAD + 8);
+    }
+
+    #[test]
+    fn corrupt_byte_is_an_error_not_a_panic() {
+        let msg = Message::UploadBatch {
+            device_id: "quebec-dev00".into(),
+            seq: 7,
+            entries: vec![DriftLogEntry::new(5, &[("weather", "snow")], true)],
+            samples: vec![],
+        };
+        let clean = encode_frame(&msg);
+        for i in 0..clean.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = clean.clone();
+                bad[i] ^= flip;
+                assert!(decode_frame(&bad).is_err(), "flip at byte {i} accepted");
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_frame_is_truncated_error() {
+        let bytes = encode_frame(&Message::UploadAck { seq: 1 });
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn unknown_message_type_is_typed() {
+        let mut w = Writer::with_capacity(16);
+        w.put_bytes(&MAGIC);
+        w.put_u8(VERSION);
+        w.put_u8(99);
+        w.put_u32(0);
+        let mut bytes = w.into_bytes();
+        let crc = crc32(&bytes[4..]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_frame(&bytes), Err(NetError::UnknownMessageType(99)));
+    }
+}

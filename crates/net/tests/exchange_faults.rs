@@ -1,0 +1,134 @@
+//! Deterministic end-to-end tests of the exchange under injected faults:
+//! retries recover lossy uploads, chunked deploys resume through loss, and
+//! straggler cutoffs bound a round.
+
+use nazar_log::DriftLogEntry;
+use nazar_net::exchange::Exchange;
+use nazar_net::{LinkConfig, NetConfig};
+use nazar_nn::{BnPatch, MlpResNet, ModelArch};
+use nazar_registry::VersionMeta;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn entry(ts: u64) -> DriftLogEntry {
+    DriftLogEntry::new(ts, &[("weather", "fog")], ts.is_multiple_of(2))
+}
+
+fn lossy(loss: f64) -> NetConfig {
+    NetConfig {
+        link: LinkConfig {
+            latency_us: 50_000,
+            jitter_us: 10_000,
+            loss,
+            duplicate: 0.05,
+            reorder: 0.05,
+            ..LinkConfig::perfect()
+        },
+        seed: 42,
+        ..NetConfig::default()
+    }
+}
+
+fn test_patch() -> (VersionMeta, BnPatch) {
+    let mut rng = SmallRng::seed_from_u64(0);
+    let mut model = MlpResNet::new(ModelArch::tiny(32, 8), &mut rng);
+    let patch = BnPatch::extract(&mut model);
+    let meta = VersionMeta::new(vec![nazar_log::Attribute::new("weather", "fog")], 2.5);
+    (meta, patch)
+}
+
+#[test]
+fn retries_recover_uploads_through_twenty_percent_loss() {
+    let ids: Vec<String> = (0..4).map(|i| format!("dev{i}")).collect();
+    let mut ex = Exchange::new(ids.iter().cloned(), lossy(0.2));
+    let batches: Vec<(String, Vec<DriftLogEntry>, Vec<_>)> = ids
+        .iter()
+        .map(|id| (id.clone(), (0..100).map(entry).collect(), vec![]))
+        .collect();
+    let sent: usize = batches.iter().map(|(_, e, _)| e.len()).sum();
+    let delivery = ex.upload_window(batches);
+    assert_eq!(
+        delivery.entries.len(),
+        sent,
+        "bounded retry must recover every batch at 20% loss (report: {:?})",
+        ex.report()
+    );
+    let r = ex.report();
+    assert!(r.frames_lost > 0, "the loss model must actually fire");
+    assert!(r.retries > 0, "recovery must come from retransmissions");
+    assert_eq!(r.upload_failures, 0);
+}
+
+#[test]
+fn chunked_deploy_resumes_through_loss_and_installs_exact_payload() {
+    let ids: Vec<String> = (0..3).map(|i| format!("dev{i}")).collect();
+    let mut cfg = lossy(0.2);
+    cfg.chunk_bytes = 64; // force a many-chunk transfer
+    let mut ex = Exchange::new(ids.iter().cloned(), cfg);
+    let (meta, patch) = test_patch();
+    let delivery = ex.deploy(&ids, &meta, &patch);
+    assert_eq!(
+        delivery.delivered.len(),
+        ids.len(),
+        "all transfers must complete (failed: {:?}, report: {:?})",
+        delivery.failed,
+        ex.report()
+    );
+    for (_, got_meta, got_patch) in &delivery.delivered {
+        assert_eq!(got_meta, &meta, "meta must survive the wire bit-exactly");
+        assert_eq!(got_patch, &patch, "patch must survive the wire bit-exactly");
+    }
+    assert!(
+        delivery.payload_len > 2 * 64,
+        "test must exercise multiple chunks"
+    );
+    assert!(ex.report().chunk_resends > 0, "loss must force resends");
+}
+
+#[test]
+fn straggler_cutoff_bounds_the_round_and_counts_abandoned_frames() {
+    let ids: Vec<String> = (0..2).map(|i| format!("dev{i}")).collect();
+    let cfg = NetConfig {
+        link: LinkConfig {
+            latency_us: 200_000, // first retransmit can't land before cutoff
+            loss: 1.0,
+            ..LinkConfig::perfect()
+        },
+        straggler_cutoff_us: Some(250_000),
+        seed: 7,
+        ..NetConfig::default()
+    };
+    let mut ex = Exchange::new(ids.iter().cloned(), cfg);
+    let batches: Vec<(String, Vec<DriftLogEntry>, Vec<_>)> = ids
+        .iter()
+        .map(|id| (id.clone(), (0..10).map(entry).collect(), vec![]))
+        .collect();
+    let start = ex.clock_us();
+    let delivery = ex.upload_window(batches);
+    assert!(delivery.entries.is_empty(), "total loss delivers nothing");
+    assert_eq!(delivery.straggler_devices, 2);
+    assert!(ex.report().stragglers_dropped > 0);
+    assert!(
+        ex.clock_us() - start <= 250_000,
+        "the round must stop at the cutoff, not wait out the retry budget"
+    );
+}
+
+#[test]
+fn total_deploy_loss_reports_failed_devices() {
+    let ids: Vec<String> = vec!["dev0".into()];
+    let cfg = NetConfig {
+        link: LinkConfig {
+            loss: 1.0,
+            ..LinkConfig::perfect()
+        },
+        seed: 3,
+        ..NetConfig::default()
+    };
+    let mut ex = Exchange::new(ids.iter().cloned(), cfg);
+    let (meta, patch) = test_patch();
+    let delivery = ex.deploy(&ids, &meta, &patch);
+    assert!(delivery.delivered.is_empty());
+    assert_eq!(delivery.failed, ids);
+    assert_eq!(ex.report().deploy_failures, 1);
+}

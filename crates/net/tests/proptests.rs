@@ -1,0 +1,198 @@
+//! Property-based tests of the wire protocol and the transport fabric:
+//! round trips are exact, ingest is idempotent under duplication and
+//! reordering, and the whole exchange is deterministic per seed.
+
+use nazar_data::{Corruption, SimDate};
+use nazar_device::UploadedSample;
+use nazar_log::{Attribute, DriftLogEntry};
+use nazar_net::exchange::Exchange;
+use nazar_net::{IngestServer, LinkConfig, Message, NetConfig};
+use proptest::prelude::*;
+
+const KEYS: [&str; 3] = ["weather", "location", "device_id"];
+const VALUES: [&str; 4] = ["snow", "rain", "quebec", "dev03"];
+
+fn entry_from(ts: u64, k: usize, v: usize, drift: bool) -> DriftLogEntry {
+    DriftLogEntry::new(ts, &[(KEYS[k % 3], VALUES[v % 4])], drift)
+}
+
+fn sample_from(feats: Vec<f32>, day: u16, label: usize, cause: usize) -> UploadedSample {
+    UploadedSample {
+        features: feats,
+        attrs: vec![Attribute::new(KEYS[label % 3], VALUES[cause % 4])],
+        date: SimDate::new(day % SimDate::TOTAL_DAYS),
+        label,
+        true_cause: if cause.is_multiple_of(3) {
+            None
+        } else {
+            Some(Corruption::ALL[cause % Corruption::ALL.len()])
+        },
+    }
+}
+
+/// Applies a deterministic pseudo-permutation of `0..n` driven by `keys`.
+fn permuted<T: Clone>(items: &[T], keys: &[u64]) -> Vec<T> {
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (keys.get(i).copied().unwrap_or(0), i));
+    order.iter().map(|&i| items[i].clone()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every representable upload batch survives encode → decode exactly
+    /// (floats travel as raw bits, so equality is bitwise).
+    #[test]
+    fn upload_batch_round_trips(
+        seq in 0u64..1_000_000,
+        raw_entries in proptest::collection::vec(
+            (0u64..10_000, 0usize..3, 0usize..4, any::<bool>()), 0..20),
+        raw_samples in proptest::collection::vec(
+            (proptest::collection::vec(-4.0f32..4.0, 1..12), 0u16..112, 0usize..8, 0usize..12),
+            0..6),
+    ) {
+        let msg = Message::UploadBatch {
+            device_id: "quebec-dev07".into(),
+            seq,
+            entries: raw_entries
+                .iter()
+                .map(|&(ts, k, v, d)| entry_from(ts, k, v, d))
+                .collect(),
+            samples: raw_samples
+                .iter()
+                .map(|(f, day, l, c)| sample_from(f.clone(), *day, *l, *c))
+                .collect(),
+        };
+        let bytes = nazar_net::wire::encode_frame(&msg);
+        prop_assert_eq!(nazar_net::wire::decode_frame(&bytes).unwrap(), msg);
+    }
+
+    /// Ingest is idempotent: any delivery schedule built from a batch set by
+    /// duplicating and reordering drains to exactly the in-order ingest of
+    /// the unique batches.
+    #[test]
+    fn ingest_tolerates_duplication_and_reordering(
+        batches in proptest::collection::vec((0usize..4, 0u64..6, 0u64..10_000), 1..24),
+        dup_flags in proptest::collection::vec(any::<bool>(), 24),
+        perm_keys in proptest::collection::vec(0u64..1_000_000, 48),
+    ) {
+        // Unique (device, seq) batches, each carrying a distinguishable entry.
+        let mut unique: Vec<(String, u64, DriftLogEntry)> = Vec::new();
+        for &(d, seq, ts) in &batches {
+            let device = format!("dev{d}");
+            if !unique.iter().any(|(dv, s, _)| dv == &device && *s == seq) {
+                unique.push((device, seq, entry_from(ts, d, seq as usize, true)));
+            }
+        }
+
+        // Reference: in-order, exactly-once delivery.
+        let mut reference = IngestServer::new();
+        for (device, seq, e) in &unique {
+            reference.on_upload(device, *seq, vec![e.clone()], vec![]);
+        }
+        let expected = reference.take_window();
+
+        // Adversarial schedule: duplicate some batches, then permute all.
+        let mut schedule: Vec<(String, u64, DriftLogEntry)> = unique.clone();
+        for (i, (device, seq, e)) in unique.iter().enumerate() {
+            if dup_flags.get(i).copied().unwrap_or(false) {
+                schedule.push((device.clone(), *seq, e.clone()));
+            }
+        }
+        let schedule = permuted(&schedule, &perm_keys);
+        let mut server = IngestServer::new();
+        let mut dups = 0u64;
+        for (device, seq, e) in &schedule {
+            if server.on_upload(device, *seq, vec![e.clone()], vec![]).duplicate {
+                dups += 1;
+            }
+        }
+        prop_assert_eq!(dups, (schedule.len() - unique.len()) as u64);
+        prop_assert_eq!(server.take_window(), expected);
+    }
+
+    /// The exchange is a pure function of (config, inputs): the same seed
+    /// under the same fault model produces byte-identical deliveries and
+    /// wire statistics.
+    #[test]
+    fn exchange_same_seed_same_outcome(
+        loss in 0.0f64..0.4,
+        duplicate in 0.0f64..0.3,
+        reorder in 0.0f64..0.3,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = NetConfig {
+            link: LinkConfig {
+                latency_us: 20_000,
+                jitter_us: 5_000,
+                loss,
+                duplicate,
+                reorder,
+                ..LinkConfig::perfect()
+            },
+            seed,
+            ..NetConfig::default()
+        };
+        let ids = ["a-0".to_string(), "b-1".to_string(), "c-2".to_string()];
+        let batches: Vec<(String, Vec<DriftLogEntry>, Vec<UploadedSample>)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                let entries = (0..10u64).map(|t| entry_from(t, i, i, t.is_multiple_of(2))).collect();
+                (id.clone(), entries, vec![])
+            })
+            .collect();
+
+        let mut a = Exchange::new(ids.iter().cloned(), cfg.clone());
+        let mut b = Exchange::new(ids.iter().cloned(), cfg);
+        let da = a.upload_window(batches.clone());
+        let db = b.upload_window(batches);
+        prop_assert_eq!(da.entries, db.entries);
+        prop_assert_eq!(da.straggler_devices, db.straggler_devices);
+        prop_assert_eq!(a.report(), b.report());
+        prop_assert_eq!(a.clock_us(), b.clock_us());
+    }
+
+    /// Without loss, duplication and reordering alone can neither drop nor
+    /// double-count anything: delivery equals the direct-path concatenation
+    /// exactly, in sorted-device order.
+    #[test]
+    fn lossless_faults_deliver_exactly_once_in_order(
+        duplicate in 0.0f64..0.5,
+        reorder in 0.0f64..0.5,
+        seed in 0u64..1_000,
+    ) {
+        let cfg = NetConfig {
+            link: LinkConfig {
+                latency_us: 10_000,
+                jitter_us: 3_000,
+                duplicate,
+                reorder,
+                ..LinkConfig::perfect()
+            },
+            seed,
+            ..NetConfig::default()
+        };
+        let ids = ["a-0".to_string(), "b-1".to_string()];
+        let batches: Vec<(String, Vec<DriftLogEntry>, Vec<UploadedSample>)> = ids
+            .iter()
+            .enumerate()
+            .map(|(i, id)| {
+                // Enough entries to split into several frames (batch cap 64).
+                let entries: Vec<DriftLogEntry> =
+                    (0..150u64).map(|t| entry_from(t, i, i, t % 3 == 0)).collect();
+                (id.clone(), entries, vec![])
+            })
+            .collect();
+        let expected: Vec<DriftLogEntry> = batches
+            .iter()
+            .flat_map(|(_, e, _)| e.iter().cloned())
+            .collect();
+
+        let mut ex = Exchange::new(ids.iter().cloned(), cfg);
+        let delivery = ex.upload_window(batches);
+        prop_assert_eq!(delivery.entries, expected);
+        prop_assert_eq!(ex.report().frames_lost, 0);
+        prop_assert_eq!(delivery.straggler_devices, 0);
+    }
+}

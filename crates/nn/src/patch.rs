@@ -98,6 +98,28 @@ impl BnPatch {
         self.layers.iter().map(|l| l.gamma.len() * 4).sum()
     }
 
+    /// The patch's exact length in bytes on the `nazar-net` wire: a `u16`
+    /// layer count, then per layer four length-prefixed (`u32`) vectors of
+    /// raw-bit `f32`s (γ, β, running mean, running variance).
+    ///
+    /// This is what one deployment actually costs the network per device —
+    /// the transfer ledger charges it instead of the idealized
+    /// `num_scalars() * 4` — and `nazar-net` asserts its encoder produces
+    /// exactly this many bytes.
+    pub fn encoded_len(&self) -> usize {
+        2 + self
+            .layers
+            .iter()
+            .map(|l| {
+                4 * 4
+                    + 4 * (l.gamma.len()
+                        + l.beta.len()
+                        + l.running_mean.len()
+                        + l.running_var.len())
+            })
+            .sum::<usize>()
+    }
+
     /// The per-layer states.
     pub fn layers(&self) -> &[BnLayerState] {
         &self.layers
@@ -166,6 +188,16 @@ mod tests {
         let patch = BnPatch::extract(&mut m);
         use crate::layers::Layer;
         assert!(patch.num_scalars() * 10 < m.num_params());
+    }
+
+    #[test]
+    fn encoded_len_is_scalars_plus_framing() {
+        let mut m = model(0);
+        let patch = BnPatch::extract(&mut m);
+        // 2-byte layer count + 4 length prefixes per layer + 4 bytes/scalar.
+        let expected = 2 + patch.num_layers() * 16 + patch.num_scalars() * 4;
+        assert_eq!(patch.encoded_len(), expected);
+        assert!(patch.encoded_len() > patch.num_scalars() * 4);
     }
 
     #[test]

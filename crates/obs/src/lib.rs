@@ -8,7 +8,7 @@
 //!   gauges and fixed-bucket histograms, all backed by atomics so hot paths
 //!   (kernel workspaces, log ingest, version selection) can record without
 //!   locks;
-//! * **scoped span timers** ([`span`]) that assemble a hierarchical span tree
+//! * **scoped span timers** ([`span()`]) that assemble a hierarchical span tree
 //!   per pipeline run — device inference → detection → log ingest → FIM →
 //!   set reduction → counterfactual analysis → per-cause adaptation →
 //!   version distribution;

@@ -389,4 +389,85 @@ mod tests {
         let b = VersionMeta::new(vec![attr("a", "1"), attr("b", "2")], 1.0);
         assert_eq!(a.attrs, b.attrs);
     }
+
+    #[test]
+    fn zero_capacity_pool_stores_nothing_but_never_panics() {
+        let mut p = pool(Some(0));
+        let out = p.deploy(VersionMeta::new(vec![attr("weather", "snow")], 3.0), 1);
+        // The just-deployed version is itself LRU-evicted immediately.
+        assert_eq!(out.evicted, vec![out.id]);
+        assert!(p.is_empty());
+        assert!(p.select(&[attr("weather", "snow")]).is_none());
+        // Repeated deploys keep working and keep assigning fresh ids.
+        let again = p.deploy(VersionMeta::new(vec![attr("weather", "fog")], 1.0), 2);
+        assert!(again.id > out.id);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn capacity_one_pool_holds_exactly_the_newest_version() {
+        let mut p = pool(Some(1));
+        let a = p.deploy(VersionMeta::new(vec![attr("weather", "snow")], 3.0), 1);
+        assert_eq!(p.len(), 1);
+        // A different cause LRU-evicts the previous sole occupant.
+        let b = p.deploy(VersionMeta::new(vec![attr("weather", "fog")], 1.0), 2);
+        assert_eq!(b.evicted, vec![a.id]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.versions()[0].payload, 2);
+        // Selection only ever sees the survivor.
+        assert!(p.select(&[attr("weather", "snow")]).is_none());
+        assert_eq!(p.select(&[attr("weather", "fog")]).unwrap().payload, 2);
+    }
+
+    #[test]
+    fn redeploying_identical_attrs_replaces_not_accumulates() {
+        let mut p = pool(Some(4));
+        let meta = || VersionMeta::new(vec![attr("weather", "snow"), attr("location", "nyc")], 2.0);
+        let mut last_id = None;
+        for payload in 0..5u32 {
+            let out = p.deploy(meta(), payload);
+            if let Some(prev) = last_id {
+                assert_eq!(out.evicted, vec![prev], "same attrs must replace");
+            }
+            last_id = Some(out.id);
+            assert_eq!(
+                p.len(),
+                1,
+                "identical-cause redeploys must not grow the pool"
+            );
+        }
+        assert_eq!(p.versions()[0].payload, 4, "newest payload wins");
+        // The replacement also refreshes recency: a subsequent LRU squeeze
+        // evicts an older *other* cause first.
+        let other = p.deploy(VersionMeta::new(vec![attr("weather", "fog")], 1.0), 10);
+        let mut small = pool(Some(2));
+        let stale = small.deploy(VersionMeta::new(vec![attr("weather", "fog")], 1.0), 0);
+        small.deploy(meta(), 1);
+        small.deploy(meta(), 2); // refresh, still 2 versions
+        let squeezed = small.deploy(VersionMeta::new(vec![attr("weather", "rain")], 1.0), 3);
+        assert_eq!(squeezed.evicted, vec![stale.id]);
+        let _ = other;
+    }
+
+    #[test]
+    fn select_tie_break_is_deterministic_and_prefers_recency() {
+        // Two versions with equal attribute count AND equal risk ratio:
+        // the final tie-breaker is updated_at (recency), which is a total
+        // order, so selection is deterministic.
+        let mut p = pool(None);
+        p.deploy(VersionMeta::new(vec![attr("weather", "rain")], 2.0), 1);
+        p.deploy(VersionMeta::new(vec![attr("location", "nyc")], 2.0), 2);
+        let input = [attr("weather", "rain"), attr("location", "nyc")];
+        for _ in 0..8 {
+            assert_eq!(
+                p.select(&input).unwrap().payload,
+                2,
+                "equal score must resolve to the most recently updated version"
+            );
+        }
+        // Refreshing the older version flips the winner — recency is live,
+        // not insertion order.
+        p.deploy(VersionMeta::new(vec![attr("weather", "rain")], 2.0), 3);
+        assert_eq!(p.select(&input).unwrap().payload, 3);
+    }
 }

@@ -3,7 +3,7 @@
 //! Every kernel writes into a caller-provided output (`*_into`) or mutates
 //! in place (`*_assign`), so hot loops — the autograd backward sweep, the
 //! optimizers, TENT adaptation — can recycle buffers through a
-//! [`Workspace`](crate::Workspace) instead of allocating per operation.
+//! [`Workspace`] instead of allocating per operation.
 //! The allocating [`Tensor`](crate::Tensor) methods are thin wrappers over
 //! these kernels.
 //!

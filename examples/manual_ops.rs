@@ -63,9 +63,9 @@ fn main() {
             if convincing { "APPROVE" } else { "dismiss" }
         );
         if convincing {
-            approved.push(orchestrator.approve_alert(0));
+            approved.push(orchestrator.approve_alert(0).expect("alert 0 is pending"));
         } else {
-            orchestrator.dismiss_alert(0);
+            orchestrator.dismiss_alert(0).expect("alert 0 is pending");
         }
     }
     println!(

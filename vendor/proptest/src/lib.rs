@@ -227,7 +227,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Size specification for [`vec`]: a fixed length or a range.
+    /// Size specification for [`vec()`]: a fixed length or a range.
     pub trait SizeRange {
         /// Draws a length.
         fn pick(&self, rng: &mut TestRng) -> usize;
