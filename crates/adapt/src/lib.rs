@@ -47,8 +47,43 @@ pub use memo::{memo_adapt, MemoConfig};
 pub use tent::{tent_adapt, TentConfig};
 
 use nazar_nn::{BnPatch, MlpResNet};
+use nazar_tensor::Tensor;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Drops rows of an `[n, d]` matrix that contain any non-finite feature.
+///
+/// Adaptation runs batch statistics over whole batches, so a single NaN row
+/// would poison the BN running state for every row in its batch — and from
+/// there every future prediction of the patched model. The policy
+/// (DESIGN.md §9) is to adapt on the finite subset and report `None` when
+/// nothing usable remains, which callers turn into a no-op report.
+///
+/// # Panics
+///
+/// Panics if `data` is not an `[n, d]` matrix (a shape contract, not a data
+/// condition).
+pub fn sanitize_rows(data: &Tensor) -> Option<Tensor> {
+    let n = data.nrows().expect("adaptation data is [n, d]");
+    let d = data.ncols().expect("adaptation data is [n, d]");
+    let raw = data.data();
+    let mut kept = Vec::with_capacity(raw.len());
+    let mut rows = 0;
+    for i in 0..n {
+        let row = &raw[i * d..(i + 1) * d];
+        if row.iter().all(|v| v.is_finite()) {
+            kept.extend_from_slice(row);
+            rows += 1;
+        }
+    }
+    if rows == 0 {
+        return None;
+    }
+    if rows == n {
+        return Some(data.clone());
+    }
+    Some(Tensor::from_vec(kept, &[rows, d]).expect("kept rows form a matrix"))
+}
 
 /// Summary of one adaptation run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -59,6 +94,18 @@ pub struct AdaptReport {
     pub entropy_after: f32,
     /// Number of gradient steps taken.
     pub steps: usize,
+}
+
+impl AdaptReport {
+    /// The report for a run that had no usable data: zero steps, zero
+    /// entropy delta, and the model untouched.
+    pub fn noop() -> Self {
+        AdaptReport {
+            entropy_before: 0.0,
+            entropy_after: 0.0,
+            steps: 0,
+        }
+    }
 }
 
 /// The self-supervised adaptation objective to use.
@@ -218,6 +265,26 @@ mod tests {
         assert_eq!(re_extracted, patch);
         let mut model = bed.model.clone();
         assert_eq!(patch.num_layers(), model.num_bn_layers());
+    }
+
+    #[test]
+    fn sanitize_rows_keeps_only_finite_rows() {
+        use nazar_tensor::Tensor;
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, f32::NAN, 3.0, 4.0, 5.0, f32::INFINITY, 6.0],
+            &[4, 2],
+        )
+        .unwrap();
+        let kept = sanitize_rows(&x).unwrap();
+        assert_eq!(kept.dims(), &[2, 2]);
+        assert_eq!(kept.data(), &[1.0, 2.0, 4.0, 5.0]);
+
+        assert!(sanitize_rows(&Tensor::zeros(&[0, 2])).is_none());
+        assert!(sanitize_rows(&Tensor::from_vec(vec![f32::NAN; 4], &[2, 2]).unwrap()).is_none());
+
+        // A fully-finite matrix passes through unchanged.
+        let clean = Tensor::from_vec(vec![1.0; 6], &[3, 2]).unwrap();
+        assert_eq!(sanitize_rows(&clean).unwrap(), clean);
     }
 
     #[test]

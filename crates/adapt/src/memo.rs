@@ -36,9 +36,15 @@ impl Default for MemoConfig {
 /// marginal prediction over random augmentations (Eq. 3 of the paper),
 /// restricted to BN layers.
 ///
+/// Rows containing non-finite features are dropped before adaptation, and
+/// with no usable rows the model is left untouched and a zero-step
+/// [`AdaptReport::noop`] is returned (DESIGN.md §9, same policy as
+/// [`crate::tent_adapt`]).
+///
 /// # Panics
 ///
-/// Panics if `data` is empty or `augmentations` is zero.
+/// Panics if `data` is not an `[n, d]` matrix or `augmentations` is zero
+/// (configuration contracts, not data conditions).
 pub fn memo_adapt<R: Rng + ?Sized>(
     model: &mut MlpResNet,
     data: &Tensor,
@@ -49,9 +55,13 @@ pub fn memo_adapt<R: Rng + ?Sized>(
         config.augmentations > 0,
         "memo requires at least one augmentation"
     );
+    let Some(data) = crate::sanitize_rows(data) else {
+        return AdaptReport::noop();
+    };
+    let data = &data;
     let n = data.nrows().expect("adaptation data is [n, d]");
-    assert!(n > 0, "adaptation data must be non-empty");
 
+    let snapshot = nazar_nn::BnPatch::extract(model);
     let entropy_before = mean_entropy_of(model, data);
     model.set_all_trainable(false);
     model.set_bn_affine_trainable(true);
@@ -98,6 +108,16 @@ pub fn memo_adapt<R: Rng + ?Sized>(
     }
 
     model.set_all_trainable(true);
+    // Same overflow rollback as `tent_adapt` (DESIGN.md §9): never hand
+    // back a model whose BN state went non-finite.
+    if !nazar_nn::BnPatch::extract(model).is_finite() {
+        let _ = snapshot.apply(model);
+        return AdaptReport {
+            entropy_before,
+            entropy_after: entropy_before,
+            steps: 0,
+        };
+    }
     let entropy_after = mean_entropy_of(model, data);
     AdaptReport {
         entropy_before,
@@ -151,6 +171,26 @@ mod tests {
         let mut all = true;
         model.visit_params(&mut |p| all &= p.trainable());
         assert!(all);
+    }
+
+    #[test]
+    fn memo_empty_and_poisoned_windows_are_noops() {
+        // Regression (satellite 3): same policy as TENT — no usable rows
+        // means no adaptation, not a panic.
+        let bed = trained_bed();
+        let mut model = bed.model.clone();
+        let before = nazar_nn::BnPatch::extract(&mut model);
+        let mut rng = SmallRng::seed_from_u64(3);
+
+        let empty = Tensor::zeros(&[0, 32]);
+        let report = memo_adapt(&mut model, &empty, &MemoConfig::default(), &mut rng);
+        assert_eq!(report, crate::AdaptReport::noop());
+
+        let poisoned = Tensor::from_vec(vec![f32::INFINITY; 2 * 32], &[2, 32]).unwrap();
+        let report = memo_adapt(&mut model, &poisoned, &MemoConfig::default(), &mut rng);
+        assert_eq!(report, crate::AdaptReport::noop());
+
+        assert_eq!(nazar_nn::BnPatch::extract(&mut model), before);
     }
 
     #[test]

@@ -35,18 +35,28 @@ impl Default for TentConfig {
 /// All non-BN parameters are frozen for the duration and their trainability
 /// flags restored afterwards.
 ///
+/// Rows containing non-finite features are dropped before adaptation
+/// (DESIGN.md §9): one NaN row would poison the batch statistics — and
+/// thus the shipped patch — for everyone. With no usable rows (including
+/// an empty `data`) the model is left untouched and a zero-step
+/// [`AdaptReport::noop`] is returned.
+///
 /// # Panics
 ///
-/// Panics if `data` is not a non-empty `[n, d]` matrix or the batch size is
-/// smaller than 2.
+/// Panics if `data` is not an `[n, d]` matrix or the batch size is smaller
+/// than 2 (configuration contracts, not data conditions).
 pub fn tent_adapt(model: &mut MlpResNet, data: &Tensor, config: &TentConfig) -> AdaptReport {
     assert!(
         config.batch_size >= 2,
         "tent requires batches of at least 2 inputs"
     );
+    let Some(data) = crate::sanitize_rows(data) else {
+        return AdaptReport::noop();
+    };
+    let data = &data;
     let n = data.nrows().expect("adaptation data is [n, d]");
-    assert!(n > 0, "adaptation data must be non-empty");
 
+    let snapshot = nazar_nn::BnPatch::extract(model);
     let entropy_before = mean_entropy_of(model, data);
 
     // TENT configuration: only γ/β receive gradients.
@@ -78,6 +88,18 @@ pub fn tent_adapt(model: &mut MlpResNet, data: &Tensor, config: &TentConfig) -> 
     }
 
     model.set_all_trainable(true);
+    // Finite-but-extreme inputs can overflow the batch statistics and leave
+    // NaN/Inf in the BN state even though every input row was finite. A
+    // poisoned model must never leave this function (DESIGN.md §9): roll
+    // back to the pre-adaptation snapshot and report zero effective steps.
+    if !nazar_nn::BnPatch::extract(model).is_finite() {
+        let _ = snapshot.apply(model);
+        return AdaptReport {
+            entropy_before,
+            entropy_after: entropy_before,
+            steps: 0,
+        };
+    }
     let entropy_after = mean_entropy_of(model, data);
     AdaptReport {
         entropy_before,
@@ -177,6 +199,47 @@ mod tests {
         let mut all_trainable = true;
         model.visit_params(&mut |p| all_trainable &= p.trainable());
         assert!(all_trainable);
+    }
+
+    #[test]
+    fn empty_and_fully_poisoned_windows_are_noops() {
+        // Regression (satellite 3): zero-sample windows and windows whose
+        // every row is non-finite previously panicked; they must leave the
+        // model untouched and report zero steps.
+        let bed = trained_bed();
+        let mut model = bed.model.clone();
+        let before = nazar_nn::BnPatch::extract(&mut model);
+
+        let empty = Tensor::zeros(&[0, 32]);
+        let report = tent_adapt(&mut model, &empty, &TentConfig::default());
+        assert_eq!(report, crate::AdaptReport::noop());
+
+        let poisoned = Tensor::from_vec(vec![f32::NAN; 3 * 32], &[3, 32]).unwrap();
+        let report = tent_adapt(&mut model, &poisoned, &TentConfig::default());
+        assert_eq!(report, crate::AdaptReport::noop());
+
+        assert_eq!(nazar_nn::BnPatch::extract(&mut model), before);
+    }
+
+    #[test]
+    fn poisoned_rows_are_dropped_not_propagated() {
+        // A handful of NaN rows inside an otherwise-good window must not
+        // leak NaN into the adapted model's BN state or predictions.
+        let bed = trained_bed();
+        let drifted = corrupt(&bed.clean_x, Corruption::GaussianNoise, 3, 7);
+        let mut data = drifted.data().to_vec();
+        let d = drifted.ncols().unwrap();
+        data[0] = f32::NAN;
+        data[5 * d + 2] = f32::INFINITY;
+        let poisoned = Tensor::from_vec(data, drifted.dims()).unwrap();
+
+        let mut model = bed.model.clone();
+        let report = tent_adapt(&mut model, &poisoned, &TentConfig::default());
+        assert!(report.steps > 0);
+        assert!(report.entropy_after.is_finite(), "{report:?}");
+        let probe = model.logits(&bed.clean_x, Mode::Eval);
+        assert!(probe.data().iter().all(|v| v.is_finite()));
+        assert!(nazar_nn::BnPatch::extract(&mut model).is_finite());
     }
 
     #[test]

@@ -90,22 +90,14 @@ pub(crate) fn rank_order_by(
     a: &RankedCause,
     b: &RankedCause,
 ) -> std::cmp::Ordering {
+    // total_cmp keeps the ranking a deterministic total order even if a
+    // metric ever goes NaN (NaN-keyed causes sink below every number under
+    // the descending comparison — DESIGN.md §9).
     metric
         .key(&b.stats)
-        .partial_cmp(&metric.key(&a.stats))
-        .unwrap_or(std::cmp::Ordering::Equal)
-        .then(
-            b.stats
-                .support
-                .partial_cmp(&a.stats.support)
-                .unwrap_or(std::cmp::Ordering::Equal),
-        )
-        .then(
-            b.stats
-                .occurrence
-                .partial_cmp(&a.stats.occurrence)
-                .unwrap_or(std::cmp::Ordering::Equal),
-        )
+        .total_cmp(&metric.key(&a.stats))
+        .then(b.stats.support.total_cmp(&a.stats.support))
+        .then(b.stats.occurrence.total_cmp(&a.stats.occurrence))
         .then(a.attrs.len().cmp(&b.attrs.len()))
         .then(a.attrs.cmp(&b.attrs))
 }

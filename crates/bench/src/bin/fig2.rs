@@ -55,7 +55,8 @@ fn main() {
     ]);
 
     for batch in [2usize, 4, 8, 16, 32, 64] {
-        let mut ks = KsTestDetector::fit(&mut setup.model, &reference, batch, 0.05);
+        let mut ks =
+            KsTestDetector::fit(&mut setup.model, &reference, batch, 0.05).expect("reference");
         let e = eval::evaluate_detector(&mut ks, &mut setup.model, &clean, &drifted);
         table.row(&[
             batch.to_string(),

@@ -62,8 +62,7 @@ fn main() {
         .min_by(|a, b| {
             (a.threshold - 0.9)
                 .abs()
-                .partial_cmp(&(b.threshold - 0.9).abs())
-                .expect("finite")
+                .total_cmp(&(b.threshold - 0.9).abs())
         })
         .expect("non-empty sweep");
     println!(
@@ -79,7 +78,7 @@ fn main() {
     let mut accs: Vec<(usize, f32)> = (0..config.classes)
         .filter_map(|c| report.class_accuracy(c).map(|a| (c, a)))
         .collect();
-    accs.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"));
+    accs.sort_by(|a, b| a.1.total_cmp(&b.1));
     let mut t = Table::new(
         "Figure 5b: per-class accuracy (sorted; balanced training data)",
         &["class", "difficulty", "accuracy"],

@@ -31,7 +31,7 @@ fn best_threshold(
     scores.extend(det.scores(model, clean));
     let truth: Vec<bool> = (0..scores.len()).map(|i| i < n_drift).collect();
     let mut candidates = scores.clone();
-    candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite scores"));
+    candidates.sort_by(nazar_detect::nan_last_cmp);
     let mut best = (candidates[0], -1.0f32);
     for &t in &candidates {
         let decisions: Vec<bool> = scores.iter().map(|&s| s > t).collect();
@@ -86,7 +86,7 @@ fn main() {
         det
     };
     let csi = {
-        let mut det = CsiLike::fit(&mut setup.model, &train_x, 256);
+        let mut det = CsiLike::fit(&mut setup.model, &train_x, 256).expect("training data");
         det.threshold = best_threshold(&mut det, &mut setup.model, &calib_clean, &calib_drift);
         det
     };
@@ -94,20 +94,18 @@ fn main() {
         Box::new(MspThreshold::default()),
         Box::new(EntropyThreshold::default()),
         Box::new(energy),
-        Box::new(KsTestDetector::fit(
-            &mut setup.model,
-            &calib_clean,
-            16,
-            0.05,
-        )),
-        Box::new(OutlierExposure::fit(
-            &setup.model.clone(),
-            &train_x,
-            &train_y,
-            &calib_drift,
-            2,
-            &mut rng,
-        )),
+        Box::new(KsTestDetector::fit(&mut setup.model, &calib_clean, 16, 0.05).expect("reference")),
+        Box::new(
+            OutlierExposure::fit(
+                &setup.model.clone(),
+                &train_x,
+                &train_y,
+                &calib_drift,
+                2,
+                &mut rng,
+            )
+            .expect("training data"),
+        ),
         Box::new(Odin::calibrate_epsilon(
             &mut setup.model,
             &calib_clean,
@@ -116,11 +114,12 @@ fn main() {
             &[0.0, 0.02, 0.05],
         )),
         Box::new({
-            let mut m = Mahalanobis::fit(&mut setup.model, &train_x, &train_y, config.classes);
+            let mut m = Mahalanobis::fit(&mut setup.model, &train_x, &train_y, config.classes)
+                .expect("training data");
             m.calibrate(&mut setup.model, &calib_clean, &calib_drift);
             m
         }),
-        Box::new(SslRotation::fit(&train_x, 8, &mut rng)),
+        Box::new(SslRotation::fit(&train_x, 8, &mut rng).expect("training data")),
         Box::new(csi),
         Box::new(GOdin::fit(
             &mut setup.model,

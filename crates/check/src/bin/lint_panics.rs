@@ -1,0 +1,374 @@
+//! `lint_panics`: deny-by-default lint over the workspace's library code.
+//!
+//! Scans every `crates/*/src/**/*.rs` file — excluding `src/bin/`
+//! directories and `#[cfg(test)]` modules — after stripping comments and
+//! string literals, and enforces the DESIGN.md §9 numeric-robustness
+//! policy at the token level:
+//!
+//! * **Rule 1 (zero tolerance):** no `.partial_cmp(` calls in library
+//!   code. Float orderings must go through `f32::total_cmp` or the policy
+//!   comparator `nazar_detect::nan_last_cmp`; `partial_cmp(..).expect(..)`
+//!   on scores is exactly the class of NaN-panic this PR removed.
+//! * **Rule 2 (ratchet):** per-file `.unwrap()` + `.expect(` counts may
+//!   not exceed the checked-in baseline `crates/check/panic_budget.txt`.
+//!   Files absent from the baseline have a budget of zero, so new library
+//!   code must use typed errors; existing documented shape-contract panics
+//!   are grandfathered but can only shrink.
+//!
+//! Run from anywhere in the workspace:
+//!
+//! ```text
+//! cargo run -p nazar-check --bin lint_panics             # check (CI)
+//! cargo run -p nazar-check --bin lint_panics -- --write-baseline
+//! ```
+//!
+//! Binaries (`src/bin/`), examples, benches and tests are exempt: they may
+//! crash on bad input; the libraries may not.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const BASELINE: &str = "crates/check/panic_budget.txt";
+
+fn main() -> ExitCode {
+    let write_baseline = std::env::args().any(|a| a == "--write-baseline");
+    let root = workspace_root();
+
+    let mut files = Vec::new();
+    collect_library_sources(&root.join("crates"), &mut files);
+    files.sort();
+
+    let mut partial_cmp_hits: Vec<(String, usize)> = Vec::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for path in &files {
+        let Ok(source) = fs::read_to_string(path) else {
+            eprintln!("lint_panics: unreadable file {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        let code = erase_test_modules(&erase_comments_and_strings(&source));
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .display()
+            .to_string()
+            .replace('\\', "/");
+        for line_no in find_lines(&code, ".partial_cmp(") {
+            partial_cmp_hits.push((rel.clone(), line_no));
+        }
+        let n = count_occurrences(&code, ".unwrap()") + count_occurrences(&code, ".expect(");
+        if n > 0 {
+            counts.insert(rel, n);
+        }
+    }
+
+    if write_baseline {
+        let mut out = String::from(
+            "# Per-file budget of `.unwrap()` + `.expect(` tokens in library code\n\
+             # (comments, strings, `#[cfg(test)]` modules and `src/bin/` excluded).\n\
+             # Regenerate with: cargo run -p nazar-check --bin lint_panics -- --write-baseline\n",
+        );
+        for (file, n) in &counts {
+            out.push_str(&format!("{n} {file}\n"));
+        }
+        if fs::write(root.join(BASELINE), out).is_err() {
+            eprintln!("lint_panics: cannot write {BASELINE}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "lint_panics: wrote {} ({} files, {} panic sites)",
+            BASELINE,
+            counts.len(),
+            counts.values().sum::<usize>()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let baseline = match read_baseline(&root.join(BASELINE)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("lint_panics: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failed = false;
+    for (file, line) in &partial_cmp_hits {
+        failed = true;
+        eprintln!(
+            "lint_panics: {file}:{line}: `.partial_cmp(` in library code — \
+             use `f32::total_cmp` or `nazar_detect::nan_last_cmp` (DESIGN.md §9)"
+        );
+    }
+    for (file, &n) in &counts {
+        let budget = baseline.get(file).copied().unwrap_or(0);
+        if n > budget {
+            failed = true;
+            eprintln!(
+                "lint_panics: {file}: {n} `.unwrap()`/`.expect(` sites exceed the \
+                 budget of {budget} — return a typed error, or document the shape \
+                 contract and re-run with --write-baseline"
+            );
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "lint_panics: ok ({} library files, {} budgeted panic sites, 0 partial_cmp)",
+        files.len(),
+        counts.values().sum::<usize>()
+    );
+    ExitCode::SUCCESS
+}
+
+/// The workspace root: two levels above this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/check has a workspace root")
+        .to_path_buf()
+}
+
+/// Recursively collects `.rs` files under every `crates/*/src`, skipping
+/// `src/bin` subtrees (binaries are exempt from the lint).
+fn collect_library_sources(crates_dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(crates_dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            walk(&src, out);
+        }
+    }
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            if path.file_name().is_some_and(|n| n == "bin") {
+                continue;
+            }
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn read_baseline(path: &Path) -> Result<BTreeMap<String, usize>, String> {
+    let text = fs::read_to_string(path).map_err(|_| {
+        format!(
+            "missing baseline {} — run with --write-baseline first",
+            path.display()
+        )
+    })?;
+    let mut map = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (n, file) = line
+            .split_once(' ')
+            .ok_or_else(|| format!("malformed baseline line: {line:?}"))?;
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("malformed baseline count: {line:?}"))?;
+        map.insert(file.to_string(), n);
+    }
+    Ok(map)
+}
+
+/// Replaces comments, string/char literals (including raw strings) with
+/// spaces, preserving newlines so reported line numbers stay accurate.
+fn erase_comments_and_strings(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let mut depth = 1;
+                out.extend_from_slice(b"  ");
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if raw_string_hashes(b, i).is_some() => {
+                let hashes = raw_string_hashes(b, i).unwrap();
+                out.extend(std::iter::repeat_n(b' ', hashes + 2));
+                i += hashes + 2;
+                let closer: Vec<u8> = std::iter::once(b'"')
+                    .chain(std::iter::repeat_n(b'#', hashes))
+                    .collect();
+                while i < b.len() && !b[i..].starts_with(&closer) {
+                    out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                    i += 1;
+                }
+                let close_len = closer.len().min(b.len() - i);
+                out.extend(std::iter::repeat_n(b' ', close_len));
+                i += close_len;
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend_from_slice(b"  ");
+                        i += 2;
+                    } else {
+                        out.push(if b[i] == b'\n' { b'\n' } else { b' ' });
+                        i += 1;
+                    }
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal or lifetime. A char literal closes within a
+                // few bytes ('x', '\n', '\u{..}'); a lifetime never closes.
+                let close = (i + 1..b.len().min(i + 12)).find(|&j| {
+                    b[j] == b'\'' && j != i + 1 && !(b[j - 1] == b'\\' && b[j - 2] != b'\\')
+                });
+                match close {
+                    Some(j) if b[i + 1] == b'\\' || j == i + 2 || b[i + 1] == b'\'' => {
+                        for &c in &b[i..=j] {
+                            out.push(if c == b'\n' { b'\n' } else { b' ' });
+                        }
+                        i = j + 1;
+                    }
+                    _ => {
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                }
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).expect("erasure writes only ASCII over valid UTF-8")
+}
+
+/// If `b[i..]` starts a raw string literal (`r"`, `r#"`, ...), returns the
+/// number of `#`s; `None` for identifiers like `ratio` or `r#keyword`.
+fn raw_string_hashes(b: &[u8], i: usize) -> Option<usize> {
+    if b[i] != b'r' || (i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')) {
+        return None;
+    }
+    let mut j = i + 1;
+    let mut hashes = 0;
+    while j < b.len() && b[j] == b'#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'"' {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Blanks out every `#[cfg(test)] mod { ... }` block (brace-matched),
+/// preserving newlines. Attributes between the cfg and the `mod` keyword
+/// (e.g. `#[allow(...)]`) are tolerated.
+fn erase_test_modules(code: &str) -> String {
+    let b = code.as_bytes();
+    let mut out = code.to_string();
+    let marker = "#[cfg(test)]";
+    let mut from = 0;
+    while let Some(pos) = out[from..].find(marker).map(|p| p + from) {
+        let mut j = pos + marker.len();
+        // Skip whitespace and further attributes to find what the cfg gates.
+        loop {
+            while j < b.len() && out.as_bytes()[j].is_ascii_whitespace() {
+                j += 1;
+            }
+            if out[j..].starts_with("#[") {
+                let Some(end) = out[j..].find(']') else { break };
+                j += end + 1;
+            } else {
+                break;
+            }
+        }
+        let gated = out[j..].trim_start();
+        let gates_module = gated.starts_with("mod ")
+            || gated.starts_with("pub mod ")
+            || gated.starts_with("pub(crate) mod ");
+        if !gates_module {
+            from = pos + marker.len();
+            continue;
+        }
+        let Some(open) = out[j..].find('{').map(|p| p + j) else {
+            from = pos + marker.len();
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut end = open;
+        for (k, c) in out[open..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = open + k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let blanked: String = out[pos..=end]
+            .chars()
+            .map(|c| if c == '\n' { '\n' } else { ' ' })
+            .collect();
+        out.replace_range(pos..=end, &blanked);
+        from = end + 1;
+    }
+    out
+}
+
+fn count_occurrences(code: &str, needle: &str) -> usize {
+    code.matches(needle).count()
+}
+
+/// 1-indexed line numbers of every occurrence of `needle`.
+fn find_lines(code: &str, needle: &str) -> Vec<usize> {
+    let mut lines = Vec::new();
+    let mut offset = 0;
+    while let Some(pos) = code[offset..].find(needle).map(|p| p + offset) {
+        lines.push(code[..pos].bytes().filter(|&c| c == b'\n').count() + 1);
+        offset = pos + needle.len();
+    }
+    lines
+}

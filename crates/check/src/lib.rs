@@ -1,0 +1,232 @@
+//! `nazar-check`: the adversarial-input correctness harness.
+//!
+//! Every public detect/analysis/adapt/registry entry point in this
+//! workspace is held to one contract (DESIGN.md §9): on degenerate but
+//! *reachable* inputs — NaN/Inf/subnormal features, all-equal logits,
+//! empty windows, single-class label sets, zero-variance feature columns,
+//! singular covariances, empty FIM transaction sets, zero-capacity pools —
+//! it returns a value or a typed error, never panics, and never emits NaN
+//! into downstream state.
+//!
+//! This crate supplies the two halves that enforce it:
+//!
+//! * **generators + assertions** (this library): named degenerate inputs
+//!   that the `tests/adversarial.rs` suite drives through every public
+//!   entry point;
+//! * **`lint_panics`** (`src/bin/lint_panics.rs`): a deny-by-default token
+//!   lint over the workspace's library sources that fails CI on new
+//!   `partial_cmp(..)` comparisons and on any growth in per-file
+//!   `unwrap()`/`expect(` counts beyond the checked-in
+//!   [`panic_budget.txt`] baseline.
+//!
+//! [`panic_budget.txt`]: https://github.com/nazar-repro/nazar
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use nazar_tensor::Tensor;
+
+/// The IEEE-754 special values every numeric entry point must survive:
+/// NaN, both infinities, signed zero, a subnormal, the smallest normal,
+/// and both extreme normals (whose squares overflow to infinity).
+pub const POISON_VALUES: [f32; 8] = [
+    f32::NAN,
+    f32::INFINITY,
+    f32::NEG_INFINITY,
+    -0.0,
+    1.0e-40,
+    f32::MIN_POSITIVE,
+    f32::MAX,
+    f32::MIN,
+];
+
+/// A deterministic benign filler in roughly `[-0.8, 0.8]` — varied enough
+/// that matrices built from it are not all-equal, with no RNG dependency so
+/// every generated case is reproducible by name alone.
+fn filler(i: usize, j: usize) -> f32 {
+    ((i * 37 + j * 11) % 17) as f32 * 0.1 - 0.8
+}
+
+/// The named degenerate `[rows, cols]` matrices the adversarial suite feeds
+/// to every entry point taking a feature or logit matrix.
+///
+/// The cases cover the reachable failure classes: empty windows, single
+/// samples, all-equal values (zero variance in every column, ties in every
+/// sort), one zero-variance column among healthy ones (a singular diagonal
+/// covariance), and each poison value both as a single corrupted cell and
+/// as the whole matrix.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0` (the generator needs room to place
+/// its poison; the empty case is generated explicitly).
+pub fn degenerate_matrices(rows: usize, cols: usize) -> Vec<(String, Tensor)> {
+    assert!(rows > 0 && cols > 0, "generator needs a non-empty shape");
+    let base: Vec<f32> = (0..rows * cols)
+        .map(|k| filler(k / cols, k % cols))
+        .collect();
+    let mut cases = vec![
+        ("empty".to_string(), Tensor::zeros(&[0, cols])),
+        (
+            "single-row".to_string(),
+            Tensor::from_vec(base[..cols].to_vec(), &[1, cols]).expect("shape"),
+        ),
+        ("all-zero".to_string(), Tensor::zeros(&[rows, cols])),
+        (
+            "all-equal".to_string(),
+            Tensor::from_vec(vec![0.7; rows * cols], &[rows, cols]).expect("shape"),
+        ),
+    ];
+
+    // One zero-variance column among otherwise varied ones: a singular
+    // (diagonal) covariance for Mahalanobis-style fits.
+    let mut singular = base.clone();
+    for r in 0..rows {
+        singular[r * cols] = 0.25;
+    }
+    cases.push((
+        "zero-variance-column".to_string(),
+        Tensor::from_vec(singular, &[rows, cols]).expect("shape"),
+    ));
+
+    for &poison in &POISON_VALUES {
+        let label = poison_label(poison);
+        let mut one = base.clone();
+        one[(rows / 2) * cols + cols / 2] = poison;
+        cases.push((
+            format!("one-cell-{label}"),
+            Tensor::from_vec(one, &[rows, cols]).expect("shape"),
+        ));
+        cases.push((
+            format!("all-{label}"),
+            Tensor::from_vec(vec![poison; rows * cols], &[rows, cols]).expect("shape"),
+        ));
+    }
+    cases
+}
+
+/// The named degenerate `[n, classes]` logit matrices: all-equal rows (a
+/// fully tied argmax), a NaN row, a `+Inf` row, an all-`-Inf` row (a
+/// zero-probability softmax), and one hugely spread row (softmax
+/// saturation).
+///
+/// # Panics
+///
+/// Panics if `classes < 2`.
+pub fn degenerate_logits(classes: usize) -> (String, Tensor) {
+    assert!(classes >= 2, "logits need at least two classes");
+    let mut data = vec![0.0f32; 5 * classes];
+    // Row 0: all-equal (already zeros). Row 1: one NaN among finite values.
+    data[classes] = f32::NAN;
+    for j in 1..classes {
+        data[classes + j] = filler(1, j);
+    }
+    // Row 2: one +Inf. Row 3: all -Inf. Row 4: huge spread.
+    data[2 * classes] = f32::INFINITY;
+    for j in 0..classes {
+        data[3 * classes + j] = f32::NEG_INFINITY;
+    }
+    data[4 * classes] = 1.0e38;
+    data[4 * classes + 1] = -1.0e38;
+    (
+        "tied/NaN/+Inf/all–Inf/saturated logit rows".to_string(),
+        Tensor::from_vec(data, &[5, classes]).expect("shape"),
+    )
+}
+
+/// A short stable label for a poison value, for use in case names.
+fn poison_label(v: f32) -> &'static str {
+    if v.is_nan() {
+        "nan"
+    } else if v == f32::INFINITY {
+        "pos-inf"
+    } else if v == f32::NEG_INFINITY {
+        "neg-inf"
+    } else if v == f32::MAX {
+        "f32-max"
+    } else if v == f32::MIN {
+        "f32-min"
+    } else if v == f32::MIN_POSITIVE {
+        "min-positive"
+    } else if v != 0.0 {
+        "subnormal"
+    } else {
+        "neg-zero"
+    }
+}
+
+/// Asserts no value is NaN, naming the offending case on failure.
+///
+/// This is the weaker contract: sanitized sentinels (`f32::MAX`) and
+/// infinities may legitimately appear in score streams, NaN never may.
+///
+/// # Panics
+///
+/// Panics (fails the calling test) when any value is NaN.
+pub fn assert_no_nan(case: &str, values: &[f32]) {
+    if let Some(pos) = values.iter().position(|v| v.is_nan()) {
+        panic!("case {case:?}: NaN leaked at index {pos} of {values:?}");
+    }
+}
+
+/// Asserts every value is finite, naming the offending case on failure.
+///
+/// # Panics
+///
+/// Panics (fails the calling test) when any value is non-finite.
+pub fn assert_all_finite(case: &str, values: &[f32]) {
+    if let Some(pos) = values.iter().position(|v| !v.is_finite()) {
+        panic!(
+            "case {case:?}: non-finite value {} at index {pos}",
+            values[pos]
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_cover_every_poison_and_stay_deterministic() {
+        let a = degenerate_matrices(4, 6);
+        let b = degenerate_matrices(4, 6);
+        assert_eq!(a.len(), b.len());
+        for ((na, ta), (nb, tb)) in a.iter().zip(&b) {
+            assert_eq!(na, nb);
+            let (ba, bb): (Vec<u32>, Vec<u32>) = (
+                ta.data().iter().map(|v| v.to_bits()).collect(),
+                tb.data().iter().map(|v| v.to_bits()).collect(),
+            );
+            assert_eq!(ba, bb, "case {na} must be bit-reproducible");
+        }
+        // 5 structural cases + 2 per poison value.
+        assert_eq!(a.len(), 5 + 2 * POISON_VALUES.len());
+        assert!(a.iter().any(|(n, _)| n == "empty"));
+        assert!(a.iter().any(|(n, _)| n == "all-nan"));
+        assert!(a.iter().any(|(n, _)| n == "zero-variance-column"));
+    }
+
+    #[test]
+    fn logit_generator_produces_the_advertised_rows() {
+        let (_, logits) = degenerate_logits(3);
+        assert_eq!(logits.dims(), &[5, 3]);
+        let d = logits.data();
+        assert!(d[..3].iter().all(|&v| v == 0.0));
+        assert!(d[3].is_nan());
+        assert_eq!(d[6], f32::INFINITY);
+        assert!(d[9..12].iter().all(|&v| v == f32::NEG_INFINITY));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN leaked")]
+    fn no_nan_assertion_fires() {
+        assert_no_nan("demo", &[0.0, f32::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn all_finite_assertion_fires() {
+        assert_all_finite("demo", &[0.0, f32::INFINITY]);
+    }
+}

@@ -1,0 +1,443 @@
+//! The adversarial-input correctness suite (DESIGN.md §9).
+//!
+//! Every public detect/analysis/adapt/registry/device/cloud entry point is
+//! driven with the degenerate-but-reachable inputs from `nazar_check`'s
+//! generators. The contract under test is uniform: **return a value or a
+//! typed error — never panic, never emit NaN into downstream state.**
+//! Sanitized sentinels (`f32::MAX` = "maximally drifted") and zero
+//! confidence are the two permitted answers to poisoned numerics.
+
+use nazar_adapt::{
+    adapt_to_patch, memo_adapt, sanitize_rows, tent_adapt, AdaptMethod, AdaptReport, MemoConfig,
+    TentConfig,
+};
+use nazar_analysis::{analyze_variant_with, AnalysisVariant, FimAlgorithm, FimConfig};
+use nazar_check::{
+    assert_all_finite, assert_no_nan, degenerate_logits, degenerate_matrices, POISON_VALUES,
+};
+use nazar_cloud::sanitize_uploads;
+use nazar_detect::eval::sweep_msp_thresholds;
+use nazar_detect::{
+    auroc, msp_of_logits, CsiLike, DetectError, DriftDetector, EnergyScore, EntropyThreshold,
+    GOdin, KsTestDetector, Mahalanobis, MaxLogitScore, MspThreshold, Odin, OutlierExposure,
+    SslRotation, StreamingMsp,
+};
+use nazar_device::{DeviceConfig, Fleet, UploadedSample, WindowStats, LOG_SCHEMA};
+use nazar_log::{DriftLog, DriftLogEntry};
+use nazar_nn::{entropy_of_logits, BnPatch, MlpResNet, ModelArch, NnError};
+use nazar_registry::{ModelPool, VersionMeta};
+use nazar_tensor::Tensor;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+const DIM: usize = 8;
+const CLASSES: usize = 4;
+
+fn model() -> MlpResNet {
+    MlpResNet::new(
+        ModelArch::tiny(DIM, CLASSES),
+        &mut SmallRng::seed_from_u64(0),
+    )
+}
+
+/// A small healthy training set for detectors that need one.
+fn healthy() -> (Tensor, Vec<usize>) {
+    let n = 24;
+    let data: Vec<f32> = (0..n * DIM)
+        .map(|k| ((k * 13 + 5) % 23) as f32 * 0.08 - 0.9)
+        .collect();
+    let labels: Vec<usize> = (0..n).map(|i| i % CLASSES).collect();
+    (Tensor::from_vec(data, &[n, DIM]).unwrap(), labels)
+}
+
+#[test]
+fn msp_of_degenerate_logits_stays_in_unit_interval() {
+    let (case, logits) = degenerate_logits(CLASSES);
+    let msp = msp_of_logits(&logits);
+    assert_eq!(msp.len(), 5);
+    assert_all_finite(&case, &msp);
+    assert!(msp.iter().all(|p| (0.0..=1.0).contains(p)), "{msp:?}");
+    // The NaN and all--Inf rows have no defined softmax: zero confidence.
+    assert_eq!(msp[1], 0.0);
+    assert_eq!(msp[3], 0.0);
+}
+
+#[test]
+fn entropy_of_degenerate_logits_is_finite() {
+    let (case, logits) = degenerate_logits(CLASSES);
+    let h = entropy_of_logits(&logits);
+    assert_all_finite(&case, &h);
+    let ln_c = (CLASSES as f32).ln();
+    assert!(h.iter().all(|&v| (0.0..=ln_c + 1e-5).contains(&v)), "{h:?}");
+}
+
+#[test]
+fn unfitted_detectors_never_panic_or_emit_nan() {
+    // Every detector constructible without training data, across every
+    // degenerate input matrix. ODIN runs backprop through the poison;
+    // the threshold detectors run softmax over it.
+    let mut m = model();
+    for (case, x) in degenerate_matrices(6, DIM) {
+        let n = x.nrows().unwrap();
+        let mut detectors: Vec<Box<dyn DriftDetector>> = vec![
+            Box::new(MspThreshold::default()),
+            Box::new(EntropyThreshold::default()),
+            Box::new(EnergyScore::default()),
+            Box::new(MaxLogitScore::default()),
+            Box::new(Odin::default()),
+            Box::new(GOdin::default()),
+        ];
+        for det in &mut detectors {
+            let scores = det.scores(&mut m, &x);
+            assert_eq!(scores.len(), n, "case {case:?}: {} scores", det.name());
+            assert_no_nan(&format!("{case}/{}", det.name()), &scores);
+            assert_eq!(det.detect(&mut m, &x).len(), n);
+        }
+    }
+}
+
+#[test]
+fn fits_reject_degenerate_training_sets_with_typed_errors() {
+    let mut m = model();
+    let empty = Tensor::zeros(&[0, DIM]);
+    let mut rng = SmallRng::seed_from_u64(1);
+
+    assert!(matches!(
+        Mahalanobis::fit(&mut m, &empty, &[], CLASSES),
+        Err(DetectError::EmptyTrainingSet { .. })
+    ));
+    assert!(matches!(
+        KsTestDetector::fit(&mut m, &empty, 8, 0.05),
+        Err(DetectError::EmptyTrainingSet { .. })
+    ));
+    let (x, y) = healthy();
+    assert!(matches!(
+        KsTestDetector::fit(&mut m, &x, 0, 0.05),
+        Err(DetectError::InvalidParameter { .. })
+    ));
+    assert!(matches!(
+        KsTestDetector::fit(&mut m, &x, 8, 1.5),
+        Err(DetectError::InvalidParameter { .. })
+    ));
+    assert!(matches!(
+        CsiLike::fit(&mut m, &x, 0),
+        Err(DetectError::InvalidParameter { .. })
+    ));
+    assert!(matches!(
+        CsiLike::fit(&mut m, &empty, 16),
+        Err(DetectError::EmptyTrainingSet { .. })
+    ));
+    assert!(matches!(
+        SslRotation::fit(&empty, 1, &mut rng),
+        Err(DetectError::EmptyTrainingSet { .. })
+    ));
+    assert!(matches!(
+        OutlierExposure::fit(&m, &empty, &[], &empty, 1, &mut rng),
+        Err(DetectError::EmptyTrainingSet { .. })
+    ));
+    assert!(matches!(
+        Mahalanobis::fit(&mut m, &x, &vec![CLASSES + 3; y.len()], CLASSES),
+        Err(DetectError::LabelOutOfRange { .. })
+    ));
+    // An all-NaN *input* matrix is absorbed to finite features by the
+    // network's ReLU (`f32::max(NaN, 0.0) == 0.0`), so the fit legitimately
+    // succeeds — the contract is a finite threshold, not an error.
+    let all_nan = Tensor::from_vec(vec![f32::NAN; 4 * DIM], &[4, DIM]).unwrap();
+    let det = Mahalanobis::fit(&mut m, &all_nan, &[0, 1, 2, 3], CLASSES).unwrap();
+    assert!(det.threshold.is_finite());
+}
+
+#[test]
+fn single_class_and_singular_covariance_fits_stay_finite() {
+    let mut m = model();
+    let (x, _) = healthy();
+    // Single-class label set: every other class mean is empty.
+    let single = vec![0usize; x.nrows().unwrap()];
+    let mut det = Mahalanobis::fit(&mut m, &x, &single, CLASSES).unwrap();
+    assert!(det.threshold.is_finite());
+    for (case, q) in degenerate_matrices(5, DIM) {
+        let scores = det.scores(&mut m, &q);
+        assert_no_nan(&format!("mahalanobis-single-class/{case}"), &scores);
+    }
+    // Zero-variance columns: the singular diagonal covariance must be
+    // regularized, not inverted to Inf.
+    let constant = Tensor::from_vec(vec![0.3; 6 * DIM], &[6, DIM]).unwrap();
+    let labels = vec![0, 0, 1, 1, 2, 2];
+    let mut det = Mahalanobis::fit(&mut m, &constant, &labels, CLASSES).unwrap();
+    let scores = det.scores(&mut m, &x);
+    assert_all_finite("mahalanobis-singular", &scores);
+}
+
+#[test]
+fn fitted_detectors_survive_every_degenerate_query() {
+    let mut m = model();
+    let (x, y) = healthy();
+    let mut rng = SmallRng::seed_from_u64(2);
+    let mut detectors: Vec<Box<dyn DriftDetector>> = vec![
+        Box::new(Mahalanobis::fit(&mut m, &x, &y, CLASSES).unwrap()),
+        Box::new(KsTestDetector::fit(&mut m, &x, 8, 0.05).unwrap()),
+        Box::new(CsiLike::fit(&mut m, &x, 16).unwrap()),
+        Box::new(SslRotation::fit(&x, 1, &mut rng).unwrap()),
+        Box::new(OutlierExposure::fit(&m, &x, &y, &x, 1, &mut rng).unwrap()),
+    ];
+    for (case, q) in degenerate_matrices(6, DIM) {
+        let n = q.nrows().unwrap();
+        for det in &mut detectors {
+            let scores = det.scores(&mut m, &q);
+            assert_eq!(scores.len(), n, "case {case:?}: {}", det.name());
+            assert_no_nan(&format!("{case}/{}", det.name()), &scores);
+            assert_eq!(det.detect(&mut m, &q).len(), n);
+        }
+    }
+}
+
+#[test]
+fn calibrations_survive_poisoned_splits() {
+    let mut m = model();
+    let (x, _) = healthy();
+    for (case, poisoned) in degenerate_matrices(6, DIM) {
+        if poisoned.nrows().unwrap() == 0 {
+            continue; // calibration needs at least one candidate score
+        }
+        let energy = EnergyScore::calibrated(&mut m, &x, &poisoned);
+        assert!(!energy.threshold.is_nan(), "case {case:?}");
+        let mut maha = Mahalanobis::fit(&mut m, &x, &healthy().1, CLASSES).unwrap();
+        maha.calibrate(&mut m, &x, &poisoned);
+        assert!(maha.threshold.is_finite(), "case {case:?}");
+    }
+    // GOdin fits on clean data only; poisoned "clean" data must not panic.
+    let (_, logit_poison) = degenerate_logits(CLASSES);
+    let _ = logit_poison;
+    let poisoned = Tensor::from_vec(vec![f32::NAN; 4 * DIM], &[4, DIM]).unwrap();
+    let g = GOdin::fit(&mut m, &poisoned, &[0.0, 0.05, 0.1]);
+    assert!(g.epsilon.is_finite());
+}
+
+#[test]
+fn streaming_monitor_absorbs_poison_as_zero_confidence() {
+    let mut mon = StreamingMsp::new(0.3, 0.9, 2);
+    assert_eq!(mon.smoothed(), None, "pre-observation state is explicit");
+    for &v in &POISON_VALUES {
+        mon.observe(v);
+        let s = mon.smoothed().unwrap();
+        assert!((0.0..=1.0).contains(&s), "after observing {v}: {s}");
+    }
+    // Non-finite observations count as zero confidence, so the alarm fires.
+    assert!(mon.is_alarmed());
+}
+
+#[test]
+fn eval_primitives_handle_degenerate_score_streams() {
+    // NaN scores rank as most-drifted; all-tied scores are a coin flip;
+    // single-class truth returns the 0.5 convention.
+    let a = auroc(
+        &[f32::NAN, 0.2, 0.9, f32::INFINITY],
+        &[true, false, true, true],
+    );
+    assert!(a.is_finite());
+    assert_eq!(auroc(&[], &[]), 0.5);
+    assert_eq!(auroc(&[0.1, 0.2], &[true, true]), 0.5);
+    assert_eq!(
+        auroc(&[0.5, 0.5, 0.5, 0.5], &[true, false, true, false]),
+        0.5
+    );
+
+    let sweep = sweep_msp_thresholds(
+        &[f32::NAN, 0.5, f32::NEG_INFINITY],
+        &[true, false, true],
+        &[0.1, 0.5, 0.9],
+    );
+    let best = sweep.best().expect("non-empty sweep");
+    assert!(best.eval.f1().is_finite());
+    assert!(sweep_msp_thresholds(&[], &[], &[]).best().is_none());
+}
+
+#[test]
+fn analysis_of_empty_and_driftless_logs_is_empty() {
+    // Empty FIM transaction set (satellite 3): no rows, and rows with no
+    // drift flags, both yield "no causes" rather than a panic.
+    let empty = DriftLog::new(&LOG_SCHEMA);
+    let cfg = FimConfig::default();
+    for variant in [AnalysisVariant::Full, AnalysisVariant::FimOnly] {
+        for algo in [FimAlgorithm::Apriori, FimAlgorithm::FpGrowth] {
+            assert!(analyze_variant_with(&empty, &cfg, variant, algo).is_empty());
+        }
+    }
+
+    let mut driftless = DriftLog::new(&["weather"]);
+    for t in 0..10 {
+        driftless
+            .push(DriftLogEntry::new(t, &[("weather", "sunny")], false))
+            .unwrap();
+    }
+    assert!(analyze_variant_with(
+        &driftless,
+        &cfg,
+        AnalysisVariant::Full,
+        FimAlgorithm::Apriori
+    )
+    .is_empty());
+}
+
+#[test]
+fn zero_capacity_pool_accepts_deploys_without_panicking() {
+    let mut pool: ModelPool<u32> = ModelPool::new(Some(0));
+    for i in 0..4 {
+        let outcome = pool.deploy(VersionMeta::clean(), i);
+        assert!(outcome.evicted.contains(&outcome.id), "immediate eviction");
+    }
+    assert!(pool.is_empty());
+    assert!(pool.select(&[]).is_none());
+}
+
+#[test]
+fn nan_risk_ratios_keep_pool_selection_total() {
+    let mut pool: ModelPool<u32> = ModelPool::new(None);
+    pool.deploy(VersionMeta::new(vec![], f64::NAN), 1);
+    pool.deploy(VersionMeta::new(vec![], 0.5), 2);
+    pool.deploy(VersionMeta::new(vec![], f64::INFINITY), 3);
+    // total_cmp makes the ordering deterministic; selection must succeed.
+    assert!(pool.select(&[]).is_some());
+}
+
+#[test]
+fn adaptation_is_a_noop_on_unusable_windows_and_survives_partial_poison() {
+    let base = model();
+    let mut rng = SmallRng::seed_from_u64(3);
+    for (case, data) in degenerate_matrices(8, DIM) {
+        let mut m = base.clone();
+        let report = tent_adapt(&mut m, &data, &TentConfig::default());
+        assert!(
+            report.entropy_after.is_finite(),
+            "tent case {case:?}: {report:?}"
+        );
+        assert!(
+            BnPatch::extract(&mut m).is_finite(),
+            "tent case {case:?} poisoned the model"
+        );
+
+        let mut m = base.clone();
+        let report = memo_adapt(&mut m, &data, &MemoConfig::default(), &mut rng);
+        assert!(
+            report.entropy_after.is_finite(),
+            "memo case {case:?}: {report:?}"
+        );
+
+        let (patch, _) = adapt_to_patch(&base, &data, &AdaptMethod::default(), &mut rng);
+        assert!(patch.is_finite(), "patch case {case:?}");
+    }
+    // Fully-unusable windows are explicit no-ops.
+    let mut m = base.clone();
+    let all_nan = Tensor::from_vec(vec![f32::NAN; 2 * DIM], &[2, DIM]).unwrap();
+    assert_eq!(
+        tent_adapt(&mut m, &all_nan, &TentConfig::default()),
+        AdaptReport::noop()
+    );
+    assert!(sanitize_rows(&all_nan).is_none());
+}
+
+#[test]
+fn non_finite_patches_are_rejected_before_touching_a_model() {
+    let mut m = model();
+    let mut patch = BnPatch::extract(&mut m);
+    let w = patch.layers()[0].gamma.len();
+    let layers = patch.layers().to_vec();
+    let mut bad = layers;
+    bad[0].running_var = Tensor::from_vec(vec![f32::NAN; w], &[w]).unwrap();
+    patch = BnPatch::from_layers(bad);
+    assert!(!patch.is_finite());
+    assert_eq!(
+        patch.apply(&mut m),
+        Err(NnError::PatchNotFinite { layer: 0 })
+    );
+}
+
+#[test]
+fn empty_fleet_windows_produce_identity_statistics() {
+    let fleet_model = model();
+    let mut fleet = Fleet::from_streams(&[], &fleet_model, &DeviceConfig::default());
+    let mut rng = SmallRng::seed_from_u64(4);
+    let out = fleet.process_window(&[], 0, 8, &mut rng);
+    assert_eq!(out.stats, WindowStats::default());
+    assert!(out.entries.is_empty() && out.uploads.is_empty());
+
+    // Zero-denominator ratios are defined as zero, not NaN (satellite 3).
+    let zero = WindowStats::default();
+    for v in [
+        zero.accuracy(),
+        zero.drifted_accuracy(),
+        zero.detection_rate(),
+        zero.precision(),
+        zero.recall(),
+    ] {
+        assert_eq!(v, 0.0);
+    }
+}
+
+#[test]
+fn cloud_quarantines_poisoned_uploads() {
+    let uploads: Vec<UploadedSample> = POISON_VALUES
+        .iter()
+        .map(|&v| UploadedSample {
+            features: vec![v; DIM],
+            attrs: Vec::new(),
+            date: nazar_data::SimDate::new(0),
+            label: 0,
+            true_cause: None,
+        })
+        .collect();
+    let kept = sanitize_uploads(uploads);
+    // Exactly the finite poison values (−0.0, subnormal, MIN_POSITIVE,
+    // MAX, MIN) survive; NaN and the infinities are quarantined.
+    assert_eq!(kept.len(), 5);
+    for u in &kept {
+        assert_all_finite("kept upload", &u.features);
+    }
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+    /// Randomly poisoning any subset of cells of a healthy batch never
+    /// produces NaN scores from the batteries-included detectors.
+    #[test]
+    fn random_poison_injection_never_leaks_nan(
+        cells in proptest::collection::vec((0usize..24 * DIM, 0usize..POISON_VALUES.len()), 0..12),
+    ) {
+        let (x, _) = healthy();
+        let mut data = x.data().to_vec();
+        let len = data.len();
+        for &(cell, which) in &cells {
+            data[cell % len] = POISON_VALUES[which];
+        }
+        let q = Tensor::from_vec(data, x.dims()).unwrap();
+        let mut m = model();
+        let n = q.nrows().unwrap();
+        let mut detectors: Vec<Box<dyn DriftDetector>> = vec![
+            Box::new(MspThreshold::default()),
+            Box::new(EnergyScore::default()),
+            Box::new(MaxLogitScore::default()),
+        ];
+        for det in &mut detectors {
+            let scores = det.scores(&mut m, &q);
+            proptest::prop_assert_eq!(scores.len(), n);
+            proptest::prop_assert!(scores.iter().all(|s| !s.is_nan()));
+        }
+    }
+
+    /// `sanitize_rows` output is always fully finite, whatever poison went in.
+    #[test]
+    fn sanitize_rows_output_is_always_finite(
+        cells in proptest::collection::vec((0usize..6 * DIM, 0usize..POISON_VALUES.len()), 0..20),
+    ) {
+        let mut data: Vec<f32> = (0..6 * DIM).map(|k| (k % 7) as f32 * 0.1).collect();
+        for &(cell, which) in &cells {
+            data[cell % (6 * DIM)] = POISON_VALUES[which];
+        }
+        let x = Tensor::from_vec(data, &[6, DIM]).unwrap();
+        if let Some(kept) = sanitize_rows(&x) {
+            proptest::prop_assert!(kept.data().iter().all(|v| v.is_finite()));
+            proptest::prop_assert_eq!(kept.ncols().unwrap(), DIM);
+        }
+    }
+}

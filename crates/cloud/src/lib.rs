@@ -28,7 +28,8 @@ mod orchestrator;
 pub mod timing;
 
 pub use orchestrator::{
-    AlertIndexError, CloudConfig, DriftAlert, OperationMode, Orchestrator, RunResult, Strategy,
+    sanitize_uploads, AlertIndexError, CloudConfig, DriftAlert, OperationMode, Orchestrator,
+    RunResult, Strategy,
 };
 // Re-exported so experiment drivers can configure the transport without
 // depending on `nazar-net` directly.

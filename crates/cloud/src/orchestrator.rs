@@ -7,7 +7,7 @@ use nazar_log::{DriftLog, DriftLogEntry};
 use nazar_net::{Exchange, NetConfig, NetReport};
 use nazar_nn::MlpResNet;
 use nazar_nn::{BnPatch, Layer};
-use nazar_obs::{event, LazyHistogram};
+use nazar_obs::{event, LazyCounter, LazyHistogram};
 use nazar_registry::VersionMeta;
 use nazar_tensor::{parallel, Tensor};
 use rand::rngs::SmallRng;
@@ -261,6 +261,24 @@ static ADAPT_JOB_SECONDS: LazyHistogram = LazyHistogram::new(
     nazar_obs::duration_buckets,
 );
 
+static QUARANTINED_UPLOADS: LazyCounter = LazyCounter::new(
+    "nazar_cloud_quarantined_uploads_total",
+    "Uploaded samples dropped for carrying non-finite features",
+    &[],
+);
+
+static QUARANTINED_ENTRIES: LazyCounter = LazyCounter::new(
+    "nazar_cloud_quarantined_entries_total",
+    "Drift-log entries dropped at ingest for violating the schema",
+    &[],
+);
+
+static REJECTED_PATCHES: LazyCounter = LazyCounter::new(
+    "nazar_cloud_rejected_patches_total",
+    "Adapted patches refused deployment for non-finite BN state",
+    &[],
+);
+
 fn mean(values: impl Iterator<Item = f32>) -> f32 {
     let v: Vec<f32> = values.collect();
     if v.is_empty() {
@@ -349,7 +367,13 @@ impl Orchestrator {
             });
         }
         let alert = self.pending_alerts.remove(index);
-        let data = Tensor::stack_rows(&alert.samples).expect("uniform feature width");
+        // Retained samples with inconsistent widths cannot be stacked; the
+        // approval then resolves the alert without deploying anything
+        // (DESIGN.md §9) rather than crashing the console.
+        let Some(data) = Tensor::stack_rows(&alert.samples).ok() else {
+            event!("alert_samples_unusable", cause = alert.cause.label());
+            return Ok(alert.cause);
+        };
         let (patch, _) =
             adapt_to_patch(&self.base_model, &data, &self.config.method, &mut self.rng);
         let meta = VersionMeta::new(alert.cause.attrs.clone(), alert.cause.stats.risk_ratio);
@@ -381,6 +405,22 @@ impl Orchestrator {
     /// wire. The ledger charges the devices that actually received it.
     fn deploy(&mut self, meta: &VersionMeta, patch: &BnPatch) {
         let _span = nazar_obs::span("deploy");
+        // Last line of defense (DESIGN.md §9): a patch with NaN/Inf BN state
+        // would poison every prediction on every receiving device, so it is
+        // refused here no matter which path produced it.
+        if !patch.is_finite() {
+            REJECTED_PATCHES.inc();
+            event!(
+                "patch_rejected",
+                cause = meta
+                    .attrs
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(","),
+            );
+            return;
+        }
         let devices = match self.exchange.as_mut() {
             Some(exchange) => {
                 let targets = if self.config.targeted_deployment {
@@ -459,6 +499,7 @@ impl Orchestrator {
                 (output.stats, output.entries, output.uploads)
             };
             self.ingest(&entries);
+            let uploads = sanitize_uploads(uploads);
             result.log_rows = self.drift_log.num_rows();
 
             let causes = match self.strategy {
@@ -501,10 +542,18 @@ impl Orchestrator {
 
     fn ingest(&mut self, entries: &[DriftLogEntry]) {
         let _span = nazar_obs::span_detail("log_ingest", || format!("rows={}", entries.len()));
+        let mut quarantined = 0u64;
         for e in entries {
-            self.drift_log
-                .push(e.clone())
-                .expect("device entries follow the schema");
+            // A malformed entry (schema drift, a corrupted upload that
+            // decoded to the wrong shape) is quarantined, not fatal: one bad
+            // device must not take down the fleet's analysis pipeline.
+            if self.drift_log.push(e.clone()).is_err() {
+                quarantined += 1;
+            }
+        }
+        if quarantined > 0 {
+            QUARANTINED_ENTRIES.add(quarantined);
+            event!("entries_quarantined", count = quarantined);
         }
     }
 
@@ -649,6 +698,26 @@ impl Orchestrator {
     }
 }
 
+/// Drops uploaded samples that carry any non-finite feature, counting the
+/// quarantined ones in `nazar_cloud_quarantined_uploads_total`.
+///
+/// Non-finite uploads reach the cloud from sensor faults or corrupted
+/// transfers; adapting on them would bake NaN into BN patches shipped
+/// fleet-wide, so they are quarantined at the door (DESIGN.md §9).
+pub fn sanitize_uploads(uploads: Vec<UploadedSample>) -> Vec<UploadedSample> {
+    let before = uploads.len();
+    let kept: Vec<UploadedSample> = uploads
+        .into_iter()
+        .filter(|u| u.features.iter().all(|v| v.is_finite()))
+        .collect();
+    let dropped = (before - kept.len()) as u64;
+    if dropped > 0 {
+        QUARANTINED_UPLOADS.add(dropped);
+        event!("uploads_quarantined", count = dropped);
+    }
+    kept
+}
+
 /// Stacks upload features into a matrix; `None` when empty.
 fn stack_features(uploads: &[UploadedSample]) -> Option<Tensor> {
     if uploads.is_empty() {
@@ -656,4 +725,58 @@ fn stack_features(uploads: &[UploadedSample]) -> Option<Tensor> {
     }
     let rows: Vec<Vec<f32>> = uploads.iter().map(|u| u.features.clone()).collect();
     Tensor::stack_rows(&rows).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nazar_data::SimDate;
+
+    fn upload(features: Vec<f32>) -> UploadedSample {
+        UploadedSample {
+            features,
+            attrs: Vec::new(),
+            date: SimDate::new(5),
+            label: 0,
+            true_cause: None,
+        }
+    }
+
+    #[test]
+    fn sanitize_uploads_quarantines_non_finite_samples() {
+        // Regression (tentpole): a single NaN upload previously flowed into
+        // adaptation and poisoned the deployed patch.
+        let uploads = vec![
+            upload(vec![1.0, 2.0]),
+            upload(vec![f32::NAN, 0.0]),
+            upload(vec![0.5, f32::NEG_INFINITY]),
+            upload(vec![3.0, 4.0]),
+        ];
+        let kept = sanitize_uploads(uploads);
+        assert_eq!(kept.len(), 2);
+        assert!(kept
+            .iter()
+            .all(|u| u.features.iter().all(|v| v.is_finite())));
+        assert!(sanitize_uploads(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn ingest_quarantines_schema_violations() {
+        // Regression (tentpole): a malformed drift-log entry panicked the
+        // whole orchestrator; it must be dropped while good rows land.
+        use nazar_nn::ModelArch;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let model = MlpResNet::new(ModelArch::tiny(4, 3), &mut SmallRng::seed_from_u64(0));
+        let mut orch = Orchestrator::new(model, &[], Strategy::NoAdapt, CloudConfig::default());
+
+        let good = DriftLogEntry::new(
+            0,
+            &LOG_SCHEMA.iter().map(|&k| (k, "v")).collect::<Vec<_>>(),
+            false,
+        );
+        let bad = DriftLogEntry::new(0, &[("no-such-column", "x")], false);
+        orch.ingest(&[good, bad]);
+        assert_eq!(orch.drift_log().num_rows(), 1);
+    }
 }

@@ -162,7 +162,7 @@ fn location_class_weights(location: &str, space: &ClassSpace, alpha: f64, seed: 
         })
         .collect();
     // Hardest classes first → they receive the largest Zipf mass.
-    keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("difficulty is finite"));
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut weights = vec![0.0f64; classes];
     for (rank, &(_, class)) in keyed.iter().enumerate() {
         weights[class] = zipf.prob(rank);

@@ -4,6 +4,7 @@
 //! clean and drifted images (Eq. 1, §3.2.2); this module regenerates those
 //! measurements (Figures 2 and 5a).
 
+use crate::policy::nan_last_cmp;
 use crate::DriftDetector;
 use nazar_nn::MlpResNet;
 use nazar_tensor::Tensor;
@@ -82,6 +83,10 @@ fn ratio(num: usize, den: usize) -> f32 {
 ///
 /// Returns 0.5 when either class is empty.
 ///
+/// NaN policy ([`nan_last_cmp`]): a NaN score ranks above every number —
+/// it is treated as "most drifted", consistent with the sentinel scores the
+/// detectors emit for unscorable rows — instead of aborting the rank sort.
+///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
@@ -94,7 +99,7 @@ pub fn auroc(scores: &[f32], truth: &[bool]) -> f64 {
     }
     // Rank the scores (average ranks over ties).
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    order.sort_by(|&a, &b| nan_last_cmp(&scores[a], &scores[b]));
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -151,11 +156,13 @@ pub struct ThresholdSweep {
 }
 
 impl ThresholdSweep {
-    /// The point with the highest F1.
+    /// The point with the highest F1. F1 comes from integer confusion
+    /// counts and is always finite; `total_cmp` keeps the selection a total
+    /// order regardless.
     pub fn best(&self) -> Option<&SweepPoint> {
         self.points
             .iter()
-            .max_by(|a, b| a.eval.f1().partial_cmp(&b.eval.f1()).expect("f1 is finite"))
+            .max_by(|a, b| a.eval.f1().total_cmp(&b.eval.f1()))
     }
 }
 
@@ -307,6 +314,21 @@ mod tests {
         assert!((auroc(&flat, &truth) - 0.5).abs() < 1e-12);
         // Single-class input -> defined as chance.
         assert!((auroc(&scores, &[true; 4]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auroc_survives_nan_scores() {
+        // Regression: the rank sort used partial_cmp().expect("finite
+        // scores") and aborted on one NaN. NaN now ranks last (= most
+        // drifted); here the NaN belongs to a positive, so separation stays
+        // perfect.
+        let scores = [0.1, 0.2, 0.8, f32::NAN];
+        let truth = [false, false, true, true];
+        assert!((auroc(&scores, &truth) - 1.0).abs() < 1e-12);
+        // NaN on a negative costs exactly that pair's wins.
+        let truth_flipped = [false, true, true, false];
+        let a = auroc(&scores, &truth_flipped);
+        assert!(a.is_finite() && a < 1.0, "auroc {a}");
     }
 
     #[test]

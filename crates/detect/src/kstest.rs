@@ -8,6 +8,7 @@
 //! introduces is exactly what Figure 2 measures.
 
 use crate::capabilities::DetectorCapabilities;
+use crate::policy::{nan_last_cmp, DetectError};
 use crate::{msp_of_logits, DriftDetector};
 use nazar_nn::{MlpResNet, Mode};
 use nazar_tensor::Tensor;
@@ -24,22 +25,44 @@ pub struct KsTestDetector {
 impl KsTestDetector {
     /// Fits the detector by collecting reference MSP scores on clean data.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `batch_size` is zero, `alpha` is not in `(0, 1)`, or the
-    /// reference batch is empty.
-    pub fn fit(model: &mut MlpResNet, clean: &Tensor, batch_size: usize, alpha: f64) -> Self {
-        assert!(batch_size > 0, "batch size must be nonzero");
-        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    /// [`DetectError::InvalidParameter`] when `batch_size` is zero or
+    /// `alpha` is not in `(0, 1)`; [`DetectError::EmptyTrainingSet`] when
+    /// the reference batch has no rows.
+    pub fn fit(
+        model: &mut MlpResNet,
+        clean: &Tensor,
+        batch_size: usize,
+        alpha: f64,
+    ) -> Result<Self, DetectError> {
+        if batch_size == 0 {
+            return Err(DetectError::InvalidParameter {
+                detector: "ks-test",
+                reason: "batch size must be nonzero",
+            });
+        }
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(DetectError::InvalidParameter {
+                detector: "ks-test",
+                reason: "alpha must be in (0, 1)",
+            });
+        }
         let logits = model.logits(clean, Mode::Eval);
         let mut reference = msp_of_logits(&logits);
-        assert!(!reference.is_empty(), "reference data must be non-empty");
-        reference.sort_by(|a, b| a.partial_cmp(b).expect("msp is finite"));
-        KsTestDetector {
+        if reference.is_empty() {
+            return Err(DetectError::EmptyTrainingSet {
+                detector: "ks-test",
+            });
+        }
+        // MSP is sanitized (never NaN); the policy comparator keeps the sort
+        // total under any future change.
+        reference.sort_by(nan_last_cmp);
+        Ok(KsTestDetector {
             batch_size,
             alpha,
             reference,
-        }
+        })
     }
 
     /// The configured batch size.
@@ -89,7 +112,7 @@ impl KsTestDetector {
             let idx: Vec<usize> = (start..end).collect();
             let batch = x.select_rows(&idx).expect("rows in range");
             let mut msp = msp_of_logits(&model.logits(&batch, Mode::Eval));
-            msp.sort_by(|a, b| a.partial_cmp(b).expect("msp is finite"));
+            msp.sort_by(nan_last_cmp);
             let d = Self::ks_statistic(&msp, &self.reference);
             let crit = self.critical_value(msp.len(), self.reference.len());
             out.push((end - start, d, d > crit));
@@ -160,7 +183,7 @@ mod tests {
             drifted,
             ..
         } = trained_model_and_data();
-        let mut det = KsTestDetector::fit(&mut model, &clean, 16, 0.05);
+        let mut det = KsTestDetector::fit(&mut model, &clean, 16, 0.05).unwrap();
         let clean_flags = det
             .detect(&mut model, &clean)
             .iter()
@@ -182,7 +205,7 @@ mod tests {
             drifted,
             ..
         } = trained_model_and_data();
-        let mut det = KsTestDetector::fit(&mut model, &clean, 7, 0.05);
+        let mut det = KsTestDetector::fit(&mut model, &clean, 7, 0.05).unwrap();
         let n = drifted.nrows().unwrap();
         assert_eq!(det.detect(&mut model, &drifted).len(), n);
         assert_eq!(det.scores(&mut model, &drifted).len(), n);
@@ -193,10 +216,30 @@ mod tests {
         let TestBed {
             mut model, clean, ..
         } = trained_model_and_data();
-        let det = KsTestDetector::fit(&mut model, &clean, 8, 0.05);
+        let det = KsTestDetector::fit(&mut model, &clean, 8, 0.05).unwrap();
         assert!(det.capabilities().needs_batching);
         assert!(!det.capabilities().deployable_on_device());
         assert_eq!(det.batch_size(), 8);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_configuration() {
+        let TestBed {
+            mut model, clean, ..
+        } = trained_model_and_data();
+        assert!(matches!(
+            KsTestDetector::fit(&mut model, &clean, 0, 0.05),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            KsTestDetector::fit(&mut model, &clean, 8, 1.5),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        let empty = Tensor::zeros(&[0, 32]);
+        assert!(matches!(
+            KsTestDetector::fit(&mut model, &empty, 8, 0.05),
+            Err(DetectError::EmptyTrainingSet { .. })
+        ));
     }
 
     #[test]
@@ -204,7 +247,7 @@ mod tests {
         let TestBed {
             mut model, clean, ..
         } = trained_model_and_data();
-        let det = KsTestDetector::fit(&mut model, &clean, 8, 0.05);
+        let det = KsTestDetector::fit(&mut model, &clean, 8, 0.05).unwrap();
         assert!(det.critical_value(64, 100) < det.critical_value(4, 100));
     }
 }

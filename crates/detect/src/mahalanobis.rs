@@ -7,6 +7,7 @@
 //! which is why Table 1 marks the method as needing a secondary dataset.
 
 use crate::capabilities::DetectorCapabilities;
+use crate::policy::{nan_last_cmp, sanitize_score, DetectError};
 use crate::DriftDetector;
 use nazar_nn::MlpResNet;
 use nazar_tensor::Tensor;
@@ -27,29 +28,59 @@ impl Mahalanobis {
     /// training data, leaving the threshold at the 95th percentile of the
     /// training distances (callers with drift data should [`Self::calibrate`]).
     ///
+    /// Numeric policy (DESIGN.md §9): training rows containing any
+    /// non-finite feature are skipped; zero-variance (singular) feature
+    /// columns are regularized with an epsilon so the inverse covariance
+    /// stays finite instead of producing Inf scores.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::EmptyTrainingSet`] when `train_x` has no rows (or no
+    /// rows with finite features); [`DetectError::LabelOutOfRange`] when a
+    /// label is not below `num_classes`.
+    ///
     /// # Panics
     ///
-    /// Panics if `train_x` is empty or labels exceed `num_classes`.
+    /// Panics if `train_y` is not one label per row of `train_x` (a shape
+    /// contract, not a data condition).
     pub fn fit(
         model: &mut MlpResNet,
         train_x: &Tensor,
         train_y: &[usize],
         num_classes: usize,
-    ) -> Self {
+    ) -> Result<Self, DetectError> {
         let features = model.features(train_x);
-        let (n, d) = (
-            features.nrows().expect("train matrix"),
-            features.ncols().unwrap(),
-        );
-        assert!(n > 0, "training data must be non-empty");
+        let n = features.nrows().unwrap_or(0);
+        let d = features.ncols().unwrap_or(0);
+        if n == 0 {
+            return Err(DetectError::EmptyTrainingSet {
+                detector: "mahalanobis",
+            });
+        }
         assert_eq!(n, train_y.len(), "one label per training row");
+        if let Some(&y) = train_y.iter().find(|&&y| y >= num_classes) {
+            return Err(DetectError::LabelOutOfRange {
+                label: y,
+                classes: num_classes,
+            });
+        }
+
+        let data = features.data();
+        let usable: Vec<usize> = (0..n)
+            .filter(|&i| data[i * d..(i + 1) * d].iter().all(|v| v.is_finite()))
+            .collect();
+        if usable.is_empty() {
+            return Err(DetectError::EmptyTrainingSet {
+                detector: "mahalanobis",
+            });
+        }
 
         let mut sums = vec![vec![0.0f64; d]; num_classes];
         let mut counts = vec![0usize; num_classes];
-        for (i, &y) in train_y.iter().enumerate() {
-            assert!(y < num_classes, "label {y} out of range");
+        for &i in &usable {
+            let y = train_y[i];
             counts[y] += 1;
-            for (j, &v) in features.row(i).unwrap().iter().enumerate() {
+            for (j, &v) in data[i * d..(i + 1) * d].iter().enumerate() {
                 sums[y][j] += f64::from(v);
             }
         }
@@ -59,12 +90,12 @@ impl Mahalanobis {
             .map(|(s, &c)| s.iter().map(|&v| (v / c.max(1) as f64) as f32).collect())
             .collect();
 
-        // Shared diagonal covariance of centered features.
+        // Shared diagonal covariance of centered features; the 1e-6 epsilon
+        // keeps zero-variance columns invertible (bounded, not Inf).
         let mut var = vec![0.0f64; d];
-        for (i, &y) in train_y.iter().enumerate() {
-            for (j, (&v, &m)) in features
-                .row(i)
-                .unwrap()
+        for &i in &usable {
+            let y = train_y[i];
+            for (j, (&v, &m)) in data[i * d..(i + 1) * d]
                 .iter()
                 .zip(&class_means[y])
                 .enumerate()
@@ -74,7 +105,7 @@ impl Mahalanobis {
         }
         let inv_var: Vec<f32> = var
             .iter()
-            .map(|&v| (1.0 / (v / n as f64 + 1e-6)) as f32)
+            .map(|&v| (1.0 / (v / usable.len() as f64 + 1e-6)) as f32)
             .collect();
 
         let mut detector = Mahalanobis {
@@ -83,10 +114,10 @@ impl Mahalanobis {
             threshold: f32::MAX,
         };
         let mut train_scores = detector.feature_scores(&features);
-        train_scores.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        train_scores.sort_by(nan_last_cmp);
         let p95 = train_scores[(train_scores.len() * 95 / 100).min(train_scores.len() - 1)];
         detector.threshold = p95;
-        detector
+        Ok(detector)
     }
 
     /// Calibrates the threshold to maximize F1 on a labeled clean/drifted
@@ -97,8 +128,10 @@ impl Mahalanobis {
         scores.extend(self.scores_internal(model, clean));
         let truth: Vec<bool> = (0..scores.len()).map(|i| i < n_drift).collect();
 
+        // Scores are sanitized (never NaN), but the policy comparator keeps
+        // this a total order under any future change.
         let mut candidates: Vec<f32> = scores.clone();
-        candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        candidates.sort_by(nan_last_cmp);
         let mut best = (self.threshold, -1.0f32);
         for &t in &candidates {
             let decisions: Vec<bool> = scores.iter().map(|&s| s > t).collect();
@@ -111,11 +144,14 @@ impl Mahalanobis {
     }
 
     fn feature_scores(&self, features: &Tensor) -> Vec<f32> {
-        let n = features.nrows().expect("feature matrix");
+        let n = features.nrows().unwrap_or(0);
+        let d = features.ncols().unwrap_or(0);
+        let data = features.data();
         (0..n)
             .map(|i| {
-                let f = features.row(i).unwrap();
-                self.class_means
+                let f = &data[i * d..(i + 1) * d];
+                let min_dist = self
+                    .class_means
                     .iter()
                     .map(|mean| {
                         f.iter()
@@ -124,7 +160,10 @@ impl Mahalanobis {
                             .map(|((&v, &m), &iv)| (v - m) * (v - m) * iv)
                             .sum::<f32>()
                     })
-                    .fold(f32::INFINITY, f32::min)
+                    .fold(f32::INFINITY, f32::min);
+                // Non-finite features (or zero fitted classes) yield a
+                // non-finite distance; emit the max-drift sentinel instead.
+                sanitize_score(min_dist)
             })
             .collect()
     }
@@ -164,7 +203,7 @@ mod tests {
     fn fitted() -> (Mahalanobis, TestBed) {
         let bed = trained_model_and_data();
         let mut model = bed.model.clone();
-        let det = Mahalanobis::fit(&mut model, &bed.train_x, &bed.train_y, 6);
+        let det = Mahalanobis::fit(&mut model, &bed.train_x, &bed.train_y, 6).unwrap();
         (det, bed)
     }
 
@@ -213,5 +252,70 @@ mod tests {
         let flags = det.detect(&mut bed.model, &bed.train_x);
         let rate = flags.iter().filter(|&&f| f).count() as f32 / flags.len() as f32;
         assert!(rate < 0.12, "training false-positive rate {rate}");
+    }
+
+    #[test]
+    fn fit_rejects_empty_and_out_of_range_labels() {
+        let bed = trained_model_and_data();
+        let mut model = bed.model.clone();
+        let empty = Tensor::zeros(&[0, 32]);
+        assert_eq!(
+            Mahalanobis::fit(&mut model, &empty, &[], 6),
+            Err(DetectError::EmptyTrainingSet {
+                detector: "mahalanobis"
+            })
+        );
+        let bad_labels = vec![9usize; bed.train_y.len()];
+        assert_eq!(
+            Mahalanobis::fit(&mut model, &bed.train_x, &bad_labels, 6),
+            Err(DetectError::LabelOutOfRange {
+                label: 9,
+                classes: 6
+            })
+        );
+    }
+
+    #[test]
+    fn zero_variance_training_features_stay_finite() {
+        // Regression (satellite 2): constant training features make every
+        // column's variance zero; the epsilon must keep scores finite and
+        // scoring must not panic or emit NaN.
+        let bed = trained_model_and_data();
+        let mut model = bed.model.clone();
+        let constant = Tensor::from_vec(vec![0.5f32; 4 * 32], &[4, 32]).unwrap();
+        let labels = vec![0usize, 0, 1, 1];
+        let mut det = Mahalanobis::fit(&mut model, &constant, &labels, 6).unwrap();
+        let scores = det.scores(&mut model, &bed.clean);
+        assert!(scores.iter().all(|s| s.is_finite()), "scores: {scores:?}");
+    }
+
+    #[test]
+    fn poisoned_rows_never_panic_fit_or_leak_nan() {
+        // Regression (satellite 1): the p95 quantile sort aborted on a NaN
+        // training score. Poisoned inputs — whether absorbed to finite
+        // activations by the network's ReLU or left non-finite and caught
+        // by sanitize_score — must leave the fit and all scores finite.
+        let bed = trained_model_and_data();
+        let mut model = bed.model.clone();
+        let mut data = bed.train_x.data().to_vec();
+        data[0] = f32::NAN;
+        let poisoned = Tensor::from_vec(data, bed.train_x.dims()).unwrap();
+        let mut det = Mahalanobis::fit(&mut model, &poisoned, &bed.train_y, 6).unwrap();
+        assert!(det.threshold.is_finite());
+
+        let query = Tensor::from_vec(vec![f32::INFINITY; 32], &[1, 32]).unwrap();
+        let scores = det.scores(&mut model, &query);
+        assert!(scores.iter().all(|s| !s.is_nan()), "{scores:?}");
+        assert_eq!(det.detect(&mut model, &query).len(), 1);
+    }
+
+    #[test]
+    fn calibration_survives_nan_query_rows() {
+        let (mut det, mut bed) = fitted();
+        let mut data = bed.drifted.data().to_vec();
+        data[0] = f32::NAN;
+        let poisoned = Tensor::from_vec(data, bed.drifted.dims()).unwrap();
+        det.calibrate(&mut bed.model, &bed.clean, &poisoned);
+        assert!(det.threshold.is_finite());
     }
 }

@@ -44,30 +44,45 @@ impl Default for Odin {
 
 /// Computes perturbed, temperature-scaled MSP scores — the machinery shared
 /// by ODIN and Generalized ODIN. Returns `1 - MSP'` per row.
+///
+/// Numeric policy (DESIGN.md §9): when the perturbation step cannot be
+/// computed — an empty batch, or a gradient that never reached the input —
+/// the function falls back to scoring the *unperturbed* input instead of
+/// panicking mid-detection. A NaN gradient component contributes a zero
+/// step for that feature (the sign test is NaN-false), and any non-finite
+/// resulting MSP is already mapped to zero confidence by
+/// [`msp_of_logits`].
 fn perturbed_scores(model: &mut MlpResNet, x: &Tensor, temperature: f32, epsilon: f32) -> Vec<f32> {
     // Forward pass with the input as a differentiable leaf.
     let tape = Tape::new();
     let xv = tape.leaf(x.clone());
     let (_, logits) = model.forward_with_features(&tape, &xv, Mode::Eval);
     let scaled = logits.scale(1.0 / temperature);
-    let predicted = scaled.value().argmax_axis1().expect("logits matrix");
-    // Loss whose negative input-gradient increases predicted-class
-    // probability: the NLL of the predicted class.
-    let loss = scaled.log_softmax().nll_loss(&predicted);
-    let grads = loss.backward();
-    let g = grads.get(&xv).expect("input participates in the loss");
-
-    // x' = x - ε · sign(∇ₓ loss): step toward higher predicted confidence.
-    let step = g.map(|v| {
-        if v > 0.0 {
-            epsilon
-        } else if v < 0.0 {
-            -epsilon
-        } else {
-            0.0
+    let x_prime = match scaled.value().argmax_axis1() {
+        Ok(predicted) => {
+            // Loss whose negative input-gradient increases predicted-class
+            // probability: the NLL of the predicted class.
+            let loss = scaled.log_softmax().nll_loss(&predicted);
+            let grads = loss.backward();
+            match grads.get(&xv) {
+                Some(g) => {
+                    // x' = x - ε · sign(∇ₓ loss): toward higher confidence.
+                    let step = g.map(|v| {
+                        if v > 0.0 {
+                            epsilon
+                        } else if v < 0.0 {
+                            -epsilon
+                        } else {
+                            0.0
+                        }
+                    });
+                    x.sub(&step).unwrap_or_else(|_| x.clone())
+                }
+                None => x.clone(),
+            }
         }
-    });
-    let x_prime = x.sub(&step).expect("same shape");
+        Err(_) => x.clone(),
+    };
 
     // Second forward pass on the perturbed input.
     let logits2 = model.logits(&x_prime, Mode::Eval).scale(1.0 / temperature);

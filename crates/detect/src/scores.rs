@@ -5,6 +5,7 @@
 //! threshold Nazar's detector of choice (§3.2.2).
 
 use crate::capabilities::DetectorCapabilities;
+use crate::policy::{nan_last_cmp, sanitize_score};
 use crate::{msp_of_logits, DriftDetector};
 use nazar_nn::{entropy_of_logits, MlpResNet, Mode};
 use nazar_tensor::Tensor;
@@ -126,6 +127,11 @@ impl EnergyScore {
     /// Calibrates the decision threshold to maximize F1 on a labeled
     /// clean/drifted split. Energy is measured in logit units, so unlike
     /// the normalized MSP a useful threshold depends on the model.
+    ///
+    /// NaN policy: candidate thresholds are drawn from the *finite* scores
+    /// only ([`nan_last_cmp`] sorts any sanitized `f32::MAX` sentinels last,
+    /// where the threshold loop skips them), so one unscorable calibration
+    /// row cannot abort or skew the sweep.
     pub fn calibrated(model: &mut MlpResNet, clean: &Tensor, drifted: &Tensor) -> Self {
         let mut det = EnergyScore::default();
         let mut scores = det.scores(model, drifted);
@@ -133,7 +139,8 @@ impl EnergyScore {
         scores.extend(det.scores(model, clean));
         let truth: Vec<bool> = (0..scores.len()).map(|i| i < n_drift).collect();
         let mut candidates = scores.clone();
-        candidates.sort_by(|a, b| a.partial_cmp(b).expect("finite energy"));
+        candidates.retain(|s| s.is_finite() && *s < f32::MAX);
+        candidates.sort_by(nan_last_cmp);
         let mut best = (det.threshold, -1.0f32);
         for &t in &candidates {
             let decisions: Vec<bool> = scores.iter().map(|&s| s > t).collect();
@@ -158,14 +165,16 @@ impl DriftDetector for EnergyScore {
 
     fn scores(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
         let logits = model.logits(x, Mode::Eval);
-        let (n, c) = (logits.nrows().unwrap(), logits.ncols().unwrap());
+        let (n, c) = (logits.nrows().unwrap_or(0), logits.ncols().unwrap_or(0));
         let t = self.temperature;
         (0..n)
             .map(|i| {
                 let row = &logits.data()[i * c..(i + 1) * c];
                 let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
                 let lse = row.iter().map(|&v| ((v - max) / t).exp()).sum::<f32>().ln() * t + max;
-                -lse // energy: higher = more drifted
+                // Non-finite logits make the log-sum-exp NaN; score the row
+                // as maximally drifted instead of leaking NaN downstream.
+                sanitize_score(-lse) // energy: higher = more drifted
             })
             .collect()
     }
@@ -201,7 +210,7 @@ impl DriftDetector for MaxLogitScore {
             .expect("logits matrix")
             .into_data()
             .into_iter()
-            .map(|m| -m)
+            .map(|m| sanitize_score(-m))
             .collect()
     }
 
@@ -273,6 +282,55 @@ mod tests {
     #[test]
     fn msp_threshold_validation() {
         assert_eq!(MspThreshold::new(0.9).threshold, 0.9);
+    }
+
+    #[test]
+    fn energy_and_max_logit_never_leak_nan_on_degenerate_inputs() {
+        // NaN/Inf input rows must not panic any logit-space detector or
+        // leak NaN into its scores. (The network's ReLU absorbs NaN inputs
+        // into zero activations, so these rows score finite; rows whose
+        // *logits* go non-finite take the f32::MAX sentinel via
+        // sanitize_score — unit-tested in policy.rs.)
+        let TestBed { mut model, .. } = trained_model_and_data();
+        let d = 32;
+        let mut data = vec![0.1f32; 2 * d];
+        data[0] = f32::NAN;
+        data[1] = f32::INFINITY;
+        let x = Tensor::from_vec(data, &[2, d]).unwrap();
+        for det in [
+            &mut EnergyScore::default() as &mut dyn DriftDetector,
+            &mut MaxLogitScore::default(),
+        ] {
+            let scores = det.scores(&mut model, &x);
+            assert_eq!(scores.len(), 2, "{}", det.name());
+            assert!(
+                scores.iter().all(|s| !s.is_nan()),
+                "{}: {scores:?}",
+                det.name()
+            );
+            assert_eq!(det.detect(&mut model, &x).len(), 2, "{}", det.name());
+        }
+    }
+
+    #[test]
+    fn energy_calibration_survives_nan_scores() {
+        // Regression: calibrated() used to sort candidate thresholds with
+        // partial_cmp().expect("finite"), aborting on one NaN row. The
+        // threshold must now come from the finite scores only.
+        let TestBed {
+            mut model,
+            clean,
+            drifted,
+            ..
+        } = trained_model_and_data();
+        let d = clean.ncols().unwrap();
+        let mut data = drifted.data().to_vec();
+        data[0] = f32::NAN;
+        data[d] = f32::INFINITY;
+        let poisoned = Tensor::from_vec(data, drifted.dims()).unwrap();
+        let det = EnergyScore::calibrated(&mut model, &clean, &poisoned);
+        assert!(det.threshold.is_finite());
+        assert!(det.threshold < f32::MAX);
     }
 
     #[test]

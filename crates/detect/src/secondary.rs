@@ -9,6 +9,7 @@
 //! rotations — same group structure, see DESIGN.md S4).
 
 use crate::capabilities::DetectorCapabilities;
+use crate::policy::{sanitize_score, DetectError};
 use crate::{msp_of_logits, DriftDetector};
 use nazar_nn::{cross_entropy, Layer, MlpResNet, Mode, ModelArch, Optimizer, Sgd};
 use nazar_tensor::{Tape, Tensor};
@@ -28,9 +29,14 @@ impl OutlierExposure {
     /// Fine-tunes a copy of `base` with the OE objective:
     /// `CE(clean) + λ · CE(outliers → uniform)`.
     ///
+    /// # Errors
+    ///
+    /// [`DetectError::EmptyTrainingSet`] when either the clean or the
+    /// outlier dataset has no rows.
+    ///
     /// # Panics
     ///
-    /// Panics if the datasets are empty or shapes are inconsistent.
+    /// Panics if shapes are inconsistent (a programming error).
     pub fn fit<R: Rng + ?Sized>(
         base: &MlpResNet,
         train_x: &Tensor,
@@ -38,15 +44,16 @@ impl OutlierExposure {
         outliers: &Tensor,
         epochs: usize,
         rng: &mut R,
-    ) -> Self {
+    ) -> Result<Self, DetectError> {
         let mut model = base.clone();
         let mut opt = Sgd::with_momentum(0.01, 0.9);
-        let n = train_x.nrows().expect("train matrix");
-        let m = outliers.nrows().expect("outlier matrix");
-        assert!(
-            n > 0 && m > 0,
-            "oe requires non-empty clean and outlier data"
-        );
+        let n = train_x.nrows().unwrap_or(0);
+        let m = outliers.nrows().unwrap_or(0);
+        if n == 0 || m == 0 {
+            return Err(DetectError::EmptyTrainingSet {
+                detector: "outlier-exposure",
+            });
+        }
         let batch = 32usize;
         for _ in 0..epochs {
             let mut start = 0;
@@ -77,10 +84,10 @@ impl OutlierExposure {
                 start = end;
             }
         }
-        OutlierExposure {
+        Ok(OutlierExposure {
             exposed_model: model,
             threshold: 0.9,
-        }
+        })
     }
 
     /// The fine-tuned model used for scoring.
@@ -122,10 +129,12 @@ impl DriftDetector for OutlierExposure {
 
 /// Cyclically shifts every row of `x` by `offset` positions.
 fn shift_rows(x: &Tensor, offset: usize) -> Tensor {
-    let (n, d) = (x.nrows().expect("matrix"), x.ncols().unwrap());
+    let n = x.nrows().unwrap_or(0);
+    let d = x.ncols().unwrap_or(0);
+    let data = x.data();
     let mut out = Vec::with_capacity(n * d);
     for i in 0..n {
-        let row = x.row(i).unwrap();
+        let row = &data[i * d..(i + 1) * d];
         for j in 0..d {
             out.push(row[(j + offset) % d]);
         }
@@ -150,19 +159,29 @@ impl SslRotation {
 
     /// Trains the auxiliary shift classifier on clean data.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `train_x` is empty.
-    pub fn fit<R: Rng + ?Sized>(train_x: &Tensor, epochs: usize, rng: &mut R) -> Self {
-        let (n, d) = (train_x.nrows().expect("matrix"), train_x.ncols().unwrap());
-        assert!(n > 0, "ssl requires non-empty training data");
+    /// [`DetectError::EmptyTrainingSet`] when `train_x` has no rows.
+    pub fn fit<R: Rng + ?Sized>(
+        train_x: &Tensor,
+        epochs: usize,
+        rng: &mut R,
+    ) -> Result<Self, DetectError> {
+        let n = train_x.nrows().unwrap_or(0);
+        let d = train_x.ncols().unwrap_or(0);
+        if n == 0 {
+            return Err(DetectError::EmptyTrainingSet {
+                detector: "ssl-rotation",
+            });
+        }
         // Build the 4-way shift-classification dataset.
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for k in 0..Self::TRANSFORMS {
             let shifted = shift_rows(train_x, k * d / Self::TRANSFORMS);
+            let sdata = shifted.data();
             for i in 0..n {
-                xs.push(shifted.row(i).unwrap().to_vec());
+                xs.push(sdata[i * d..(i + 1) * d].to_vec());
                 ys.push(k);
             }
         }
@@ -172,10 +191,10 @@ impl SslRotation {
         for _ in 0..epochs {
             nazar_nn::train::train_epoch(&mut aux, &mut opt, &xs, &ys, 64, rng);
         }
-        SslRotation {
+        Ok(SslRotation {
             aux,
             threshold: 0.45,
-        }
+        })
     }
 }
 
@@ -192,18 +211,24 @@ impl DriftDetector for SslRotation {
     }
 
     fn scores(&mut self, _model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
-        let (n, d) = (x.nrows().expect("matrix"), x.ncols().unwrap());
+        let n = x.nrows().unwrap_or(0);
+        let d = x.ncols().unwrap_or(0);
         let mut deficit = vec![0.0f32; n];
         for k in 0..Self::TRANSFORMS {
             let shifted = shift_rows(x, k * d / Self::TRANSFORMS);
             let proba = self.aux.predict_proba(&shifted);
-            let c = proba.ncols().unwrap();
+            let c = proba.ncols().unwrap_or(0);
+            if c <= k {
+                continue;
+            }
             for (i, deficit_i) in deficit.iter_mut().enumerate() {
                 // Confidence assigned to the *correct* transform class k.
                 *deficit_i += (1.0 - proba.data()[i * c + k]) / Self::TRANSFORMS as f32;
             }
         }
-        deficit
+        // A non-finite aux probability (degenerate input) becomes the
+        // max-drift sentinel rather than leaking NaN.
+        deficit.into_iter().map(sanitize_score).collect()
     }
 
     fn detect(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<bool> {
@@ -228,29 +253,60 @@ pub struct CsiLike {
 impl CsiLike {
     /// Builds the feature bank from (a subsample of) the training data.
     ///
-    /// # Panics
+    /// Training rows whose features are not finite are excluded from the
+    /// bank (DESIGN.md §9).
     ///
-    /// Panics if `train_x` is empty or `max_bank` is zero.
-    pub fn fit(model: &mut MlpResNet, train_x: &Tensor, max_bank: usize) -> Self {
-        assert!(max_bank > 0, "bank size must be nonzero");
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when `max_bank` is zero;
+    /// [`DetectError::EmptyTrainingSet`] when `train_x` has no rows with
+    /// finite features.
+    pub fn fit(
+        model: &mut MlpResNet,
+        train_x: &Tensor,
+        max_bank: usize,
+    ) -> Result<Self, DetectError> {
+        if max_bank == 0 {
+            return Err(DetectError::InvalidParameter {
+                detector: "csi-like",
+                reason: "bank size must be nonzero",
+            });
+        }
         let features = model.features(train_x);
-        let n = features.nrows().expect("matrix");
-        assert!(n > 0, "csi requires non-empty training data");
+        let n = features.nrows().unwrap_or(0);
+        let d = features.ncols().unwrap_or(0);
+        if n == 0 {
+            return Err(DetectError::EmptyTrainingSet {
+                detector: "csi-like",
+            });
+        }
+        let data = features.data();
         let stride = (n / max_bank).max(1);
-        let mut bank = Vec::new();
+        let mut bank: Vec<Vec<f32>> = Vec::new();
         let mut norm_sum = 0.0f32;
         for i in (0..n).step_by(stride) {
-            let row = features.row(i).unwrap();
+            let row = &data[i * d..(i + 1) * d];
+            if !row.iter().all(|v| v.is_finite()) {
+                continue;
+            }
             let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+            if !norm.is_finite() {
+                continue; // finite values can still overflow the norm
+            }
             norm_sum += norm;
             bank.push(row.iter().map(|&v| v / norm).collect());
         }
-        let norm_scale = norm_sum / bank.len() as f32;
-        CsiLike {
+        if bank.is_empty() {
+            return Err(DetectError::EmptyTrainingSet {
+                detector: "csi-like",
+            });
+        }
+        let norm_scale = (norm_sum / bank.len() as f32).max(1e-6);
+        Ok(CsiLike {
             bank,
             norm_scale,
             threshold: -0.5,
-        }
+        })
     }
 }
 
@@ -268,17 +324,21 @@ impl DriftDetector for CsiLike {
 
     fn scores(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
         let features = model.features(x);
-        let n = features.nrows().expect("matrix");
+        let n = features.nrows().unwrap_or(0);
+        let d = features.ncols().unwrap_or(0);
+        let data = features.data();
         (0..n)
             .map(|i| {
-                let row = features.row(i).unwrap();
+                let row = &data[i * d..(i + 1) * d];
                 let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
                 let max_sim = self
                     .bank
                     .iter()
                     .map(|b| row.iter().zip(b).map(|(&v, &bv)| v * bv).sum::<f32>() / norm)
                     .fold(f32::NEG_INFINITY, f32::max);
-                -(max_sim * norm / self.norm_scale)
+                // NaN similarities are skipped by the max-fold; a row with
+                // no usable similarity scores as maximally drifted.
+                sanitize_score(-(max_sim * norm / self.norm_scale))
             })
             .collect()
     }
@@ -315,7 +375,8 @@ mod tests {
             &bed.drifted,
             3,
             &mut rng,
-        );
+        )
+        .unwrap();
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
         let sc = mean(&oe.scores(&mut model, &bed.clean));
         let sd = mean(&oe.scores(&mut model, &bed.drifted));
@@ -327,7 +388,7 @@ mod tests {
     fn ssl_rotation_confidence_collapses_on_drift() {
         let bed = trained_model_and_data();
         let mut rng = SmallRng::seed_from_u64(4);
-        let mut ssl = SslRotation::fit(&bed.train_x, 12, &mut rng);
+        let mut ssl = SslRotation::fit(&bed.train_x, 12, &mut rng).unwrap();
         let mut model = bed.model.clone();
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
         let sc = mean(&ssl.scores(&mut model, &bed.clean));
@@ -340,7 +401,7 @@ mod tests {
     fn csi_like_scores_drift_higher() {
         let bed = trained_model_and_data();
         let mut model = bed.model.clone();
-        let mut csi = CsiLike::fit(&mut model, &bed.train_x, 128);
+        let mut csi = CsiLike::fit(&mut model, &bed.train_x, 128).unwrap();
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
         let sc = mean(&csi.scores(&mut model, &bed.clean));
         let sd = mean(&csi.scores(&mut model, &bed.drifted));
@@ -351,7 +412,49 @@ mod tests {
     fn detectors_report_expected_names() {
         let bed = trained_model_and_data();
         let mut model = bed.model.clone();
-        let csi = CsiLike::fit(&mut model, &bed.train_x, 16);
+        let csi = CsiLike::fit(&mut model, &bed.train_x, 16).unwrap();
         assert_eq!(csi.name(), "csi-like");
+    }
+
+    #[test]
+    fn fits_reject_empty_training_data() {
+        let bed = trained_model_and_data();
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut model = bed.model.clone();
+        let empty = Tensor::zeros(&[0, 32]);
+        assert!(matches!(
+            OutlierExposure::fit(&bed.model.clone(), &empty, &[], &bed.drifted, 1, &mut rng),
+            Err(DetectError::EmptyTrainingSet { .. })
+        ));
+        assert!(matches!(
+            SslRotation::fit(&empty, 1, &mut rng),
+            Err(DetectError::EmptyTrainingSet { .. })
+        ));
+        assert!(matches!(
+            CsiLike::fit(&mut model, &empty, 16),
+            Err(DetectError::EmptyTrainingSet { .. })
+        ));
+        assert!(matches!(
+            CsiLike::fit(&mut model, &bed.train_x, 0),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn csi_handles_poisoned_rows_without_nan_leakage() {
+        // Poisoned training and query rows (NaN features) must neither
+        // panic the fit nor leak NaN into the scores. (The network's ReLU
+        // absorbs NaN inputs to finite activations; feature-level NaN is
+        // caught by the bank filter and sanitize_score.)
+        let bed = trained_model_and_data();
+        let mut model = bed.model.clone();
+        let mut data = bed.train_x.data().to_vec();
+        data[0] = f32::NAN;
+        let poisoned = Tensor::from_vec(data, bed.train_x.dims()).unwrap();
+        let mut csi = CsiLike::fit(&mut model, &poisoned, 128).unwrap();
+        let query = Tensor::from_vec(vec![f32::NAN; 32], &[1, 32]).unwrap();
+        let scores = csi.scores(&mut model, &query);
+        assert_eq!(scores.len(), 1);
+        assert!(!scores[0].is_nan(), "{scores:?}");
     }
 }

@@ -70,7 +70,17 @@ impl StreamingMsp {
     }
 
     /// Feeds one inference's MSP; returns `true` while the alarm is raised.
+    ///
+    /// Numeric policy (DESIGN.md §9): a non-finite MSP is treated as zero
+    /// confidence (maximal drift evidence) and finite values are clamped to
+    /// `[0, 1]`, so one poisoned observation can never make the EWMA — and
+    /// with it every future smoothed value — permanently NaN.
     pub fn observe(&mut self, msp: f32) -> bool {
+        let msp = if msp.is_finite() {
+            msp.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         self.observations += 1;
         let e = match self.ewma {
             Some(prev) => prev + self.alpha * (msp - prev),
@@ -165,6 +175,19 @@ mod tests {
         m.observe(0.0);
         assert!((m.smoothed().unwrap() - 0.5).abs() < 1e-6);
         assert_eq!(m.observations(), 2);
+    }
+
+    #[test]
+    fn non_finite_observations_count_as_zero_confidence() {
+        // Regression: a single NaN used to poison the EWMA forever.
+        let mut m = StreamingMsp::new(0.5, 0.9, 2);
+        m.observe(1.0);
+        m.observe(f32::NAN);
+        let e = m.smoothed().unwrap();
+        assert!(e.is_finite() && (e - 0.5).abs() < 1e-6, "ewma {e}");
+        assert!(m.observe(f32::INFINITY), "two drift-evidence steps alarm");
+        m.observe(2.0); // out-of-range MSP clamps to 1.0
+        assert!(m.smoothed().unwrap() <= 1.0);
     }
 
     proptest::proptest! {

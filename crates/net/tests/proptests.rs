@@ -67,6 +67,57 @@ proptest! {
         prop_assert_eq!(nazar_net::wire::decode_frame(&bytes).unwrap(), msg);
     }
 
+    /// Degenerate floats — NaN, ±Inf, signed zero, subnormals, the extreme
+    /// normals — travel the wire bit-exactly and pass through ingest intact
+    /// (satellite 4). The transport neither normalizes nor rejects them;
+    /// quarantining non-finite payloads is the cloud's job
+    /// (`nazar_cloud::sanitize_uploads`), and it can only do that job if
+    /// the wire delivers the poison faithfully instead of laundering it.
+    /// `PartialEq` on messages would compare NaN != NaN, so this asserts on
+    /// raw bit patterns.
+    #[test]
+    fn degenerate_floats_round_trip_bitwise(
+        seq in 0u64..1_000_000,
+        picks in proptest::collection::vec(0usize..8, 1..12),
+        day in 0u16..112,
+    ) {
+        const SPECIALS: [f32; 8] = [
+            f32::NAN,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            -0.0,
+            1.0e-40, // subnormal
+            f32::MIN_POSITIVE,
+            f32::MAX,
+            f32::MIN,
+        ];
+        let feats: Vec<f32> = picks.iter().map(|&i| SPECIALS[i]).collect();
+        let bits: Vec<u32> = feats.iter().map(|f| f.to_bits()).collect();
+        let msg = Message::UploadBatch {
+            device_id: "quebec-dev07".into(),
+            seq,
+            entries: vec![entry_from(seq, 0, 1, true)],
+            samples: vec![sample_from(feats, day, 0, 1)],
+        };
+        let bytes = nazar_net::wire::encode_frame(&msg);
+        let decoded = nazar_net::wire::decode_frame(&bytes).unwrap();
+        let Message::UploadBatch { samples, entries, .. } = decoded else {
+            return Err(TestCaseError::fail("decoded to a different message kind"));
+        };
+        prop_assert_eq!(entries.len(), 1);
+        prop_assert_eq!(samples.len(), 1);
+        let decoded_bits: Vec<u32> = samples[0].features.iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(&decoded_bits, &bits);
+
+        // Ingest passes the payload through unmodified as well.
+        let mut server = IngestServer::new();
+        server.on_upload("quebec-dev07", seq, vec![], samples);
+        let (_, uploads) = server.take_window();
+        prop_assert_eq!(uploads.len(), 1);
+        let ingested_bits: Vec<u32> = uploads[0].features.iter().map(|f| f.to_bits()).collect();
+        prop_assert_eq!(ingested_bits, bits);
+    }
+
     /// Ingest is idempotent: any delivery schedule built from a batch set by
     /// duplicating and reordering drains to exactly the in-order ingest of
     /// the unique batches.

@@ -24,6 +24,11 @@ pub enum NnError {
         /// Width of the model's layer.
         model_width: usize,
     },
+    /// A BN patch carried non-finite values or a negative running variance.
+    PatchNotFinite {
+        /// Index of the offending BN layer.
+        layer: usize,
+    },
     /// An architecture parameter was invalid (zero classes, zero width, ...).
     InvalidArch {
         /// Human-readable description of the invalid parameter.
@@ -55,6 +60,10 @@ impl fmt::Display for NnError {
             } => write!(
                 f,
                 "bn patch layer {layer} has width {patch_width} but the model expects {model_width}"
+            ),
+            NnError::PatchNotFinite { layer } => write!(
+                f,
+                "bn patch layer {layer} carries non-finite values or negative running variance"
             ),
             NnError::InvalidArch { reason } => write!(f, "invalid architecture: {reason}"),
             NnError::BatchMismatch { inputs, targets } => {

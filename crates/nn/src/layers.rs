@@ -192,13 +192,29 @@ impl Layer for BatchNorm1d {
             let std = var.add_scalar(self.eps).sqrt();
 
             // Fold the observed batch statistics into the running estimates,
-            // in place: r = r * (1 - m) + batch * m per feature.
+            // in place: r = r * (1 - m) + batch * m per feature. A channel
+            // whose batch statistic is non-finite (a poisoned batch) keeps
+            // its previous running value — one bad batch must not poison
+            // the layer's state permanently (DESIGN.md §9). A zero-variance
+            // channel is fine: eps keeps the normalization bounded.
             let m = self.momentum;
             self.running_mean
-                .zip_inplace(&mean.value(), |r, b| r * (1.0 - m) + b * m)
+                .zip_inplace(&mean.value(), |r, b| {
+                    if b.is_finite() {
+                        r * (1.0 - m) + b * m
+                    } else {
+                        r
+                    }
+                })
                 .expect("bn running mean width drifted");
             self.running_var
-                .zip_inplace(&var.value(), |r, b| r * (1.0 - m) + b * m)
+                .zip_inplace(&var.value(), |r, b| {
+                    if b.is_finite() {
+                        r * (1.0 - m) + b * m
+                    } else {
+                        r
+                    }
+                })
                 .expect("bn running var width drifted");
 
             centered.div_row(&std)
@@ -304,6 +320,39 @@ mod tests {
         let grads = y.mul(&y).sum_all().backward();
         bn.collect_grads(&grads);
         assert!(bn.gamma().grad().is_some());
+    }
+
+    #[test]
+    fn batchnorm_running_stats_survive_poisoned_batches() {
+        // Regression (satellite 2): a NaN batch used to poison the running
+        // statistics permanently; poisoned channels now keep their previous
+        // running values.
+        let mut bn = BatchNorm1d::new(2);
+        let clean_mean = bn.running_mean().clone();
+        let clean_var = bn.running_var().clone();
+        let x = Tensor::from_vec(vec![f32::NAN, 1.0, f32::NAN, 3.0], &[2, 2]).unwrap();
+        let tape = Tape::new();
+        let xv = tape.leaf(x);
+        let _ = bn.forward(&tape, &xv, Mode::Adapt);
+        // Channel 0 (poisoned) unchanged; channel 1 updated and finite.
+        assert_eq!(bn.running_mean().data()[0], clean_mean.data()[0]);
+        assert_eq!(bn.running_var().data()[0], clean_var.data()[0]);
+        assert!(bn.running_mean().data()[1] != clean_mean.data()[1]);
+        assert!(bn.running_mean().data().iter().all(|v| v.is_finite()));
+        assert!(bn.running_var().data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn batchnorm_zero_variance_channel_stays_finite() {
+        // A constant channel has zero batch variance; eps must keep the
+        // normalized output and the running stats finite.
+        let mut bn = BatchNorm1d::new(1);
+        let x = Tensor::from_vec(vec![2.0, 2.0, 2.0], &[3, 1]).unwrap();
+        let tape = Tape::new();
+        let xv = tape.leaf(x);
+        let y = bn.forward(&tape, &xv, Mode::Train).value();
+        assert!(y.data().iter().all(|v| v.is_finite()), "{y}");
+        assert!(bn.running_var().data()[0].is_finite());
     }
 
     #[test]

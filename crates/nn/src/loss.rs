@@ -56,6 +56,11 @@ pub fn mean_entropy(logits: &Var) -> Var {
 ///
 /// Used by entropy-score drift detectors, which only need values.
 ///
+/// Numeric policy (DESIGN.md §9): a row whose logits are degenerate (any
+/// NaN, or all `-Inf`) has no defined softmax; such rows report the maximum
+/// entropy `ln(c)` — "the model knows nothing here" — rather than emitting
+/// NaN into detector score streams.
+///
 /// # Panics
 ///
 /// Panics if `logits` is not an `[n, c]` matrix.
@@ -64,10 +69,22 @@ pub fn entropy_of_logits(logits: &Tensor) -> Vec<f32> {
         .log_softmax_rows()
         .expect("entropy_of_logits expects [n, c] logits");
     let (n, c) = (lp.nrows().unwrap(), lp.ncols().unwrap());
+    let max_entropy = (c as f32).ln();
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let row = &lp.data()[i * c..(i + 1) * c];
-        out.push(-row.iter().map(|&l| l.exp() * l).sum::<f32>());
+        if row.iter().any(|l| l.is_nan()) || row.iter().all(|l| !l.is_finite()) {
+            out.push(max_entropy);
+            continue;
+        }
+        // exp(-Inf) * -Inf = 0 * -Inf = NaN, so a masked-out class would
+        // otherwise propagate NaN despite contributing zero probability.
+        let h = -row
+            .iter()
+            .filter(|l| l.is_finite())
+            .map(|&l| l.exp() * l)
+            .sum::<f32>();
+        out.push(if h.is_finite() { h } else { max_entropy });
     }
     out
 }
@@ -145,6 +162,32 @@ mod tests {
         let before = entropy_of_logits(&logits0)[0];
         let after = entropy_of_logits(&stepped)[0];
         assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn degenerate_logit_rows_report_max_entropy() {
+        // Regression (satellite 2): NaN / all -Inf rows produced NaN
+        // entropies that poisoned entropy-score detectors downstream.
+        let logits = Tensor::from_vec(
+            vec![
+                f32::NAN,
+                0.0,
+                1.0,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                f32::NEG_INFINITY,
+                30.0,
+                0.0,
+                0.0,
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        let h = entropy_of_logits(&logits);
+        let ln_c = 3.0f32.ln();
+        assert!((h[0] - ln_c).abs() < 1e-6, "NaN row: {h:?}");
+        assert!((h[1] - ln_c).abs() < 1e-6, "all -Inf row: {h:?}");
+        assert!(h[2] < 1e-3 && h[2].is_finite(), "confident row: {h:?}");
     }
 
     #[test]

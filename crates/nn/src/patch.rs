@@ -52,12 +52,29 @@ impl BnPatch {
         BnPatch { layers }
     }
 
+    /// Whether every layer's state is usable: all four tensors finite and
+    /// the running variance non-negative. A patch failing this check would
+    /// poison every inference of the receiving model, so `apply` rejects it
+    /// and the cloud refuses to deploy it (DESIGN.md §9).
+    pub fn is_finite(&self) -> bool {
+        self.layers.iter().all(|s| {
+            let finite = |t: &Tensor| t.data().iter().all(|v| v.is_finite());
+            finite(&s.gamma)
+                && finite(&s.beta)
+                && finite(&s.running_mean)
+                && finite(&s.running_var)
+                && s.running_var.data().iter().all(|&v| v >= 0.0)
+        })
+    }
+
     /// Applies the patch to `model`, overwriting its BN state.
     ///
     /// # Errors
     ///
     /// Returns an error if the patch layout (layer count or widths) does not
-    /// match the model; the model is left unmodified in that case.
+    /// match the model, or if a layer carries non-finite values or negative
+    /// running variance ([`NnError::PatchNotFinite`]); the model is left
+    /// unmodified in either case.
     pub fn apply(&self, model: &mut MlpResNet) -> Result<()> {
         // Validate before mutating anything.
         let mut widths = Vec::new();
@@ -75,6 +92,17 @@ impl BnPatch {
                     patch_width: state.gamma.len(),
                     model_width: w,
                 });
+            }
+        }
+        for (i, state) in self.layers.iter().enumerate() {
+            let finite = |t: &Tensor| t.data().iter().all(|v| v.is_finite());
+            if !(finite(&state.gamma)
+                && finite(&state.beta)
+                && finite(&state.running_mean)
+                && finite(&state.running_var)
+                && state.running_var.data().iter().all(|&v| v >= 0.0))
+            {
+                return Err(NnError::PatchNotFinite { layer: i });
             }
         }
         let mut i = 0;
@@ -177,6 +205,42 @@ mod tests {
             patch.apply(&mut m),
             Err(NnError::PatchWidthMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn apply_rejects_non_finite_patches() {
+        let mut m = model(0);
+        let clean = BnPatch::extract(&mut m);
+        let before = m.logits(
+            &Tensor::from_vec(vec![0.5, -0.5, 1.0, 2.0], &[1, 4]).unwrap(),
+            Mode::Eval,
+        );
+
+        let mut nan_gamma = clean.clone();
+        let w = nan_gamma.layers[0].gamma.len();
+        nan_gamma.layers[0].gamma = Tensor::from_vec(vec![f32::NAN; w], &[w]).unwrap();
+        assert!(!nan_gamma.is_finite());
+        assert_eq!(
+            nan_gamma.apply(&mut m),
+            Err(NnError::PatchNotFinite { layer: 0 })
+        );
+
+        let mut neg_var = clean.clone();
+        let w = neg_var.layers[1].running_var.len();
+        neg_var.layers[1].running_var = Tensor::from_vec(vec![-1.0; w], &[w]).unwrap();
+        assert!(!neg_var.is_finite());
+        assert_eq!(
+            neg_var.apply(&mut m),
+            Err(NnError::PatchNotFinite { layer: 1 })
+        );
+
+        // The model was left untouched by the rejected patches.
+        let after = m.logits(
+            &Tensor::from_vec(vec![0.5, -0.5, 1.0, 2.0], &[1, 4]).unwrap(),
+            Mode::Eval,
+        );
+        assert!(before.approx_eq(&after, 1e-9));
+        assert!(clean.is_finite());
     }
 
     #[test]

@@ -203,12 +203,14 @@ impl<P> ModelPool<P> {
         // Rule 3: LRU eviction beyond capacity.
         if let Some(cap) = self.capacity {
             while self.versions.len() > cap {
-                let (idx, _) = self
+                let Some((idx, _)) = self
                     .versions
                     .iter()
                     .enumerate()
                     .min_by_key(|(_, v)| v.updated_at)
-                    .expect("pool is non-empty");
+                else {
+                    break;
+                };
                 evicted.push(self.versions[idx].id);
                 self.versions.remove(idx);
                 EVICT_LRU.inc();
@@ -243,12 +245,7 @@ impl<P> ModelPool<P> {
                     .attrs
                     .len()
                     .cmp(&b.meta.attrs.len())
-                    .then(
-                        a.meta
-                            .risk_ratio
-                            .partial_cmp(&b.meta.risk_ratio)
-                            .unwrap_or(std::cmp::Ordering::Equal),
-                    )
+                    .then(a.meta.risk_ratio.total_cmp(&b.meta.risk_ratio))
                     .then(a.updated_at.cmp(&b.updated_at))
             });
         if chosen.is_some() {

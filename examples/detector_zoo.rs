@@ -57,7 +57,7 @@ fn main() {
             &calib_clean,
             &calib_drift,
         )),
-        Box::new(KsTestDetector::fit(&mut model, &calib_clean, 16, 0.05)),
+        Box::new(KsTestDetector::fit(&mut model, &calib_clean, 16, 0.05).expect("reference")),
         Box::new(Odin::calibrate_epsilon(
             &mut model,
             &calib_clean,
@@ -66,11 +66,12 @@ fn main() {
             &[0.02, 0.05],
         )),
         Box::new({
-            let mut m = Mahalanobis::fit(&mut model, &train_x, &train_y, 10);
+            let mut m =
+                Mahalanobis::fit(&mut model, &train_x, &train_y, 10).expect("training data");
             m.calibrate(&mut model, &calib_clean, &calib_drift);
             m
         }),
-        Box::new(CsiLike::fit(&mut model, &train_x, 128)),
+        Box::new(CsiLike::fit(&mut model, &train_x, 128).expect("training data")),
     ];
 
     println!(
