@@ -7,9 +7,15 @@
 //! over all rows) is monotone non-increasing under set extension, so pruning
 //! by `min_occurrence` at every level is sound.
 //!
-//! Counting is delegated to [`DriftLog::count_matching`] — one linear scan
-//! per candidate, mirroring the paper's implementation of FIM as SQL `COUNT`
-//! aggregations.
+//! Counting is delegated to [`DriftLog::count_matching`] — one indexed
+//! posting-list query per candidate (a full scan on unindexed logs),
+//! mirroring the paper's implementation of FIM as SQL `COUNT` aggregations.
+//! Each level's candidate set is generated sequentially (so the canonical
+//! dedup order is stable) and then counted with `parallel::par_map`, one
+//! sequential query per worker: parallelism across candidates composes
+//! better here than within a query, because apriori issues many small
+//! queries per level. Results merge in candidate order, so the mined table
+//! is bitwise identical at any `NAZAR_NUM_THREADS`.
 //!
 //! Runtime note: at the `fim_algorithms` benchmark scale (50k rows, 3 low-
 //! cardinality attribute keys) apriori's cost is ~40 counting scans and it
@@ -23,6 +29,7 @@
 use crate::metrics::{CauseStats, FimConfig};
 use nazar_log::{Attribute, DriftLog};
 use nazar_obs::LazyHistogram;
+use nazar_tensor::parallel;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::time::Instant;
@@ -148,7 +155,9 @@ pub fn mine(log: &DriftLog, config: &FimConfig) -> FimTable {
     let extend_start = Instant::now();
     let mut seen: HashSet<Vec<Attribute>> = all.iter().map(|c| c.attrs.clone()).collect();
     for _ in 2..=config.max_attrs {
-        let mut next: Vec<RankedCause> = Vec::new();
+        // Generate this level's candidate sets sequentially so the
+        // canonical (sorted, deduplicated) order is stable...
+        let mut candidates: Vec<Vec<Attribute>> = Vec::new();
         for base in &level {
             for single in &singles {
                 let attr = &single.attrs[0];
@@ -158,20 +167,33 @@ pub fn mine(log: &DriftLog, config: &FimConfig) -> FimTable {
                 let mut attrs = base.attrs.clone();
                 attrs.push(attr.clone());
                 attrs.sort();
-                if !seen.insert(attrs.clone()) {
-                    continue;
+                if seen.insert(attrs.clone()) {
+                    candidates.push(attrs);
                 }
-                let counts = log.count_matching(&attrs, None).expect("schema keys");
-                if counts.drifted == 0 {
-                    continue;
-                }
-                let stats = CauseStats::from_counts(counts, total_rows, total_drifted);
-                if stats.occurrence < config.min_occurrence {
-                    continue;
-                }
-                next.push(RankedCause { attrs, stats });
             }
         }
+        // ...then count them in parallel; par_map merges in candidate
+        // order, keeping the level deterministic at any thread count.
+        let next: Vec<RankedCause> = parallel::par_map(candidates, |attrs| {
+            // Width 1: each worker runs its queries sequentially (indexed,
+            // but no nested fan-out under the candidate-level par_map).
+            let counts = log
+                .count_matching_with_threads(&attrs, None, 1)
+                .expect("schema keys");
+            (attrs, counts)
+        })
+        .into_iter()
+        .filter_map(|(attrs, counts)| {
+            if counts.drifted == 0 {
+                return None;
+            }
+            let stats = CauseStats::from_counts(counts, total_rows, total_drifted);
+            if stats.occurrence < config.min_occurrence {
+                return None;
+            }
+            Some(RankedCause { attrs, stats })
+        })
+        .collect();
         if next.is_empty() {
             break;
         }

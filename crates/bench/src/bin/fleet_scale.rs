@@ -1,0 +1,212 @@
+//! Fleet-scale drift-log benchmark: indexed segment queries vs the pre-PR
+//! full-scan path.
+//!
+//! Sweeps log sizes (5k → 500k rows, the "millions of devices, one row per
+//! upload" regime the ROADMAP targets) and fan-out widths (1–8 threads)
+//! over a representative analysis query mix — the single/pair counting,
+//! counterfactual-masked counting, `distinct_values`, and `rows_matching`
+//! calls that FIM, set reduction, and counterfactual analysis issue per
+//! window. Each configuration reports the median wall time; results land
+//! in `BENCH_fleet.json` at the workspace root (override with
+//! `NAZAR_BENCH_OUT`), in the same `{"benches": [...]}` shape as
+//! `BENCH_tensor.json`.
+//!
+//! Two invariants are asserted, not just measured:
+//!
+//! * every indexed query result is **bitwise identical** to the sequential
+//!   full-scan reference at every fan-out width (the PR-1 determinism
+//!   contract — `crates/log/tests/query_equivalence.rs` pins the same
+//!   property under proptest);
+//! * at the largest size and widest fan-out, the indexed mix is at least
+//!   **4× faster** than the full-scan baseline (the ISSUE 5 acceptance
+//!   bar).
+//!
+//! `NAZAR_FLEET_QUICK=1` shrinks the sweep for smoke runs; the determinism
+//! assertion still applies but the speedup bar (defined at 500k rows) does
+//! not.
+
+use nazar_cloud::timing::synthetic_drift_log;
+use nazar_log::{Attribute, DriftLog, MatchCounts};
+use std::time::Instant;
+
+/// One measured configuration.
+struct BenchRow {
+    id: String,
+    median_ns: f64,
+    samples: usize,
+}
+
+/// Everything the query mix produces, for bitwise comparison.
+#[derive(PartialEq, Debug)]
+struct MixResult {
+    single: MatchCounts,
+    pair: MatchCounts,
+    masked: MatchCounts,
+    distinct: Vec<(String, MatchCounts)>,
+    rows: Vec<usize>,
+}
+
+/// The per-window analysis query mix. `threads` is the fan-out width for
+/// the indexed path; the scan path ignores it (the pre-PR code was
+/// sequential by construction).
+fn query_mix(log: &DriftLog, mask: &[bool], threads: usize) -> MixResult {
+    let single = log
+        .count_matching_with_threads(&[Attribute::new("weather", "snow")], None, threads)
+        .expect("schema key");
+    let pair = log
+        .count_matching_with_threads(
+            &[
+                Attribute::new("weather", "rain"),
+                Attribute::new("location", "loc-3"),
+            ],
+            None,
+            threads,
+        )
+        .expect("schema keys");
+    let masked = log
+        .count_matching_with_threads(&[Attribute::new("weather", "fog")], Some(mask), threads)
+        .expect("schema key");
+    let distinct = log
+        .distinct_values_with_threads("device_id", threads)
+        .expect("schema key");
+    let rows = log
+        .rows_matching_with_threads(
+            &[
+                Attribute::new("weather", "snow"),
+                Attribute::new("location", "loc-7"),
+            ],
+            threads,
+        )
+        .expect("schema keys");
+    MixResult {
+        single,
+        pair,
+        masked,
+        distinct,
+        rows,
+    }
+}
+
+/// Median wall time of `f` over `samples` runs, in nanoseconds.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let mut times: Vec<u128> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let mid = times.len() / 2;
+    if times.len().is_multiple_of(2) {
+        (times[mid - 1] + times[mid]) as f64 / 2.0
+    } else {
+        times[mid] as f64
+    }
+}
+
+fn main() {
+    let _obs = nazar_bench::ObsRun::start("fleet_scale");
+    let quick = std::env::var("NAZAR_FLEET_QUICK").is_ok_and(|v| v == "1");
+    let row_counts: &[usize] = if quick {
+        &[5_000, 20_000]
+    } else {
+        &[5_000, 50_000, 500_000]
+    };
+    let thread_widths: &[usize] = &[1, 2, 4, 8];
+    let samples = if quick { 5 } else { 15 };
+
+    let mut benches: Vec<BenchRow> = Vec::new();
+    let mut speedup_at_bar = 0.0f64;
+
+    for &rows in row_counts {
+        let log = synthetic_drift_log(rows, 7);
+        assert!(log.num_segments() > 0, "index must be live");
+        let mut scan_log = log.clone();
+        scan_log.set_index_enabled(false);
+        // Counterfactual-style mask: the stored flags with the planted
+        // "snow" rows cleared, as set reduction would produce.
+        let mut mask = log.drift_mask();
+        for r in log
+            .rows_matching(&[Attribute::new("weather", "snow")])
+            .expect("schema key")
+        {
+            mask[r] = false;
+        }
+
+        // Sequential full-scan reference: the pre-PR query path.
+        let reference = query_mix(&scan_log, &mask, 1);
+        let scan_ns = median_ns(samples, || {
+            let out = query_mix(&scan_log, &mask, 1);
+            assert_eq!(out.single.occurrences, reference.single.occurrences);
+        });
+        benches.push(BenchRow {
+            id: format!("fleet_scale/queries_{rows}r_scan"),
+            median_ns: scan_ns,
+            samples,
+        });
+
+        for &threads in thread_widths {
+            let out = query_mix(&log, &mask, threads);
+            assert_eq!(
+                out, reference,
+                "indexed mix at {threads} threads must be bitwise \
+                 identical to the full scan ({rows} rows)"
+            );
+            let ns = median_ns(samples, || {
+                let out = query_mix(&log, &mask, threads);
+                assert_eq!(out.single.occurrences, reference.single.occurrences);
+            });
+            benches.push(BenchRow {
+                id: format!("fleet_scale/queries_{rows}r_{threads}t"),
+                median_ns: ns,
+                samples,
+            });
+            if rows == *row_counts.last().expect("non-empty sweep")
+                && threads == *thread_widths.last().expect("non-empty sweep")
+            {
+                speedup_at_bar = scan_ns / ns.max(1.0);
+            }
+        }
+
+        let scan_pretty = scan_ns / 1e6;
+        let best = benches
+            .iter()
+            .filter(|b| b.id.contains(&format!("_{rows}r_")) && b.id.ends_with("8t"))
+            .map(|b| b.median_ns)
+            .next_back()
+            .unwrap_or(scan_ns);
+        println!(
+            "{rows:>7} rows: scan {scan_pretty:8.3} ms | indexed@8t {:8.3} ms | {:5.1}x",
+            best / 1e6,
+            scan_ns / best.max(1.0)
+        );
+    }
+
+    println!("speedup at the acceptance point (largest size, 8 threads): {speedup_at_bar:.1}x");
+    // The 4x acceptance bar is defined at the full sweep's 500k-row point;
+    // quick runs stop at sizes too small to amortize fan-out overhead, so
+    // they only smoke-test determinism.
+    if !quick {
+        assert!(
+            speedup_at_bar >= 4.0,
+            "indexed query mix must be >= 4x faster than the full scan at the \
+             largest size / 8 threads (got {speedup_at_bar:.2}x)"
+        );
+    }
+
+    let out_path = std::env::var("NAZAR_BENCH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json").to_string()
+    });
+    let mut json = String::from("{\n  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        let comma = if i + 1 == benches.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}{comma}\n",
+            b.id, b.median_ns, b.samples
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write bench JSON");
+    println!("wrote {out_path}");
+}

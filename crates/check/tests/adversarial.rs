@@ -280,6 +280,94 @@ fn analysis_of_empty_and_driftless_logs_is_empty() {
 }
 
 #[test]
+fn segment_index_survives_degenerate_schemas_and_drift_extremes() {
+    // The sharded index (DESIGN.md §10) on hostile shapes: a one-column
+    // one-value schema, a wide schema where every column holds the same
+    // interned string, all-drifted and zero-drifted logs — with segment
+    // boundaries forced every other row so every query crosses shards.
+    let wide: Vec<String> = (0..12).map(|c| format!("col{c}")).collect();
+    let wide_keys: Vec<&str> = wide.iter().map(|s| s.as_str()).collect();
+    for (schema, drift_every) in [
+        (vec!["only"], 1),          // all drifted
+        (vec!["only"], usize::MAX), // none drifted
+        (wide_keys.as_slice().to_vec(), 2),
+    ] {
+        let mut log = DriftLog::new(&schema).with_segment_rows(2);
+        for t in 0..9u64 {
+            let attrs: Vec<(&str, &str)> = schema.iter().map(|k| (*k, "same")).collect();
+            log.push(DriftLogEntry::new(
+                t,
+                &attrs,
+                (t as usize).is_multiple_of(drift_every),
+            ))
+            .unwrap();
+        }
+        assert_eq!(log.num_segments(), 5);
+        let mut scan = log.clone();
+        scan.set_index_enabled(false);
+        // Every-column predicate set degenerates to one posting list per
+        // column, all identical; counts must still match the scan path.
+        let all_cols: Vec<nazar_log::Attribute> = schema
+            .iter()
+            .map(|k| nazar_log::Attribute::new(*k, "same"))
+            .collect();
+        for set in [&[][..], &all_cols[..1], &all_cols[..]] {
+            assert_eq!(
+                log.count_matching(set, None).unwrap(),
+                scan.count_matching(set, None).unwrap()
+            );
+            assert_eq!(
+                log.rows_matching(set).unwrap(),
+                scan.rows_matching(set).unwrap()
+            );
+        }
+        assert_eq!(log.num_drifted(), scan.num_drifted());
+        // Retention through every segment count down to empty.
+        for keep in (0..=9).rev() {
+            let mut l = log.clone();
+            l.retain_last(keep);
+            assert_eq!(l.num_rows(), keep.min(9));
+            assert_eq!(
+                l.count_matching(&all_cols, None).unwrap().occurrences,
+                keep.min(9)
+            );
+        }
+    }
+
+    // A schema-less log: no columns to index, but counting the empty set
+    // and windowing must still hold up.
+    let mut empty_schema = DriftLog::new(&[]);
+    for t in 0..5u64 {
+        empty_schema.push(DriftLogEntry::new(t, &[], true)).unwrap();
+    }
+    let counts = empty_schema.count_matching(&[], None).unwrap();
+    assert_eq!((counts.occurrences, counts.drifted), (5, 5));
+    assert_eq!(empty_schema.window(1, 3).num_rows(), 2);
+}
+
+#[test]
+fn counterfactual_masks_of_wrong_length_never_panic_indexed_or_scanned() {
+    // Mask-override semantics on the indexed path: shorter masks treat
+    // missing rows as non-drifted, longer masks ignore the excess —
+    // exactly like the scan path, even across segment boundaries.
+    let mut log = DriftLog::new(&["k"]).with_segment_rows(3);
+    for t in 0..10u64 {
+        log.push(DriftLogEntry::new(t, &[("k", "v")], true))
+            .unwrap();
+    }
+    let mut scan = log.clone();
+    scan.set_index_enabled(false);
+    let set = [nazar_log::Attribute::new("k", "v")];
+    for mask_len in [0, 1, 5, 10, 64, 1000] {
+        let mask = vec![true; mask_len];
+        let a = log.count_matching(&set, Some(&mask)).unwrap();
+        let b = scan.count_matching(&set, Some(&mask)).unwrap();
+        assert_eq!(a, b, "mask_len {mask_len}");
+        assert_eq!(a.drifted, mask_len.min(10), "mask_len {mask_len}");
+    }
+}
+
+#[test]
 fn zero_capacity_pool_accepts_deploys_without_panicking() {
     let mut pool: ModelPool<u32> = ModelPool::new(Some(0));
     for i in 0..4 {

@@ -138,6 +138,13 @@ pub struct CloudConfig {
     /// `None` keeps the legacy direct in-process path.
     #[serde(default)]
     pub net: Option<NetConfig>,
+    /// Retention bound on the global drift log: after each window's ingest,
+    /// keep only the most recent `n` rows (`None` keeps everything — the
+    /// paper-faithful default for the short benchmark streams; a production
+    /// fleet sets this to bound storage). Enforced with
+    /// [`DriftLog::retain_last`], which drops whole head index segments.
+    #[serde(default)]
+    pub log_retention: Option<usize>,
 }
 
 impl Default for CloudConfig {
@@ -156,6 +163,7 @@ impl Default for CloudConfig {
             targeted_deployment: false,
             algorithm: FimAlgorithm::default(),
             net: Some(NetConfig::from_env()),
+            log_retention: None,
         }
     }
 }
@@ -554,6 +562,9 @@ impl Orchestrator {
         if quarantined > 0 {
             QUARANTINED_ENTRIES.add(quarantined);
             event!("entries_quarantined", count = quarantined);
+        }
+        if let Some(limit) = self.config.log_retention {
+            self.drift_log.retain_last(limit);
         }
     }
 

@@ -1,7 +1,36 @@
-//! Columnar drift-log store with dictionary encoding.
+//! Columnar drift-log store with dictionary encoding and a sharded,
+//! posting-list query index.
+//!
+//! # Segment layout (DESIGN.md §10)
+//!
+//! The log keeps its columnar source of truth — one dictionary-encoded
+//! `Vec<u32>` per attribute key, plus drift flags and timestamps — exactly
+//! as before, and shards *the query index* over it: fixed-size row-range
+//! `Segment`s, each carrying
+//!
+//! * per-column **posting lists**: for every dict code present in the
+//!   segment, the sorted list of segment-local row offsets holding it;
+//! * a **drifted-row bitmap** (`u64` words, LSB-first) with a cached
+//!   popcount;
+//! * the segment's **timestamp range** (`ts_min`/`ts_max`) for window
+//!   pruning.
+//!
+//! Hot queries (`count_matching`, `rows_matching`, `distinct_values`,
+//! `group_counts`) become per-segment posting-list intersections fanned out
+//! over `nazar_tensor::parallel::par_map` and merged in segment order, so
+//! results are bitwise identical at any `NAZAR_NUM_THREADS` (the PR-1
+//! determinism contract; pinned by `tests/query_equivalence.rs`).
+//! Maintenance is incremental: `push` appends to the tail segment in place,
+//! `retain_last` drops whole head segments and rebuilds at most one partial
+//! head segment, and `window` prunes segments by timestamp range.
+//!
+//! The index is never serialized: a deserialized log answers queries via the
+//! original full-scan paths until its first mutation rebuilds the segments
+//! (mirroring how [`Dict`] lazily rebuilds its interning map).
 
 use crate::entry::{Attribute, DriftLogEntry};
-use nazar_obs::LazyCounter;
+use nazar_obs::{LazyCounter, LazyGauge, LazyHistogram};
+use nazar_tensor::parallel;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -30,6 +59,27 @@ static QUERY_DISTINCT: LazyCounter = LazyCounter::new(
     "nazar_log_queries_total",
     "Counting/scan queries served by the drift log",
     &[("op", "distinct_values")],
+);
+static SEGMENTS: LazyGauge = LazyGauge::new(
+    "nazar_log_segments",
+    "Row-range segments currently indexing the drift log",
+    &[],
+);
+static INDEX_HITS: LazyCounter = LazyCounter::new(
+    "nazar_log_index_hits_total",
+    "Queries answered from the segment index instead of a full scan",
+    &[],
+);
+static SEGMENTS_PRUNED: LazyCounter = LazyCounter::new(
+    "nazar_log_segments_pruned_total",
+    "Segments skipped whole by a posting-list miss or timestamp range",
+    &[],
+);
+static QUERY_FANOUT: LazyHistogram = LazyHistogram::new(
+    "nazar_log_query_fanout_width",
+    "Worker threads used per indexed query fan-out",
+    &[],
+    nazar_obs::pow2_buckets,
 );
 
 /// Convenience alias for results produced by this crate.
@@ -126,20 +176,141 @@ impl Dict {
     }
 }
 
+/// Default rows per index segment. Small enough that tail maintenance and
+/// partial-head rebuilds stay cheap, large enough that posting lists
+/// amortize their per-code overhead; the `fleet_scale` bench sweeps sizes
+/// around this choice.
+pub const DEFAULT_SEGMENT_ROWS: usize = 4096;
+
+/// Segments below this count answer queries sequentially: fan-out overhead
+/// beats the win on small (per-window) logs.
+const MIN_PARALLEL_SEGMENTS: usize = 4;
+
+/// One row-range shard of the query index (see the module docs).
+///
+/// Covers global rows `start..start + rows`; all stored offsets are
+/// segment-local (`global = start + local`), which is what lets
+/// [`DriftLog::retain_last`] shift surviving segments by adjusting `start`
+/// alone.
+#[derive(Debug, Clone, Default)]
+struct Segment {
+    /// Global row id of local row 0.
+    start: usize,
+    /// Rows covered.
+    rows: usize,
+    /// Per column: `(dict code, sorted local rows)` pairs, sorted by code.
+    postings: Vec<Vec<(u32, Vec<u32>)>>,
+    /// Bitmap of drifted local rows, LSB-first `u64` words.
+    drifted: Vec<u64>,
+    /// Popcount of `drifted`.
+    drifted_count: usize,
+    /// Minimum timestamp in the segment (meaningless when `rows == 0`).
+    ts_min: u64,
+    /// Maximum timestamp in the segment (meaningless when `rows == 0`).
+    ts_max: u64,
+}
+
+impl Segment {
+    fn new(start: usize, columns: usize) -> Self {
+        Segment {
+            start,
+            postings: vec![Vec::new(); columns],
+            ..Segment::default()
+        }
+    }
+
+    /// Appends global row `row` (read from the log's columns) as the next
+    /// local row.
+    fn push_row(&mut self, columns: &[Vec<u32>], row: usize, drift: bool, ts: u64) {
+        let local = self.rows as u32;
+        for (posting, column) in self.postings.iter_mut().zip(columns) {
+            let code = column[row];
+            match posting.binary_search_by_key(&code, |(c, _)| *c) {
+                Ok(pos) => posting[pos].1.push(local),
+                Err(pos) => posting.insert(pos, (code, vec![local])),
+            }
+        }
+        if drift {
+            let word = self.rows / 64;
+            if word >= self.drifted.len() {
+                self.drifted.resize(word + 1, 0);
+            }
+            self.drifted[word] |= 1 << (self.rows % 64);
+            self.drifted_count += 1;
+        }
+        if self.rows == 0 {
+            self.ts_min = ts;
+            self.ts_max = ts;
+        } else {
+            self.ts_min = self.ts_min.min(ts);
+            self.ts_max = self.ts_max.max(ts);
+        }
+        self.rows += 1;
+    }
+
+    /// The sorted local rows holding `code` in column `ci`, if any.
+    fn posting(&self, ci: usize, code: u32) -> Option<&[u32]> {
+        let column = &self.postings[ci];
+        column
+            .binary_search_by_key(&code, |(c, _)| *c)
+            .ok()
+            .map(|pos| column[pos].1.as_slice())
+    }
+
+    /// Whether local row `local` is drift-flagged.
+    fn drifted_bit(&self, local: u32) -> bool {
+        let i = local as usize;
+        self.drifted
+            .get(i / 64)
+            .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+}
+
 /// The global drift log: one dictionary-encoded column per attribute key,
 /// plus the drift flags and timestamps (DESIGN.md substitution S7 for the
-/// paper's Aurora table).
+/// paper's Aurora table), sharded into row-range index `Segment`s.
 ///
-/// All counting queries are single linear scans over `u32` columns, which is
-/// what makes the root-cause analysis runtime linear in the number of rows
-/// (the property measured in Fig. 9d).
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+/// Counting queries run as per-segment posting-list intersections fanned
+/// out over scoped threads with an ordered merge — bitwise identical to the
+/// original single-threaded full scans at any thread count, but sublinear
+/// in rows for selective predicates and parallel for the rest. The
+/// full-scan paths are kept both as the fallback for freshly deserialized
+/// logs (the index is not serialized) and as the explicit pre-index
+/// baseline behind [`DriftLog::set_index_enabled`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct DriftLog {
     schema: Vec<String>,
     columns: Vec<Vec<u32>>,
     dicts: Vec<Dict>,
     drift: Vec<bool>,
     timestamps: Vec<u64>,
+    #[serde(skip)]
+    segments: Vec<Segment>,
+    /// Configured rows per segment; 0 means [`DEFAULT_SEGMENT_ROWS`].
+    #[serde(skip)]
+    segment_rows: usize,
+    /// Inverted so the serde-skip default (`false`) keeps indexing on for
+    /// deserialized logs.
+    #[serde(skip)]
+    index_disabled: bool,
+}
+
+/// Logical equality: two logs are equal when they hold the same schema and
+/// rows, regardless of index state (a deserialized log has no segments
+/// until its first mutation) or dictionary-map internals.
+impl PartialEq for DriftLog {
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema
+            && self.columns == other.columns
+            && self.dicts.len() == other.dicts.len()
+            && self
+                .dicts
+                .iter()
+                .zip(&other.dicts)
+                .all(|(a, b)| a.values == b.values)
+            && self.drift == other.drift
+            && self.timestamps == other.timestamps
+    }
 }
 
 impl DriftLog {
@@ -151,6 +322,53 @@ impl DriftLog {
             dicts: vec![Dict::default(); schema.len()],
             drift: Vec::new(),
             timestamps: Vec::new(),
+            segments: Vec::new(),
+            segment_rows: 0,
+            index_disabled: false,
+        }
+    }
+
+    /// Sets the index segment size (rows per segment, clamped to at
+    /// least one) and rebuilds the index. Exists for tests and benches
+    /// that need segment boundaries at small row counts; production code
+    /// keeps [`DEFAULT_SEGMENT_ROWS`].
+    pub fn with_segment_rows(mut self, rows: usize) -> Self {
+        self.segment_rows = rows.max(1);
+        if !self.index_disabled {
+            self.rebuild_index();
+        }
+        self
+    }
+
+    /// Enables or disables the segment index. Disabling reverts every query
+    /// to the original single-threaded full scan — the pre-index baseline
+    /// the `fleet_scale` bench and the differential suite compare against.
+    pub fn set_index_enabled(&mut self, enabled: bool) {
+        self.index_disabled = !enabled;
+        if enabled {
+            self.ensure_index();
+        } else {
+            self.segments.clear();
+        }
+    }
+
+    /// Whether queries may use the segment index.
+    pub fn is_index_enabled(&self) -> bool {
+        !self.index_disabled
+    }
+
+    /// Number of row-range segments currently indexing the log (0 for a
+    /// deserialized log that has not been mutated yet).
+    pub fn num_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The effective rows-per-segment setting.
+    pub fn segment_rows(&self) -> usize {
+        if self.segment_rows == 0 {
+            DEFAULT_SEGMENT_ROWS
+        } else {
+            self.segment_rows
         }
     }
 
@@ -171,6 +389,9 @@ impl DriftLog {
 
     /// Number of rows flagged as drift.
     pub fn num_drifted(&self) -> usize {
+        if self.index_ready() {
+            return self.segments.iter().map(|s| s.drifted_count).sum();
+        }
         self.drift.iter().filter(|&&d| d).count()
     }
 
@@ -179,6 +400,87 @@ impl DriftLog {
     /// re-runs counting queries with the modified mask.
     pub fn drift_mask(&self) -> Vec<bool> {
         self.drift.clone()
+    }
+
+    /// Whether the segments cover every row (false right after
+    /// deserialization, until the first mutation rebuilds them).
+    fn index_ready(&self) -> bool {
+        !self.index_disabled && self.covered_rows() == self.num_rows()
+    }
+
+    /// Rows covered by the (contiguous-from-zero) segment list.
+    fn covered_rows(&self) -> usize {
+        self.segments.last().map_or(0, |s| s.start + s.rows)
+    }
+
+    fn ensure_index(&mut self) {
+        if !self.index_disabled && self.covered_rows() != self.num_rows() {
+            self.rebuild_index();
+        }
+    }
+
+    fn rebuild_index(&mut self) {
+        self.segments.clear();
+        let rows = self.num_rows();
+        let step = self.segment_rows();
+        let mut start = 0;
+        while start < rows {
+            let n = step.min(rows - start);
+            self.segments.push(self.build_segment(start, n));
+            start += n;
+        }
+        SEGMENTS.set(self.segments.len() as f64);
+    }
+
+    /// Builds one segment over global rows `start..start + n` from the
+    /// columnar store.
+    fn build_segment(&self, start: usize, n: usize) -> Segment {
+        let mut seg = Segment::new(start, self.schema.len());
+        for row in start..start + n {
+            seg.push_row(&self.columns, row, self.drift[row], self.timestamps[row]);
+        }
+        seg
+    }
+
+    /// Incremental tail maintenance: indexes the row just appended to the
+    /// columnar store, starting a fresh segment when the tail is full.
+    fn index_append_last_row(&mut self) {
+        if self.index_disabled {
+            return;
+        }
+        let rows = self.num_rows();
+        if self.covered_rows() + 1 != rows {
+            // Deserialized (or otherwise stale) index: one full rebuild
+            // brings it back in sync, including the new row.
+            self.rebuild_index();
+            return;
+        }
+        let row = rows - 1;
+        if self
+            .segments
+            .last()
+            .is_none_or(|s| s.rows >= self.segment_rows())
+        {
+            self.segments.push(Segment::new(row, self.schema.len()));
+            SEGMENTS.set(self.segments.len() as f64);
+        }
+        if let Some(seg) = self.segments.last_mut() {
+            seg.push_row(&self.columns, row, self.drift[row], self.timestamps[row]);
+        }
+    }
+
+    /// Appends an already-encoded row and maintains the tail segment.
+    fn append_coded(&mut self, codes: &[u32], drift: bool, timestamp: u64) {
+        for (column, &code) in self.columns.iter_mut().zip(codes) {
+            column.push(code);
+        }
+        self.drift.push(drift);
+        self.timestamps.push(timestamp);
+        INGEST_ROWS.inc();
+        if drift {
+            INGEST_DRIFTED.inc();
+        }
+        self.index_append_last_row();
     }
 
     /// Appends one entry.
@@ -198,22 +500,14 @@ impl DriftLog {
             return Err(LogError::SchemaMismatch { key });
         }
         // Resolve values in schema order.
-        let mut ids = Vec::with_capacity(self.schema.len());
+        let mut codes = Vec::with_capacity(self.schema.len());
         for (ci, key) in self.schema.iter().enumerate() {
             let Some(value) = entry.attrs.iter().find(|a| &a.key == key) else {
                 return Err(LogError::SchemaMismatch { key: key.clone() });
             };
-            ids.push((ci, self.dicts[ci].intern(&value.value)));
+            codes.push(self.dicts[ci].intern(&value.value));
         }
-        for (ci, id) in ids {
-            self.columns[ci].push(id);
-        }
-        self.drift.push(entry.drift);
-        self.timestamps.push(entry.timestamp);
-        INGEST_ROWS.inc();
-        if entry.drift {
-            INGEST_DRIFTED.inc();
-        }
+        self.append_coded(&codes, entry.drift, entry.timestamp);
         Ok(())
     }
 
@@ -259,6 +553,37 @@ impl DriftLog {
         })
     }
 
+    /// Resolves a query's attribute set to `(column, code)` predicates.
+    /// `Ok(None)` means some value never occurs in the log, so the query
+    /// trivially matches nothing.
+    fn resolve_preds(&self, set: &[Attribute]) -> Result<Option<Vec<(usize, u32)>>> {
+        let mut preds = Vec::with_capacity(set.len());
+        for attr in set {
+            let ci = self.column_index(&attr.key)?;
+            match self.dicts[ci].lookup(&attr.value) {
+                Some(vid) => preds.push((ci, vid)),
+                None => return Ok(None),
+            }
+        }
+        Ok(Some(preds))
+    }
+
+    /// Maps `f` over the segments, fanning out across up to `threads`
+    /// scoped workers for large logs; results come back in segment order
+    /// regardless of the fan-out width.
+    fn map_segments<R, F>(&self, threads: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Segment) -> R + Sync,
+    {
+        if threads <= 1 || self.segments.len() < MIN_PARALLEL_SEGMENTS {
+            QUERY_FANOUT.observe(1.0);
+            return self.segments.iter().map(f).collect();
+        }
+        QUERY_FANOUT.observe(threads.min(self.segments.len()) as f64);
+        parallel::par_map_with(self.segments.iter().collect(), threads, f)
+    }
+
     /// Distinct values of column `key`, with per-value `(occurrences,
     /// drifted)` counts — the first stage of apriori.
     ///
@@ -266,15 +591,53 @@ impl DriftLog {
     ///
     /// Returns [`LogError::UnknownKey`] for keys outside the schema.
     pub fn distinct_values(&self, key: &str) -> Result<Vec<(String, MatchCounts)>> {
+        self.distinct_values_with_threads(key, parallel::num_threads())
+    }
+
+    /// [`DriftLog::distinct_values`] with an explicit fan-out width — the
+    /// determinism-audit hook used by the differential query suite; results
+    /// are bitwise identical for every `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnknownKey`] for keys outside the schema.
+    pub fn distinct_values_with_threads(
+        &self,
+        key: &str,
+        threads: usize,
+    ) -> Result<Vec<(String, MatchCounts)>> {
         QUERY_DISTINCT.inc();
         let ci = self.column_index(key)?;
-        let mut counts = vec![MatchCounts::default(); self.dicts[ci].values.len()];
-        for (row, &vid) in self.columns[ci].iter().enumerate() {
-            counts[vid as usize].occurrences += 1;
-            if self.drift[row] {
-                counts[vid as usize].drifted += 1;
+        let n_values = self.dicts[ci].values.len();
+        let counts = if self.index_ready() {
+            INDEX_HITS.inc();
+            let partials = self.map_segments(threads, |seg| {
+                let mut counts = vec![MatchCounts::default(); n_values];
+                for (code, rows) in &seg.postings[ci] {
+                    let c = &mut counts[*code as usize];
+                    c.occurrences += rows.len();
+                    c.drifted += rows.iter().filter(|&&l| seg.drifted_bit(l)).count();
+                }
+                counts
+            });
+            let mut counts = vec![MatchCounts::default(); n_values];
+            for partial in partials {
+                for (total, part) in counts.iter_mut().zip(partial) {
+                    total.occurrences += part.occurrences;
+                    total.drifted += part.drifted;
+                }
             }
-        }
+            counts
+        } else {
+            let mut counts = vec![MatchCounts::default(); n_values];
+            for (row, &vid) in self.columns[ci].iter().enumerate() {
+                counts[vid as usize].occurrences += 1;
+                if self.drift[row] {
+                    counts[vid as usize].drifted += 1;
+                }
+            }
+            counts
+        };
         Ok(self.dicts[ci].values.iter().cloned().zip(counts).collect())
     }
 
@@ -289,15 +652,40 @@ impl DriftLog {
     /// Returns [`LogError::UnknownKey`] if an attribute key is not in the
     /// schema.
     pub fn count_matching(&self, set: &[Attribute], mask: Option<&[bool]>) -> Result<MatchCounts> {
+        self.count_matching_with_threads(set, mask, parallel::num_threads())
+    }
+
+    /// [`DriftLog::count_matching`] with an explicit fan-out width — the
+    /// determinism-audit hook used by the differential query suite; results
+    /// are bitwise identical for every `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnknownKey`] if an attribute key is not in the
+    /// schema.
+    pub fn count_matching_with_threads(
+        &self,
+        set: &[Attribute],
+        mask: Option<&[bool]>,
+        threads: usize,
+    ) -> Result<MatchCounts> {
         QUERY_COUNT.inc();
-        let mut preds = Vec::with_capacity(set.len());
-        for attr in set {
-            let ci = self.column_index(&attr.key)?;
-            match self.dicts[ci].lookup(&attr.value) {
-                Some(vid) => preds.push((ci, vid)),
-                None => return Ok(MatchCounts::default()),
+        let Some(preds) = self.resolve_preds(set)? else {
+            return Ok(MatchCounts::default());
+        };
+        if self.index_ready() {
+            INDEX_HITS.inc();
+            let partials = self.map_segments(threads, |seg| {
+                segment_count(&self.columns, seg, &preds, mask)
+            });
+            let mut counts = MatchCounts::default();
+            for part in partials {
+                counts.occurrences += part.occurrences;
+                counts.drifted += part.drifted;
             }
+            return Ok(counts);
         }
+        // Full-scan fallback (the original query path).
         let drift = mask.unwrap_or(&self.drift);
         let mut counts = MatchCounts::default();
         'rows: for row in 0..self.num_rows() {
@@ -320,14 +708,38 @@ impl DriftLog {
     ///
     /// Returns [`LogError::UnknownKey`] for keys outside the schema.
     pub fn rows_matching(&self, set: &[Attribute]) -> Result<Vec<usize>> {
+        self.rows_matching_with_threads(set, parallel::num_threads())
+    }
+
+    /// [`DriftLog::rows_matching`] with an explicit fan-out width — the
+    /// determinism-audit hook used by the differential query suite; results
+    /// (values *and* ordering) are identical for every `threads`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnknownKey`] for keys outside the schema.
+    pub fn rows_matching_with_threads(
+        &self,
+        set: &[Attribute],
+        threads: usize,
+    ) -> Result<Vec<usize>> {
         QUERY_ROWS.inc();
-        let mut preds = Vec::with_capacity(set.len());
-        for attr in set {
-            let ci = self.column_index(&attr.key)?;
-            match self.dicts[ci].lookup(&attr.value) {
-                Some(vid) => preds.push((ci, vid)),
-                None => return Ok(Vec::new()),
-            }
+        let Some(preds) = self.resolve_preds(set)? else {
+            return Ok(Vec::new());
+        };
+        if self.index_ready() {
+            INDEX_HITS.inc();
+            // Per-segment results are ascending local offsets; segments are
+            // ascending row ranges, so the ordered merge is concatenation.
+            let partials = self.map_segments(threads, |seg| {
+                if preds.is_empty() {
+                    return (seg.start..seg.start + seg.rows).collect::<Vec<usize>>();
+                }
+                let mut rows = Vec::new();
+                probe_segment(&self.columns, seg, &preds, |_, row| rows.push(row));
+                rows
+            });
+            return Ok(partials.into_iter().flatten().collect());
         }
         let mut rows = Vec::new();
         'rows: for row in 0..self.num_rows() {
@@ -343,13 +755,64 @@ impl DriftLog {
 
     /// Retains only the rows with `timestamp` in `[t0, t1)`; returns the new
     /// log (the original is untouched). Used for windowed analysis.
+    ///
+    /// With the index ready this works at segment granularity: segments
+    /// whose timestamp range misses `[t0, t1)` are pruned whole, segments
+    /// fully inside copy without per-row comparisons, and only boundary
+    /// segments scan row by row. Rows are copied code-to-code with a
+    /// per-column remap (values are interned into the new log in first-use
+    /// order, exactly as a naive rebuild via `push` would).
     pub fn window(&self, t0: u64, t1: u64) -> DriftLog {
         let mut out = DriftLog::new(&self.schema.iter().map(|s| s.as_str()).collect::<Vec<_>>());
-        for row in 0..self.num_rows() {
-            let ts = self.timestamps[row];
-            if ts >= t0 && ts < t1 {
-                out.push(self.entry(row).expect("row in range"))
-                    .expect("same schema");
+        out.segment_rows = self.segment_rows;
+        out.index_disabled = self.index_disabled;
+        if t0 >= t1 {
+            return out;
+        }
+        // Per-column memo from our codes to the output log's codes.
+        let mut remaps: Vec<Vec<Option<u32>>> = self
+            .dicts
+            .iter()
+            .map(|d| vec![None; d.values.len()])
+            .collect();
+        let mut copy_row = |out: &mut DriftLog, row: usize| {
+            let mut codes = Vec::with_capacity(self.schema.len());
+            for (ci, remap) in remaps.iter_mut().enumerate() {
+                let old = self.columns[ci][row] as usize;
+                let new = match remap[old] {
+                    Some(new) => new,
+                    None => {
+                        let new = out.dicts[ci].intern(&self.dicts[ci].values[old]);
+                        remap[old] = Some(new);
+                        new
+                    }
+                };
+                codes.push(new);
+            }
+            out.append_coded(&codes, self.drift[row], self.timestamps[row]);
+        };
+        if self.index_ready() {
+            for seg in &self.segments {
+                if seg.rows == 0 {
+                    continue;
+                }
+                if seg.ts_max < t0 || seg.ts_min >= t1 {
+                    SEGMENTS_PRUNED.inc();
+                    continue;
+                }
+                let take_all = seg.ts_min >= t0 && seg.ts_max < t1;
+                for row in seg.start..seg.start + seg.rows {
+                    if take_all || (self.timestamps[row] >= t0 && self.timestamps[row] < t1) {
+                        copy_row(&mut out, row);
+                    }
+                }
+            }
+        } else {
+            for row in 0..self.num_rows() {
+                let ts = self.timestamps[row];
+                if ts >= t0 && ts < t1 {
+                    copy_row(&mut out, row);
+                }
             }
         }
         out
@@ -372,17 +835,53 @@ impl DriftLog {
 
     /// Drops all rows except the most recent `n` (by insertion order) —
     /// the retention policy a production drift log needs to bound storage.
+    ///
+    /// Index maintenance is segment-granular: head segments whose rows are
+    /// all dropped are removed, survivors shift their `start`, and at most
+    /// one partially-dropped boundary segment is rebuilt from the retained
+    /// rows.
     pub fn retain_last(&mut self, n: usize) {
         let rows = self.num_rows();
         if rows <= n {
             return;
         }
+        let ready = self.index_ready();
         let drop = rows - n;
         for column in &mut self.columns {
             column.drain(0..drop);
         }
         self.drift.drain(0..drop);
         self.timestamps.drain(0..drop);
+        if !ready {
+            // The index was stale (or disabled) before retention; do not
+            // leave half-shifted segments behind.
+            self.segments.clear();
+            SEGMENTS.set(0.0);
+            return;
+        }
+        let old_segments = std::mem::take(&mut self.segments);
+        let mut segments = Vec::with_capacity(old_segments.len());
+        for mut seg in old_segments {
+            let end = seg.start + seg.rows;
+            if end <= drop {
+                continue; // fully dropped head segment
+            }
+            if seg.start >= drop {
+                seg.start -= drop;
+                segments.push(seg);
+            } else {
+                // The one boundary segment that straddles the cut: rebuild
+                // its postings/bitmap over the retained prefix rows.
+                segments.push(self.build_segment_from(0, end - drop));
+            }
+        }
+        self.segments = segments;
+        SEGMENTS.set(self.segments.len() as f64);
+    }
+
+    /// [`DriftLog::build_segment`] callable while `self.segments` is taken.
+    fn build_segment_from(&self, start: usize, n: usize) -> Segment {
+        self.build_segment(start, n)
     }
 
     /// The dictionary codes of column `ci` (schema order), one per row.
@@ -422,6 +921,90 @@ impl DriftLog {
                 key: key.to_string(),
             })
     }
+}
+
+/// Finds the predicate whose posting list in `seg` is smallest, returning
+/// its index in `preds` and the list. `None` when some predicate's code is
+/// absent from the segment entirely (the pruned-segment fast path).
+/// `preds` must be non-empty.
+fn smallest_posting<'s>(seg: &'s Segment, preds: &[(usize, u32)]) -> Option<(usize, &'s [u32])> {
+    let mut best: Option<(usize, &[u32])> = None;
+    for (pi, &(ci, vid)) in preds.iter().enumerate() {
+        let Some(list) = seg.posting(ci, vid) else {
+            SEGMENTS_PRUNED.inc();
+            return None;
+        };
+        if best.is_none_or(|(_, b)| list.len() < b.len()) {
+            best = Some((pi, list));
+        }
+    }
+    best
+}
+
+/// Walks the smallest posting list of `preds` in `seg`, verifying the
+/// remaining predicates by direct lookup in the dictionary-encoded
+/// `columns` — `O(smallest list × preds)` with no merge or allocation —
+/// and calls `emit(local, global)` for each matching row, in ascending
+/// row order.
+fn probe_segment<F: FnMut(u32, usize)>(
+    columns: &[Vec<u32>],
+    seg: &Segment,
+    preds: &[(usize, u32)],
+    mut emit: F,
+) {
+    let Some((pi, list)) = smallest_posting(seg, preds) else {
+        return;
+    };
+    if preds.len() == 1 {
+        // The posting list alone answers a single-predicate query.
+        for &local in list {
+            emit(local, seg.start + local as usize);
+        }
+        return;
+    }
+    'locals: for &local in list {
+        let row = seg.start + local as usize;
+        for (k, &(ci, vid)) in preds.iter().enumerate() {
+            if k != pi && columns[ci][row] != vid {
+                continue 'locals;
+            }
+        }
+        emit(local, row);
+    }
+}
+
+/// One segment's contribution to `count_matching`.
+fn segment_count(
+    columns: &[Vec<u32>],
+    seg: &Segment,
+    preds: &[(usize, u32)],
+    mask: Option<&[bool]>,
+) -> MatchCounts {
+    if preds.is_empty() {
+        // Every row matches the empty set.
+        let drifted = match mask {
+            None => seg.drifted_count,
+            Some(mask) => (0..seg.rows)
+                .filter(|&l| mask.get(seg.start + l).copied().unwrap_or(false))
+                .count(),
+        };
+        return MatchCounts {
+            occurrences: seg.rows,
+            drifted,
+        };
+    }
+    let mut counts = MatchCounts::default();
+    probe_segment(columns, seg, preds, |local, row| {
+        counts.occurrences += 1;
+        let drifted = match mask {
+            None => seg.drifted_bit(local),
+            Some(mask) => mask.get(row).copied().unwrap_or(false),
+        };
+        if drifted {
+            counts.drifted += 1;
+        }
+    });
+    counts
 }
 
 #[cfg(test)]
@@ -537,11 +1120,14 @@ mod tests {
         let log = sample_log();
         let json = serde_json::to_string(&log).unwrap();
         let back: DriftLog = serde_json::from_str(&json).unwrap();
+        // The index is not serialized; queries fall back to full scans.
+        assert_eq!(back.num_segments(), 0);
         let c = back
             .count_matching(&[Attribute::new("weather", "snow")], None)
             .unwrap();
         assert_eq!((c.occurrences, c.drifted), (2, 2));
         assert_eq!(back.num_rows(), 5);
+        assert_eq!(back, log);
     }
 
     #[test]
@@ -559,7 +1145,9 @@ mod tests {
             true,
         ))
         .unwrap();
-        // Interning must still unify with pre-existing dictionary entries.
+        // Interning must still unify with pre-existing dictionary entries,
+        // and the first mutation rebuilds the segment index.
+        assert!(back.num_segments() > 0);
         let c = back
             .count_matching(&[Attribute::new("weather", "snow")], None)
             .unwrap();
@@ -591,6 +1179,74 @@ mod tests {
         // Retaining more than present is a no-op.
         log.retain_last(10);
         assert_eq!(log.num_rows(), 2);
+    }
+
+    #[test]
+    fn segments_split_and_queries_agree_with_scan() {
+        // 10 rows at 3 rows/segment: segments of 3, 3, 3, 1.
+        let mut log = DriftLog::new(&["k", "j"]).with_segment_rows(3);
+        for i in 0..10u64 {
+            log.push(DriftLogEntry::new(
+                i,
+                &[
+                    ("k", if i % 2 == 0 { "even" } else { "odd" }),
+                    ("j", if i % 3 == 0 { "fizz" } else { "buzz" }),
+                ],
+                i % 4 == 0,
+            ))
+            .unwrap();
+        }
+        assert_eq!(log.num_segments(), 4);
+        let mut scan = log.clone();
+        scan.set_index_enabled(false);
+        assert_eq!(scan.num_segments(), 0);
+        for set in [
+            vec![],
+            vec![Attribute::new("k", "even")],
+            vec![Attribute::new("k", "odd"), Attribute::new("j", "fizz")],
+            vec![Attribute::new("k", "nope")],
+        ] {
+            assert_eq!(
+                log.count_matching(&set, None).unwrap(),
+                scan.count_matching(&set, None).unwrap(),
+                "set {set:?}"
+            );
+            assert_eq!(
+                log.rows_matching(&set).unwrap(),
+                scan.rows_matching(&set).unwrap(),
+                "set {set:?}"
+            );
+        }
+        assert_eq!(
+            log.distinct_values("j").unwrap(),
+            scan.distinct_values("j").unwrap()
+        );
+        assert_eq!(log.num_drifted(), scan.num_drifted());
+    }
+
+    #[test]
+    fn retain_last_rebuilds_boundary_segment() {
+        let mut log = DriftLog::new(&["k"]).with_segment_rows(4);
+        for i in 0..10u64 {
+            log.push(DriftLogEntry::new(
+                i,
+                &[("k", if i < 5 { "a" } else { "b" })],
+                i >= 8,
+            ))
+            .unwrap();
+        }
+        // Drop 3 rows: head segment [0,4) straddles the cut and rebuilds.
+        log.retain_last(7);
+        assert_eq!(log.num_rows(), 7);
+        let c = log
+            .count_matching(&[Attribute::new("k", "a")], None)
+            .unwrap();
+        assert_eq!(c.occurrences, 2); // rows 3, 4 survive
+        assert_eq!(
+            log.rows_matching(&[Attribute::new("k", "b")]).unwrap(),
+            vec![2, 3, 4, 5, 6]
+        );
+        assert_eq!(log.num_drifted(), 2);
     }
 
     proptest::proptest! {

@@ -1,0 +1,194 @@
+//! Edge cases for windowing and retention — the incremental-maintenance
+//! paths that shift or rebuild index segments (ISSUE 5 satellite).
+
+use nazar_log::{Attribute, DriftLog, DriftLogEntry, MatchCounts};
+
+fn log_with(rows: usize, segment_rows: usize) -> DriftLog {
+    let mut log = DriftLog::new(&["k"]).with_segment_rows(segment_rows);
+    for i in 0..rows {
+        log.push(DriftLogEntry::new(
+            i as u64,
+            &[("k", if i % 2 == 0 { "even" } else { "odd" })],
+            i % 3 == 0,
+        ))
+        .expect("schema matches");
+    }
+    log
+}
+
+fn count(log: &DriftLog, value: &str) -> MatchCounts {
+    log.count_matching(&[Attribute::new("k", value)], None)
+        .expect("known key")
+}
+
+#[test]
+fn window_of_empty_log_is_empty() {
+    let log = DriftLog::new(&["k"]);
+    let w = log.window(0, 100);
+    assert!(w.is_empty());
+    assert_eq!(w.schema(), log.schema());
+    assert_eq!(w.num_segments(), 0);
+}
+
+#[test]
+fn window_with_inverted_range_is_empty() {
+    let log = log_with(10, 4);
+    let w = log.window(8, 3);
+    assert!(w.is_empty());
+    // Degenerate equal bounds too: [t, t) is empty by construction.
+    assert!(log.window(5, 5).is_empty());
+}
+
+#[test]
+fn window_beyond_max_timestamp_is_empty() {
+    let log = log_with(10, 4);
+    let w = log.window(1_000, 2_000);
+    assert!(w.is_empty());
+    assert_eq!(w.num_segments(), 0);
+}
+
+#[test]
+fn window_covering_everything_copies_everything() {
+    let log = log_with(10, 4);
+    let w = log.window(0, u64::MAX);
+    assert_eq!(w.num_rows(), 10);
+    assert_eq!(w.num_drifted(), log.num_drifted());
+    assert_eq!(count(&w, "even"), count(&log, "even"));
+    assert!(w.num_segments() > 0);
+}
+
+#[test]
+fn window_boundaries_are_half_open() {
+    let log = log_with(10, 4);
+    // [3, 7) keeps timestamps 3..=6.
+    let w = log.window(3, 7);
+    assert_eq!(w.num_rows(), 4);
+    let rows = w
+        .rows_matching(&[Attribute::new("k", "odd")])
+        .expect("known key");
+    // Original rows 3, 5 land at window rows 0, 2.
+    assert_eq!(rows, vec![0, 2]);
+}
+
+#[test]
+fn window_agrees_with_scan_fallback() {
+    let log = log_with(30, 4);
+    let mut scan = log.clone();
+    scan.set_index_enabled(false);
+    for (t0, t1) in [(0, 30), (5, 25), (29, 30), (30, 31), (7, 7), (25, 5)] {
+        let a = log.window(t0, t1);
+        let b = scan.window(t0, t1);
+        assert_eq!(a.num_rows(), b.num_rows(), "range [{t0},{t1})");
+        assert_eq!(a, b, "range [{t0},{t1})");
+    }
+}
+
+#[test]
+fn retain_last_zero_clears_the_log() {
+    let mut log = log_with(10, 4);
+    log.retain_last(0);
+    assert!(log.is_empty());
+    assert_eq!(log.num_drifted(), 0);
+    assert_eq!(count(&log, "even"), MatchCounts::default());
+    // The emptied log still accepts new rows and re-indexes them.
+    log.push(DriftLogEntry::new(99, &[("k", "even")], true))
+        .expect("schema matches");
+    assert_eq!(count(&log, "even").occurrences, 1);
+}
+
+#[test]
+fn retain_last_at_least_num_rows_is_a_noop() {
+    let mut log = log_with(10, 4);
+    let before = log.clone();
+    log.retain_last(10);
+    assert_eq!(log, before);
+    log.retain_last(11);
+    assert_eq!(log, before);
+    assert_eq!(log.num_segments(), 3); // 4 + 4 + 2
+}
+
+#[test]
+fn retention_exactly_on_a_segment_boundary_drops_whole_segments() {
+    let mut log = log_with(12, 4); // segments [0,4) [4,8) [8,12)
+    log.retain_last(8); // cut lands exactly on the first boundary
+    assert_eq!(log.num_rows(), 8);
+    assert_eq!(log.num_segments(), 2);
+    // Surviving rows are the original 4..12, re-based to 0..8.
+    assert_eq!(
+        log.rows_matching(&[Attribute::new("k", "even")])
+            .expect("known key"),
+        vec![0, 2, 4, 6]
+    );
+    // Of the drifted rows 0, 3, 6, 9 only 6 and 9 survive the cut.
+    assert_eq!(log.num_drifted(), 2);
+}
+
+#[test]
+fn retention_mid_segment_rebuilds_the_boundary_segment() {
+    let mut log = log_with(10, 4);
+    let mut scan = log.clone();
+    scan.set_index_enabled(false);
+    log.retain_last(7);
+    scan.retain_last(7);
+    assert_eq!(log, scan);
+    assert_eq!(count(&log, "even"), count(&scan, "even"));
+    assert_eq!(count(&log, "odd"), count(&scan, "odd"));
+    assert_eq!(
+        log.rows_matching(&[Attribute::new("k", "odd")])
+            .expect("known key"),
+        scan.rows_matching(&[Attribute::new("k", "odd")])
+            .expect("known key")
+    );
+}
+
+#[test]
+fn repeated_retention_and_pushes_stay_consistent() {
+    let mut log = DriftLog::new(&["k"]).with_segment_rows(3);
+    for round in 0..5u64 {
+        for i in 0..7u64 {
+            log.push(DriftLogEntry::new(
+                round * 100 + i,
+                &[("k", if i % 2 == 0 { "even" } else { "odd" })],
+                i == 0,
+            ))
+            .expect("schema matches");
+        }
+        log.retain_last(10);
+    }
+    assert_eq!(log.num_rows(), 10);
+    let mut scan = log.clone();
+    scan.set_index_enabled(false);
+    assert_eq!(count(&log, "even"), count(&scan, "even"));
+    assert_eq!(
+        log.distinct_values("k").expect("known key"),
+        scan.distinct_values("k").expect("known key")
+    );
+}
+
+#[test]
+fn retain_last_on_deserialized_log_rebuilds_cleanly() {
+    let log = log_with(10, 4);
+    let json = serde_json::to_string(&log).expect("serialize");
+    let mut back: DriftLog = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.num_segments(), 0); // index not serialized
+    back.retain_last(6);
+    assert_eq!(back.num_rows(), 6);
+    let mut expect = log.clone();
+    expect.retain_last(6);
+    assert_eq!(back, expect);
+    assert_eq!(count(&back, "odd"), count(&expect, "odd"));
+}
+
+#[test]
+fn window_then_retain_compose() {
+    let log = log_with(20, 4);
+    let mut w = log.window(5, 15); // rows 5..15, 10 rows
+    assert_eq!(w.num_rows(), 10);
+    w.retain_last(4); // original rows 11..15
+    assert_eq!(w.num_rows(), 4);
+    assert_eq!(
+        w.rows_matching(&[Attribute::new("k", "odd")])
+            .expect("known key"),
+        vec![0, 2]
+    );
+}

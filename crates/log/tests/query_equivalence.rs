@@ -1,0 +1,258 @@
+//! Differential query suite: every indexed query must be *exactly* equal —
+//! values and ordering — to a naive row-scan reference implemented here,
+//! independently of the store's own code, across fan-out widths 1/4/8.
+//!
+//! `NAZAR_NUM_THREADS` latches once per process, so the width sweep uses
+//! the store's explicit `*_with_threads` hooks; the CI `test-matrix` job
+//! additionally re-runs the whole tier-1 suite under `NAZAR_NUM_THREADS=1`
+//! and `=8` in separate processes and diffs the output.
+
+use nazar_log::{Attribute, DriftLog, DriftLogEntry, MatchCounts};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+const THREAD_WIDTHS: [usize; 3] = [1, 4, 8];
+
+/// A randomly generated log workload: schema, rows, and a drift-mask
+/// override of arbitrary (possibly short or over-long) length.
+#[derive(Debug, Clone)]
+struct Workload {
+    schema: Vec<String>,
+    rows: Vec<(u64, Vec<usize>, bool)>, // (timestamp, value id per column, drift)
+    mask: Vec<bool>,
+    segment_rows: usize,
+}
+
+fn value_name(v: usize) -> String {
+    format!("v{v}")
+}
+
+/// Hand-rolled strategy (the vendored proptest has no `prop_flat_map`):
+/// draws schema width, value cardinality, segment size, rows, and a mask
+/// whose length is independent of the row count.
+#[derive(Debug, Clone, Copy)]
+struct WorkloadStrategy;
+
+impl Strategy for WorkloadStrategy {
+    type Value = Workload;
+
+    fn generate(&self, rng: &mut TestRng) -> Workload {
+        let n_cols = 1 + rng.below(3) as usize;
+        let n_vals = 1 + rng.below(4);
+        let segment_rows = 1 + rng.below(7) as usize;
+        let n_rows = rng.below(40) as usize;
+        let rows = (0..n_rows)
+            .map(|_| {
+                (
+                    rng.below(50),
+                    (0..n_cols).map(|_| rng.below(n_vals) as usize).collect(),
+                    rng.next_u64() & 1 == 1,
+                )
+            })
+            .collect();
+        let mask_len = rng.below(50) as usize;
+        let mask = (0..mask_len).map(|_| rng.next_u64() & 1 == 1).collect();
+        Workload {
+            schema: (0..n_cols).map(|c| format!("key{c}")).collect(),
+            rows,
+            mask,
+            segment_rows,
+        }
+    }
+}
+
+fn workload() -> WorkloadStrategy {
+    WorkloadStrategy
+}
+
+fn build(w: &Workload) -> DriftLog {
+    let keys: Vec<&str> = w.schema.iter().map(|s| s.as_str()).collect();
+    let mut log = DriftLog::new(&keys).with_segment_rows(w.segment_rows);
+    for (ts, vals, drift) in &w.rows {
+        let attrs: Vec<(String, String)> = w
+            .schema
+            .iter()
+            .zip(vals)
+            .map(|(k, &v)| (k.clone(), value_name(v)))
+            .collect();
+        let attrs_ref: Vec<(&str, &str)> = attrs
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        log.push(DriftLogEntry::new(*ts, &attrs_ref, *drift))
+            .expect("workload rows match schema");
+    }
+    log
+}
+
+/// The naive reference: a straight row scan over the raw workload rows,
+/// sharing no code with the store's query engine.
+mod reference {
+    use super::*;
+
+    fn row_matches(w: &Workload, row: usize, set: &[Attribute]) -> bool {
+        set.iter().all(|attr| {
+            w.schema
+                .iter()
+                .position(|k| k == &attr.key)
+                .is_some_and(|ci| value_name(w.rows[row].1[ci]) == attr.value)
+        })
+    }
+
+    pub fn count_matching(w: &Workload, set: &[Attribute], mask: Option<&[bool]>) -> MatchCounts {
+        let mut counts = MatchCounts::default();
+        for row in 0..w.rows.len() {
+            if !row_matches(w, row, set) {
+                continue;
+            }
+            counts.occurrences += 1;
+            let drifted = match mask {
+                Some(m) => m.get(row).copied().unwrap_or(false),
+                None => w.rows[row].2,
+            };
+            if drifted {
+                counts.drifted += 1;
+            }
+        }
+        counts
+    }
+
+    pub fn rows_matching(w: &Workload, set: &[Attribute]) -> Vec<usize> {
+        (0..w.rows.len())
+            .filter(|&row| row_matches(w, row, set))
+            .collect()
+    }
+
+    /// Distinct values of a column in first-occurrence order (the dict
+    /// interning order), with counts.
+    pub fn distinct_values(w: &Workload, ci: usize) -> Vec<(String, MatchCounts)> {
+        let mut out: Vec<(String, MatchCounts)> = Vec::new();
+        for (_, vals, drift) in &w.rows {
+            let name = value_name(vals[ci]);
+            let entry = match out.iter_mut().find(|(v, _)| v == &name) {
+                Some(e) => e,
+                None => {
+                    out.push((name, MatchCounts::default()));
+                    out.last_mut().expect("just pushed")
+                }
+            };
+            entry.1.occurrences += 1;
+            if *drift {
+                entry.1.drifted += 1;
+            }
+        }
+        out
+    }
+
+    pub fn group_counts(w: &Workload, ci: usize) -> Vec<(String, MatchCounts)> {
+        let mut values = distinct_values(w, ci);
+        values.retain(|(_, c)| c.occurrences > 0);
+        values.sort_by(|a, b| b.1.occurrences.cmp(&a.1.occurrences).then(a.0.cmp(&b.0)));
+        values
+    }
+}
+
+/// Query sets exercising hits, misses, multi-key intersections, and
+/// unknown values.
+fn query_sets(w: &Workload) -> Vec<Vec<Attribute>> {
+    let mut sets = vec![
+        Vec::new(),
+        vec![Attribute::new("key0", value_name(0))],
+        vec![Attribute::new("key0", "never-interned")],
+    ];
+    if w.schema.len() >= 2 {
+        sets.push(vec![
+            Attribute::new("key0", value_name(0)),
+            Attribute::new("key1", value_name(1)),
+        ]);
+        sets.push(vec![
+            Attribute::new("key1", value_name(2)),
+            Attribute::new("key0", value_name(0)),
+        ]);
+    }
+    if w.schema.len() >= 3 {
+        sets.push(vec![
+            Attribute::new("key0", value_name(0)),
+            Attribute::new("key1", value_name(0)),
+            Attribute::new("key2", value_name(0)),
+        ]);
+    }
+    sets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn indexed_queries_equal_naive_scan_at_all_widths(w in workload()) {
+        let log = build(&w);
+        prop_assert!(log.num_segments() > 0 || log.is_empty());
+        for set in query_sets(&w) {
+            let want = reference::count_matching(&w, &set, None);
+            let want_masked = reference::count_matching(&w, &set, Some(&w.mask));
+            let want_rows = reference::rows_matching(&w, &set);
+            for threads in THREAD_WIDTHS {
+                prop_assert_eq!(
+                    log.count_matching_with_threads(&set, None, threads).expect("known keys"),
+                    want
+                );
+                prop_assert_eq!(
+                    log.count_matching_with_threads(&set, Some(&w.mask), threads)
+                        .expect("known keys"),
+                    want_masked
+                );
+                prop_assert_eq!(
+                    log.rows_matching_with_threads(&set, threads).expect("known keys"),
+                    want_rows.clone()
+                );
+            }
+        }
+        for (ci, key) in w.schema.iter().enumerate() {
+            let want = reference::distinct_values(&w, ci);
+            for threads in THREAD_WIDTHS {
+                prop_assert_eq!(
+                    log.distinct_values_with_threads(key, threads).expect("known key"),
+                    want.clone()
+                );
+            }
+            prop_assert_eq!(
+                log.group_counts(key).expect("known key"),
+                reference::group_counts(&w, ci)
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_index_agrees_with_indexed_paths(w in workload()) {
+        let log = build(&w);
+        let mut scan = log.clone();
+        scan.set_index_enabled(false);
+        prop_assert_eq!(scan.num_segments(), 0);
+        for set in query_sets(&w) {
+            prop_assert_eq!(
+                log.count_matching(&set, None).expect("known keys"),
+                scan.count_matching(&set, None).expect("known keys")
+            );
+            prop_assert_eq!(
+                log.rows_matching(&set).expect("known keys"),
+                scan.rows_matching(&set).expect("known keys")
+            );
+        }
+        prop_assert_eq!(log.num_drifted(), scan.num_drifted());
+    }
+
+    #[test]
+    fn serde_round_trip_then_mutation_matches_reference(w in workload()) {
+        let log = build(&w);
+        let json = serde_json::to_string(&log).expect("serialize");
+        let back: DriftLog = serde_json::from_str(&json).expect("deserialize");
+        // Deserialized logs have no index and answer via full scans.
+        prop_assert_eq!(back.num_segments(), 0);
+        for set in query_sets(&w) {
+            prop_assert_eq!(
+                back.count_matching(&set, None).expect("known keys"),
+                reference::count_matching(&w, &set, None)
+            );
+        }
+    }
+}

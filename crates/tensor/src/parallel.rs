@@ -88,7 +88,24 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let threads = num_threads().clamp(1, items.len().max(1));
+    par_map_with(items, num_threads(), f)
+}
+
+/// [`par_map`] with an explicit worker count instead of the
+/// `NAZAR_NUM_THREADS` default.
+///
+/// This is the determinism-audit hook: because results are merged in input
+/// order, the output is bitwise independent of `threads`, and test suites
+/// (e.g. `nazar-log`'s differential query suite) assert exactly that by
+/// sweeping widths within one process — something the env knob cannot do,
+/// since [`num_threads`] latches on first read.
+pub fn par_map_with<T, R, F>(items: Vec<T>, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         FANOUT.observe(1.0);
         return items.into_iter().map(f).collect();
