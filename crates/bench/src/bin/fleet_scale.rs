@@ -11,7 +11,7 @@
 //! `NAZAR_BENCH_OUT`), in the same `{"benches": [...]}` shape as
 //! `BENCH_tensor.json`.
 //!
-//! Two invariants are asserted, not just measured:
+//! Three invariants are asserted, not just measured:
 //!
 //! * every indexed query result is **bitwise identical** to the sequential
 //!   full-scan reference at every fan-out width (the PR-1 determinism
@@ -19,7 +19,12 @@
 //!   property under proptest);
 //! * at the largest size and widest fan-out, the indexed mix is at least
 //!   **4× faster** than the full-scan baseline (the ISSUE 5 acceptance
-//!   bar).
+//!   bar);
+//! * thread scaling never degrades: at 50k and 500k rows, the 8-thread mix
+//!   is at most **1.15×** the 1-thread time. This pins the cost-aware
+//!   fan-out (`WORK_PER_TASK` in `crates/log`) — before it, small queries
+//!   spawned 8 scoped workers for microseconds of work and the 8-thread
+//!   mix ran ~8× *slower* than serial.
 //!
 //! `NAZAR_FLEET_QUICK=1` shrinks the sweep for smoke runs; the determinism
 //! assertion still applies but the speedup bar (defined at 500k rows) does
@@ -118,6 +123,8 @@ fn main() {
 
     let mut benches: Vec<BenchRow> = Vec::new();
     let mut speedup_at_bar = 0.0f64;
+    let mut by_config: std::collections::BTreeMap<(usize, usize), f64> =
+        std::collections::BTreeMap::new();
 
     for &rows in row_counts {
         let log = synthetic_drift_log(rows, 7);
@@ -162,6 +169,7 @@ fn main() {
                 median_ns: ns,
                 samples,
             });
+            by_config.insert((rows, threads), ns);
             if rows == *row_counts.last().expect("non-empty sweep")
                 && threads == *thread_widths.last().expect("non-empty sweep")
             {
@@ -195,18 +203,39 @@ fn main() {
         );
     }
 
+    // Thread scaling must not degrade: the cost-aware fan-out keeps small
+    // queries serial, so wide configurations can never pay for threads the
+    // work cannot amortize.
+    for &rows in &[50_000usize, 500_000] {
+        let (Some(&t1), Some(&t8)) = (by_config.get(&(rows, 1)), by_config.get(&(rows, 8))) else {
+            continue; // quick sweeps stop below these sizes
+        };
+        let ratio = t8 / t1.max(1.0);
+        println!("{rows} rows: 8t/1t = {ratio:.2}x");
+        assert!(
+            ratio <= 1.15,
+            "8-thread mix must be at most 1.15x the 1-thread time at {rows} \
+             rows (got {ratio:.2}x — the fan-out is paying for threads the \
+             work cannot amortize)"
+        );
+    }
+
     let out_path = std::env::var("NAZAR_BENCH_OUT").unwrap_or_else(|_| {
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json").to_string()
     });
-    let mut json = String::from("{\n  \"benches\": [\n");
-    for (i, b) in benches.iter().enumerate() {
-        let comma = if i + 1 == benches.len() { "" } else { "," };
-        json.push_str(&format!(
-            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"samples\": {}}}{comma}\n",
-            b.id, b.median_ns, b.samples
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    std::fs::write(&out_path, json).expect("write bench JSON");
-    println!("wrote {out_path}");
+    nazar_bench::merge_bench_json(
+        &out_path,
+        "fleet_scale/",
+        benches
+            .iter()
+            .map(|b| {
+                nazar_bench::bench_row(
+                    &b.id,
+                    &[("median_ns", b.median_ns), ("samples", b.samples as f64)],
+                )
+            })
+            .collect(),
+    )
+    .expect("write bench JSON");
+    println!("merged fleet_scale rows into {out_path}");
 }

@@ -116,6 +116,81 @@ fn display_width(s: &str) -> usize {
     s.chars().count()
 }
 
+/// Builds one `{"id": ..., <field>: <num>, ...}` bench row for
+/// [`merge_bench_json`].
+pub fn bench_row(id: &str, fields: &[(&str, f64)]) -> serde::Value {
+    let mut entries = vec![("id".to_string(), serde::Value::Str(id.to_string()))];
+    for &(k, v) in fields {
+        entries.push((k.to_string(), serde::Value::Num(v)));
+    }
+    serde::Value::Map(entries)
+}
+
+/// Merges bench rows into the `{"benches": [...]}` JSON file at `path`:
+/// existing rows whose `id` starts with `prefix` are replaced by `rows`,
+/// everything else is preserved. This is how `fleet_scale` and
+/// `fleet_million` share `BENCH_fleet.json` without clobbering each
+/// other's sections. A missing or unparsable file starts fresh.
+///
+/// # Errors
+///
+/// Returns the I/O error if the final write fails.
+pub fn merge_bench_json(path: &str, prefix: &str, rows: Vec<serde::Value>) -> std::io::Result<()> {
+    let mut benches: Vec<serde::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde::Value>(&s).ok())
+        .and_then(|v| match v {
+            serde::Value::Map(entries) => entries
+                .into_iter()
+                .find(|(k, _)| k == "benches")
+                .map(|(_, v)| v),
+            _ => None,
+        })
+        .and_then(|v| match v {
+            serde::Value::Seq(items) => Some(items),
+            _ => None,
+        })
+        .unwrap_or_default();
+    benches.retain(|b| match b {
+        serde::Value::Map(entries) => !matches!(
+            serde::value_get(entries, "id"),
+            Some(serde::Value::Str(id)) if id.starts_with(prefix)
+        ),
+        _ => true,
+    });
+    benches.extend(rows);
+    let doc = serde::Value::Map(vec![("benches".to_string(), serde::Value::Seq(benches))]);
+    let json = serde_json::to_string(&doc).expect("bench JSON serializes");
+    std::fs::write(path, json + "\n")
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use super::*;
+
+    #[test]
+    fn merge_replaces_own_prefix_and_keeps_the_rest() {
+        let dir = std::env::temp_dir().join("nazar_merge_bench_json_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_fleet.json");
+        let path = path.to_str().expect("utf-8 temp path");
+        let _ = std::fs::remove_file(path);
+
+        merge_bench_json(path, "a/", vec![bench_row("a/x", &[("median_ns", 1.0)])])
+            .expect("fresh write");
+        merge_bench_json(path, "b/", vec![bench_row("b/y", &[("value", 2.0)])])
+            .expect("merge write");
+        // Re-running section "a/" replaces its old rows, keeps "b/".
+        merge_bench_json(path, "a/", vec![bench_row("a/z", &[("median_ns", 3.0)])])
+            .expect("replace write");
+
+        let text = std::fs::read_to_string(path).expect("read back");
+        assert!(text.contains("a/z") && text.contains("b/y"));
+        assert!(!text.contains("a/x"), "old section rows must be replaced");
+        let _ = std::fs::remove_file(path);
+    }
+}
+
 /// Formats a ratio as a percentage with one decimal.
 pub fn pct(x: f32) -> String {
     format!("{:.1}%", x * 100.0)

@@ -23,10 +23,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 pub mod experiment;
 mod orchestrator;
 pub mod timing;
 
+pub use backend::{FleetBackend, SchedulerMode};
 pub use orchestrator::{
     sanitize_uploads, AlertIndexError, CloudConfig, DriftAlert, OperationMode, Orchestrator,
     RunResult, Strategy,

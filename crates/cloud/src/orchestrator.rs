@@ -1,8 +1,9 @@
 //! The windowed monitor → analyze → adapt → deploy loop.
 
+use crate::backend::{FleetBackend, SchedulerMode};
 use nazar_adapt::{adapt_to_patch, AdaptMethod};
 use nazar_analysis::{analyze_variant_with, AnalysisVariant, FimAlgorithm, FimConfig, RankedCause};
-use nazar_device::{DeviceConfig, Fleet, UploadedSample, WindowStats, LOG_SCHEMA};
+use nazar_device::{DeviceConfig, UploadedSample, WindowStats, LOG_SCHEMA};
 use nazar_log::{DriftLog, DriftLogEntry};
 use nazar_net::{Exchange, NetConfig, NetReport};
 use nazar_nn::MlpResNet;
@@ -145,6 +146,12 @@ pub struct CloudConfig {
     /// [`DriftLog::retain_last`], which drops whole head index segments.
     #[serde(default)]
     pub log_retention: Option<usize>,
+    /// Which fleet engine runs the devices: the event-driven virtual-time
+    /// scheduler (default) or the legacy lockstep window sweep. The two are
+    /// bitwise equivalent (golden-trace pinned); lockstep survives as the
+    /// differential oracle.
+    #[serde(default)]
+    pub scheduler: SchedulerMode,
 }
 
 impl Default for CloudConfig {
@@ -164,6 +171,7 @@ impl Default for CloudConfig {
             algorithm: FimAlgorithm::default(),
             net: Some(NetConfig::from_env()),
             log_retention: None,
+            scheduler: SchedulerMode::default(),
         }
     }
 }
@@ -306,7 +314,7 @@ pub struct Orchestrator {
     /// The continuously-adapted model used by the adapt-all baseline and the
     /// optional clean fallback of Nazar.
     rolling_model: MlpResNet,
-    fleet: Fleet,
+    fleet: FleetBackend,
     /// Cumulative drift log (all windows), as the paper's Aurora table.
     drift_log: DriftLog,
     rng: SmallRng,
@@ -331,7 +339,8 @@ impl Orchestrator {
         strategy: Strategy,
         config: CloudConfig,
     ) -> Self {
-        let fleet = Fleet::from_streams(streams, &base_model, &config.device);
+        let fleet =
+            FleetBackend::from_streams(config.scheduler, streams, &base_model, &config.device);
         let mut sizer = base_model.clone();
         let model_scalars = sizer.num_params() as u64;
         let exchange = config
@@ -441,6 +450,7 @@ impl Orchestrator {
                 for (device, meta, patch) in delivery.delivered {
                     self.fleet.install_on(&device, &meta, &patch);
                 }
+                self.fleet.advance_clock_to(exchange.clock_us());
                 delivered
             }
             None => {
@@ -498,7 +508,13 @@ impl Orchestrator {
                     batches.push((id, part.entries, part.uploads));
                 }
                 let _net_span = nazar_obs::span_detail("net_upload", || format!("w={w}"));
+                // Fleet and transport share one virtual timeline: the
+                // window's events have moved the fleet clock past the
+                // window boundary, so the uploads' link events start there,
+                // and the fleet resumes no earlier than the last delivery.
+                exchange.advance_clock_to(self.fleet.clock_us());
                 let delivery = exchange.upload_window(batches);
+                self.fleet.advance_clock_to(exchange.clock_us());
                 (stats, delivery.entries, delivery.uploads)
             } else {
                 let output =
@@ -550,18 +566,15 @@ impl Orchestrator {
 
     fn ingest(&mut self, entries: &[DriftLogEntry]) {
         let _span = nazar_obs::span_detail("log_ingest", || format!("rows={}", entries.len()));
-        let mut quarantined = 0u64;
-        for e in entries {
-            // A malformed entry (schema drift, a corrupted upload that
-            // decoded to the wrong shape) is quarantined, not fatal: one bad
-            // device must not take down the fleet's analysis pipeline.
-            if self.drift_log.push(e.clone()).is_err() {
-                quarantined += 1;
-            }
-        }
-        if quarantined > 0 {
-            QUARANTINED_ENTRIES.add(quarantined);
-            event!("entries_quarantined", count = quarantined);
+        // Batch ingest: entries are encoded against the dictionaries in
+        // parallel, then appended in arrival order. Malformed entries
+        // (schema drift, a corrupted upload that decoded to the wrong
+        // shape) are quarantined, not fatal: one bad device must not take
+        // down the fleet's analysis pipeline.
+        let report = self.drift_log.ingest_batch(entries.to_vec());
+        if report.quarantined > 0 {
+            QUARANTINED_ENTRIES.add(report.quarantined as u64);
+            event!("entries_quarantined", count = report.quarantined);
         }
         if let Some(limit) = self.config.log_retention {
             self.drift_log.retain_last(limit);
@@ -600,9 +613,7 @@ impl Orchestrator {
         // Root-cause analysis over this window's entries (the Lambda run).
         let t0 = Instant::now();
         let mut window_log = DriftLog::new(&LOG_SCHEMA);
-        for e in entries {
-            window_log.push(e.clone()).expect("schema");
-        }
+        window_log.ingest_batch(entries.to_vec());
         let mut causes = analyze_variant_with(
             &window_log,
             &self.config.fim,

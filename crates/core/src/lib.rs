@@ -55,7 +55,7 @@ pub mod prelude {
     };
     pub use nazar_cloud::experiment::{run_all_strategies, run_strategy, train_base_model};
     pub use nazar_cloud::{
-        CloudConfig, DriftAlert, OperationMode, Orchestrator, RunResult, Strategy,
+        CloudConfig, DriftAlert, OperationMode, Orchestrator, RunResult, SchedulerMode, Strategy,
     };
     pub use nazar_data::{
         AnimalsConfig, AnimalsDataset, CityscapesConfig, CityscapesDataset, Corruption, LabeledSet,

@@ -156,37 +156,17 @@ impl Device {
     pub fn process<R: Rng + ?Sized>(&mut self, item: &StreamItem, rng: &mut R) -> DeviceOutput {
         let attrs = item_attributes(item);
         self.activate(&attrs);
-
-        let x = Tensor::from_vec(item.features.clone(), &[1, item.features.len()])
-            .expect("one feature row");
-        // One forward pass serves both the prediction and the MSP detector —
-        // the reason the paper picks this detector ("the logit scores are
-        // computed by the inference anyways").
-        let logits = self.active_model.logits(&x, nazar_nn::Mode::Eval);
-        let prediction = logits.argmax_axis1().expect("logit row")[0];
-        let msp = nazar_detect::msp_of_logits(&logits)[0];
-        let drift = msp < self.detector.threshold;
-
+        let (prediction, msp) = forward_item(&mut self.active_model, item);
         self.seq += 1;
-        let timestamp = u64::from(item.date.day_index()) * 86_400 + self.seq % 86_400;
-        let entry = DriftLogEntry {
-            timestamp,
-            attrs: attrs.clone(),
-            drift,
-        };
-
-        let sample = if rng.gen_range(0.0f64..1.0) < self.config.sample_rate {
-            Some(UploadedSample {
-                features: item.features.clone(),
-                attrs,
-                date: item.date,
-                label: item.label,
-                true_cause: item.true_cause,
-            })
-        } else {
-            None
-        };
-
+        let (entry, sample) = emit_outputs(
+            item,
+            attrs,
+            msp,
+            self.detector.threshold,
+            self.config.sample_rate,
+            self.seq,
+            rng,
+        );
         DeviceOutput {
             entry,
             sample,
@@ -195,6 +175,54 @@ impl Device {
             version_used: self.active_version,
         }
     }
+}
+
+/// One forward pass for one stream item: `(prediction, MSP)`. One pass
+/// serves both the prediction and the MSP detector — the reason the paper
+/// picks this detector ("the logit scores are computed by the inference
+/// anyways"). Shared by [`Device::process`] and the event-driven scheduler
+/// so the two fleet paths stay bitwise identical.
+pub(crate) fn forward_item(model: &mut MlpResNet, item: &StreamItem) -> (usize, f32) {
+    let x = Tensor::from_vec(item.features.clone(), &[1, item.features.len()])
+        .expect("one feature row");
+    let logits = model.logits(&x, nazar_nn::Mode::Eval);
+    let prediction = logits.argmax_axis1().expect("logit row")[0];
+    let msp = nazar_detect::msp_of_logits(&logits)[0];
+    (prediction, msp)
+}
+
+/// The detection/emission half of the on-device loop: drift verdict,
+/// drift-log entry, and the sampled upload (one RNG draw per item). `seq`
+/// is the device's entry sequence number *after* incrementing for this
+/// item. Shared by [`Device::process`] and the event-driven scheduler.
+pub(crate) fn emit_outputs<R: Rng + ?Sized>(
+    item: &StreamItem,
+    attrs: Vec<Attribute>,
+    msp: f32,
+    threshold: f32,
+    sample_rate: f64,
+    seq: u64,
+    rng: &mut R,
+) -> (DriftLogEntry, Option<UploadedSample>) {
+    let drift = msp < threshold;
+    let timestamp = u64::from(item.date.day_index()) * 86_400 + seq % 86_400;
+    let entry = DriftLogEntry {
+        timestamp,
+        attrs: attrs.clone(),
+        drift,
+    };
+    let sample = if rng.gen_range(0.0f64..1.0) < sample_rate {
+        Some(UploadedSample {
+            features: item.features.clone(),
+            attrs,
+            date: item.date,
+            label: item.label,
+            true_cause: item.true_cause,
+        })
+    } else {
+        None
+    };
+    (entry, sample)
 }
 
 #[cfg(test)]

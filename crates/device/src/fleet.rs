@@ -95,7 +95,7 @@ fn ratio(num: usize, den: usize) -> f32 {
 }
 
 /// The result of replaying one window through the fleet.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WindowOutput {
     /// Drift-log entries emitted by all devices.
     pub entries: Vec<DriftLogEntry>,
@@ -323,8 +323,9 @@ static UPLOADS: LazyCounter = LazyCounter::new(
     &[],
 );
 
-/// Exports one window's aggregated statistics as fleet-wide counters.
-fn record_stats(out: &WindowOutput) {
+/// Exports one window's aggregated statistics as fleet-wide counters
+/// (shared with the event-driven scheduler).
+pub(crate) fn record_stats(out: &WindowOutput) {
     if !nazar_obs::enabled() {
         return;
     }
@@ -337,8 +338,9 @@ fn record_stats(out: &WindowOutput) {
     UPLOADS.add(out.uploads.len() as u64);
 }
 
-/// Folds one processed item into a window output.
-fn tally(out: &mut WindowOutput, item: &StreamItem, result: DeviceOutput) {
+/// Folds one processed item into a window output (shared with the
+/// event-driven scheduler).
+pub(crate) fn tally(out: &mut WindowOutput, item: &StreamItem, result: DeviceOutput) {
     out.stats.total += 1;
     if result.correct {
         out.stats.correct += 1;

@@ -24,9 +24,13 @@
 
 mod device;
 mod fleet;
+mod scheduler;
+mod state;
 
 pub use device::{Device, DeviceConfig, DeviceOutput, UploadedSample};
-pub use fleet::{Fleet, WindowStats};
+pub use fleet::{Fleet, WindowOutput, WindowStats};
+pub use scheduler::{FleetSim, TraceEvent, DAY_US};
+pub use state::{DevicePools, FleetState, PoolSlot, CONF_HISTORY};
 
 use nazar_log::Attribute;
 

@@ -35,7 +35,7 @@ mod entry;
 mod store;
 
 pub use entry::{Attribute, DriftLogEntry};
-pub use store::{DriftLog, LogError, MatchCounts, Result, DEFAULT_SEGMENT_ROWS};
+pub use store::{DriftLog, IngestReport, LogError, MatchCounts, Result, DEFAULT_SEGMENT_ROWS};
 
 /// Builds the example drift log of Table 2 in the paper (two devices, New
 /// York and Helsinki, five entries, snow as the true root cause and one

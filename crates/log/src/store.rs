@@ -81,6 +81,17 @@ static QUERY_FANOUT: LazyHistogram = LazyHistogram::new(
     &[],
     nazar_obs::pow2_buckets,
 );
+static INGEST_QUARANTINED: LazyCounter = LazyCounter::new(
+    "nazar_log_ingest_quarantined_total",
+    "Batch-ingested entries rejected for schema mismatch",
+    &[],
+);
+static INGEST_BATCH_ROWS: LazyHistogram = LazyHistogram::new(
+    "nazar_log_ingest_batch_rows",
+    "Entries per ingest_batch call",
+    &[],
+    nazar_obs::pow2_buckets,
+);
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, LogError>;
@@ -130,6 +141,15 @@ pub struct MatchCounts {
     pub occurrences: usize,
     /// Of those, rows flagged as drift.
     pub drifted: usize,
+}
+
+/// Outcome of one [`DriftLog::ingest_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IngestReport {
+    /// Entries appended to the log.
+    pub appended: usize,
+    /// Entries rejected for schema mismatch (counted, not appended).
+    pub quarantined: usize,
 }
 
 /// Per-column dictionary of attribute values.
@@ -185,6 +205,34 @@ pub const DEFAULT_SEGMENT_ROWS: usize = 4096;
 /// Segments below this count answer queries sequentially: fan-out overhead
 /// beats the win on small (per-window) logs.
 const MIN_PARALLEL_SEGMENTS: usize = 4;
+
+/// Estimated row-probes a single parallel task should amortize. The query
+/// fan-out width is `threads.min(est_work / WORK_PER_TASK)` (at least 1),
+/// so queries whose total probe work is small stay serial no matter how
+/// many threads are configured — spawning scoped workers costs on the
+/// order of 100µs each, which at 50k rows used to make 8 threads ~8x
+/// slower than 1 (the `fleet_scale` regression this bounds). A row-probe
+/// is ~1ns, so 1Mi probes ≈ 1ms per task, an order of magnitude above
+/// the spawn cost; `fleet_scale` asserts the resulting 8-thread mix stays
+/// within 1.15x of serial at 50k and 500k rows.
+const WORK_PER_TASK: usize = 1 << 20;
+
+/// Entries per parallel encode task in [`DriftLog::ingest_batch`]; batches
+/// below one task's worth encode serially.
+const INGEST_ROWS_PER_TASK: usize = 4096;
+
+/// How many parallel workers a query fanning out `est_work` row-probes
+/// over `segments` segments should use. Pure so the sizing policy is unit
+/// testable: width never exceeds `threads` or `segments`, and small work
+/// collapses to 1 (serial).
+fn fanout_width(threads: usize, est_work: usize, segments: usize) -> usize {
+    if segments < MIN_PARALLEL_SEGMENTS {
+        return 1;
+    }
+    threads
+        .min(est_work / WORK_PER_TASK)
+        .clamp(1, segments.max(1))
+}
 
 /// One row-range shard of the query index (see the module docs).
 ///
@@ -523,6 +571,71 @@ impl DriftLog {
         Ok(())
     }
 
+    /// Batch ingest for window uploads: encodes entries against the
+    /// dictionaries in parallel, then appends sequentially.
+    ///
+    /// Equivalent to `for e in entries { let _ = self.push(e); }` — entries
+    /// that fail the schema check are quarantined (counted, not appended)
+    /// instead of aborting the batch, and the final log state (rows *and*
+    /// dictionaries, including `push`'s interning of a failing entry's
+    /// leading columns) is byte-identical to that loop at any thread count.
+    /// `tests` pin this differentially.
+    pub fn ingest_batch(&mut self, entries: Vec<DriftLogEntry>) -> IngestReport {
+        self.ingest_batch_with_threads(entries, parallel::num_threads())
+    }
+
+    /// [`DriftLog::ingest_batch`] with an explicit encode fan-out width —
+    /// the determinism-audit hook; results are identical for every
+    /// `threads`.
+    pub fn ingest_batch_with_threads(
+        &mut self,
+        entries: Vec<DriftLogEntry>,
+        threads: usize,
+    ) -> IngestReport {
+        INGEST_BATCH_ROWS.observe(entries.len() as f64);
+        // Phase A: pure encode. Read-only dictionary lookups, so entries
+        // shard freely across workers; an entry whose values are all
+        // already interned comes back `Some(codes)`, anything else (new
+        // value, schema mismatch) falls through to the sequential path.
+        let width = threads.min((entries.len() / INGEST_ROWS_PER_TASK).max(1));
+        let coded: Vec<Option<Vec<u32>>> = {
+            let schema = &self.schema;
+            let dicts = &self.dicts;
+            parallel::par_map_with(entries.iter().collect(), width, |e: &DriftLogEntry| {
+                if e.attrs.len() != schema.len() {
+                    return None;
+                }
+                let mut codes = Vec::with_capacity(schema.len());
+                for (ci, key) in schema.iter().enumerate() {
+                    let value = e.attrs.iter().find(|a| &a.key == key)?;
+                    codes.push(dicts[ci].lookup(&value.value)?);
+                }
+                Some(codes)
+            })
+        };
+        // Phase B: sequential append, in arrival order. Pre-coded entries
+        // skip straight to the columnar append; the rest replay `push` so
+        // first-use interning order and partial-interning-before-failure
+        // match the naive loop exactly.
+        let mut report = IngestReport::default();
+        for (entry, codes) in entries.into_iter().zip(coded) {
+            match codes {
+                Some(codes) => {
+                    self.append_coded(&codes, entry.drift, entry.timestamp);
+                    report.appended += 1;
+                }
+                None => match self.push(entry) {
+                    Ok(()) => report.appended += 1,
+                    Err(_) => {
+                        INGEST_QUARANTINED.inc();
+                        report.quarantined += 1;
+                    }
+                },
+            }
+        }
+        report
+    }
+
     /// Reconstructs row `row` as an entry.
     ///
     /// # Errors
@@ -568,20 +681,49 @@ impl DriftLog {
         Ok(Some(preds))
     }
 
-    /// Maps `f` over the segments, fanning out across up to `threads`
-    /// scoped workers for large logs; results come back in segment order
-    /// regardless of the fan-out width.
-    fn map_segments<R, F>(&self, threads: usize, f: F) -> Vec<R>
+    /// Maps `f` over the segments, fanning out across scoped workers for
+    /// large queries; results come back in segment order regardless of the
+    /// fan-out width.
+    ///
+    /// The width is cost-aware: `est_work` (the query's estimated total
+    /// row-probes, see [`DriftLog::estimate_probe_work`]) is divided into
+    /// [`WORK_PER_TASK`]-sized tasks, capped at `threads`. Each worker gets
+    /// a contiguous *batch* of segments, so narrow fan-outs over many
+    /// segments spawn few threads rather than many tiny tasks, and queries
+    /// below one task's worth of work stay serial entirely.
+    fn map_segments<R, F>(&self, threads: usize, est_work: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(&Segment) -> R + Sync,
     {
-        if threads <= 1 || self.segments.len() < MIN_PARALLEL_SEGMENTS {
-            QUERY_FANOUT.observe(1.0);
+        let width = fanout_width(threads, est_work, self.segments.len());
+        QUERY_FANOUT.observe(width as f64);
+        if width <= 1 {
             return self.segments.iter().map(f).collect();
         }
-        QUERY_FANOUT.observe(threads.min(self.segments.len()) as f64);
-        parallel::par_map_with(self.segments.iter().collect(), threads, f)
+        parallel::par_map_with(self.segments.iter().collect(), width, f)
+    }
+
+    /// Estimated row-probes needed to answer a query over `preds`: per
+    /// segment, the probe loop walks the smallest predicate posting list
+    /// (zero when any predicate's code is absent — the pruned-segment fast
+    /// path), and an empty predicate set touches every indexed row. The
+    /// pre-pass is a handful of binary searches per segment — negligible
+    /// next to the probes it sizes.
+    fn estimate_probe_work(&self, preds: &[(usize, u32)]) -> usize {
+        if preds.is_empty() {
+            return self.covered_rows();
+        }
+        self.segments
+            .iter()
+            .map(|seg| {
+                preds
+                    .iter()
+                    .map(|&(ci, vid)| seg.posting(ci, vid).map_or(0, <[u32]>::len))
+                    .min()
+                    .unwrap_or(0)
+            })
+            .sum()
     }
 
     /// Distinct values of column `key`, with per-value `(occurrences,
@@ -611,7 +753,7 @@ impl DriftLog {
         let n_values = self.dicts[ci].values.len();
         let counts = if self.index_ready() {
             INDEX_HITS.inc();
-            let partials = self.map_segments(threads, |seg| {
+            let partials = self.map_segments(threads, self.covered_rows(), |seg| {
                 let mut counts = vec![MatchCounts::default(); n_values];
                 for (code, rows) in &seg.postings[ci] {
                     let c = &mut counts[*code as usize];
@@ -675,7 +817,7 @@ impl DriftLog {
         };
         if self.index_ready() {
             INDEX_HITS.inc();
-            let partials = self.map_segments(threads, |seg| {
+            let partials = self.map_segments(threads, self.estimate_probe_work(&preds), |seg| {
                 segment_count(&self.columns, seg, &preds, mask)
             });
             let mut counts = MatchCounts::default();
@@ -731,7 +873,7 @@ impl DriftLog {
             INDEX_HITS.inc();
             // Per-segment results are ascending local offsets; segments are
             // ascending row ranges, so the ordered merge is concatenation.
-            let partials = self.map_segments(threads, |seg| {
+            let partials = self.map_segments(threads, self.estimate_probe_work(&preds), |seg| {
                 if preds.is_empty() {
                     return (seg.start..seg.start + seg.rows).collect::<Vec<usize>>();
                 }
@@ -1026,6 +1168,104 @@ mod tests {
         let too_many = DriftLogEntry::new(0, &[("weather", "x"), ("extra", "y")], false);
         assert!(log.push(too_many).is_err());
         assert_eq!(log.num_rows(), 0);
+    }
+
+    #[test]
+    fn fanout_width_is_cost_aware() {
+        // Below the segment floor: always serial.
+        assert_eq!(fanout_width(8, usize::MAX, MIN_PARALLEL_SEGMENTS - 1), 1);
+        // Small work stays serial regardless of configured threads — the
+        // fleet_scale 50k-row regression case.
+        assert_eq!(fanout_width(8, 50_000, 16), 1);
+        // Work scales the width up to the thread cap...
+        assert_eq!(fanout_width(8, 3 * WORK_PER_TASK, 16), 3);
+        assert_eq!(fanout_width(8, 100 * WORK_PER_TASK, 16), 8);
+        // ...and never exceeds the segment count.
+        assert_eq!(fanout_width(8, 100 * WORK_PER_TASK, 5), 5);
+    }
+
+    #[test]
+    fn ingest_batch_matches_push_loop() {
+        let make_entries = || -> Vec<DriftLogEntry> {
+            let mut v = Vec::new();
+            for i in 0..500u64 {
+                let weather = ["clear", "snow", "rain"][(i % 3) as usize];
+                let loc = ["nyc", "helsinki"][(i % 2) as usize];
+                v.push(DriftLogEntry::new(
+                    i,
+                    &[("weather", weather), ("location", loc)],
+                    i % 5 == 0,
+                ));
+            }
+            // A mismatching entry with a valid leading column: push()
+            // interns "fog" into the weather dict before failing, and the
+            // batch path must reproduce that partial interning when it
+            // quarantines the entry.
+            v.insert(
+                250,
+                DriftLogEntry::new(999, &[("weather", "fog"), ("altitude", "high")], true),
+            );
+            // Wrong arity: rejected before any interning.
+            v.insert(100, DriftLogEntry::new(998, &[("weather", "clear")], false));
+            v
+        };
+        let mut by_push = DriftLog::new(&["weather", "location"]).with_segment_rows(64);
+        let mut failures = 0;
+        for e in make_entries() {
+            if by_push.push(e).is_err() {
+                failures += 1;
+            }
+        }
+        for threads in [1, 2, 8] {
+            let mut by_batch = DriftLog::new(&["weather", "location"]).with_segment_rows(64);
+            let report = by_batch.ingest_batch_with_threads(make_entries(), threads);
+            assert_eq!(
+                report,
+                IngestReport {
+                    appended: 500,
+                    quarantined: failures,
+                }
+            );
+            // Log equality covers rows *and* dictionary contents, so the
+            // quarantined entry's partial interning is part of the check;
+            // make it explicit too.
+            assert_eq!(by_batch, by_push, "threads={threads}");
+            assert!(by_batch.dict_values(0).iter().any(|v| v == "fog"));
+            let snow = [Attribute::new("weather", "snow")];
+            assert_eq!(
+                by_batch.count_matching(&snow, None).unwrap(),
+                by_push.count_matching(&snow, None).unwrap(),
+            );
+        }
+    }
+
+    #[test]
+    fn ingest_batch_encodes_in_parallel_when_dicts_are_warm() {
+        // Enough entries to clear INGEST_ROWS_PER_TASK so phase A actually
+        // fans out, with values pre-interned so every entry takes the
+        // pre-coded fast path; the result must still match the push loop.
+        let n = 2 * INGEST_ROWS_PER_TASK as u64;
+        let entries: Vec<DriftLogEntry> = (0..n)
+            .map(|i| {
+                DriftLogEntry::new(
+                    i,
+                    &[("weather", ["clear", "snow"][(i % 2) as usize])],
+                    i % 3 == 0,
+                )
+            })
+            .collect();
+        let mut by_push = DriftLog::new(&["weather"]);
+        for e in entries.clone() {
+            by_push.push(e).unwrap();
+        }
+        let mut by_batch = DriftLog::new(&["weather"]);
+        // Warm the dictionaries first, as steady-state window ingest does.
+        by_batch.push(entries[0].clone()).unwrap();
+        by_batch.push(entries[1].clone()).unwrap();
+        let report = by_batch.ingest_batch_with_threads(entries[2..].to_vec(), 4);
+        assert_eq!(report.appended, n as usize - 2);
+        assert_eq!(report.quarantined, 0);
+        assert_eq!(by_batch, by_push);
     }
 
     #[test]

@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod clock;
 pub mod config;
 pub mod error;
 pub mod exchange;
@@ -38,6 +39,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::{ClientAction, DeviceClient};
+pub use clock::VirtualClock;
 pub use config::{NetConfig, RetryPolicy};
 pub use error::{NetError, Result};
 pub use exchange::{DeployDelivery, Exchange, NetReport, WindowDelivery};

@@ -36,6 +36,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
+
+pub use arena::VersionArena;
+
 use nazar_log::Attribute;
 use nazar_obs::LazyCounter;
 use serde::{Deserialize, Serialize};

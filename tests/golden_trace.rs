@@ -17,13 +17,18 @@
 //! [`NetConfig::default`] so `NAZAR_NET_*` knobs cannot perturb it. The CI
 //! `test-matrix` job runs this under `NAZAR_NUM_THREADS=1` and `=8`, which
 //! makes the snapshot a cross-thread-count determinism check too.
+//!
+//! Since ISSUE 6 the fleet has two scheduling engines — the event-driven
+//! virtual-time scheduler ([`SchedulerMode::EventDriven`], the default) and
+//! the legacy lockstep path ([`SchedulerMode::Lockstep`]). Both run against
+//! the same snapshot here, which pins them bitwise equivalent end-to-end.
 
 use nazar::prelude::*;
 use nazar_net::NetConfig;
 
 const SNAPSHOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/run_summary.txt");
 
-fn run() -> RunResult {
+fn run(scheduler: SchedulerMode) -> RunResult {
     let config = AnimalsConfig {
         classes: 6,
         dim: 24,
@@ -45,6 +50,7 @@ fn run() -> RunResult {
         min_samples_per_cause: 12,
         // Hermetic: ignore any NAZAR_NET_* knobs set in the environment.
         net: Some(NetConfig::default()),
+        scheduler,
         ..CloudConfig::default()
     });
     system.run(&dataset.streams, Strategy::Nazar)
@@ -95,20 +101,37 @@ fn diff(want: &str, got: &str) -> String {
     out
 }
 
+fn assert_matches_snapshot(got: &str, mode: &str) {
+    let want = std::fs::read_to_string(SNAPSHOT)
+        .expect("snapshot missing; run with NAZAR_BLESS=1 to create it");
+    assert!(
+        got == want,
+        "golden trace ({mode}) diverged from {SNAPSHOT} \
+         (re-bless with NAZAR_BLESS=1 if the change is intentional):\n{}",
+        diff(&want, got)
+    );
+}
+
 #[test]
 fn golden_trace_matches_snapshot() {
-    let got = trace(&run());
+    let got = trace(&run(SchedulerMode::EventDriven));
     if std::env::var("NAZAR_BLESS").is_ok_and(|v| v == "1") {
         std::fs::write(SNAPSHOT, &got).expect("write blessed snapshot");
         eprintln!("blessed {SNAPSHOT}");
         return;
     }
-    let want = std::fs::read_to_string(SNAPSHOT)
-        .expect("snapshot missing; run with NAZAR_BLESS=1 to create it");
-    assert!(
-        got == want,
-        "golden trace diverged from {SNAPSHOT} \
-         (re-bless with NAZAR_BLESS=1 if the change is intentional):\n{}",
-        diff(&want, &got)
-    );
+    assert_matches_snapshot(&got, "event-driven");
+}
+
+/// The legacy lockstep engine must reproduce the *same* snapshot: the two
+/// scheduling engines are pinned equivalent, not merely self-consistent.
+#[test]
+fn golden_trace_lockstep_matches_same_snapshot() {
+    if std::env::var("NAZAR_BLESS").is_ok_and(|v| v == "1") {
+        // `golden_trace_matches_snapshot` owns blessing; racing two writers
+        // under `cargo test` would be order-dependent.
+        return;
+    }
+    let got = trace(&run(SchedulerMode::Lockstep));
+    assert_matches_snapshot(&got, "lockstep");
 }

@@ -56,6 +56,21 @@ pub fn value_get<'v>(entries: &'v [(String, Value)], key: &str) -> Option<&'v Va
     entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
+/// Identity: a [`Value`] serializes to itself, so callers can build or edit
+/// raw JSON trees (e.g. merging bench-report files) through the same entry
+/// points as typed values — mirroring upstream `serde_json::Value`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 /// Deserialization error.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeError {
