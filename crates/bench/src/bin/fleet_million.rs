@@ -111,25 +111,6 @@ fn checksum(parts: &[(String, WindowOutput)]) -> u64 {
     h
 }
 
-/// Peak resident set size in bytes (`VmHWM`), 0 where unsupported.
-fn peak_rss_bytes() -> u64 {
-    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmHWM:") {
-            let kb: u64 = rest
-                .trim()
-                .trim_end_matches("kB")
-                .trim()
-                .parse()
-                .unwrap_or(0);
-            return kb * 1024;
-        }
-    }
-    0
-}
-
 fn main() {
     let _obs = nazar_bench::ObsRun::start("fleet_million");
     let devices: usize = std::env::var("NAZAR_FLEET_DEVICES")
@@ -224,7 +205,7 @@ fn main() {
     let processed = devices * WINDOWS;
     let devices_per_sec = processed as f64 / process_secs.max(1e-9);
     let ingest_rows_per_sec = rows as f64 / ingest_secs.max(1e-9);
-    let rss = peak_rss_bytes();
+    let rss = nazar_device::peak_rss_bytes().unwrap_or(0);
     eprintln!(
         "processed {processed} device-windows in {process_secs:.2}s \
          ({devices_per_sec:.0} devices/s); ingested {rows} rows in \

@@ -4,9 +4,16 @@ use std::fmt::Write as _;
 
 /// RAII guard that wraps one experiment binary in an observability run.
 ///
-/// On construction it opens the root `run` span and emits a `run_start`
-/// event; on drop it closes the span, assembles the span tree + metrics
-/// snapshot via [`nazar_obs::finish_run`], and flushes the configured sinks.
+/// On construction it opens the root `run` span, emits a `run_start` event,
+/// and re-baselines the telemetry recorder ([`nazar_obs::telemetry::begin_run`]);
+/// on drop it closes the span, takes the run's final telemetry snapshot,
+/// assembles the span tree + metrics snapshot via
+/// [`nazar_obs::finish_run_full`], flushes the configured sinks, and writes
+/// the telemetry series (`results/obs/<name>.series.jsonl`, override with
+/// `NAZAR_OBS_SERIES`) and the collapsed-stack flamegraph
+/// (`results/obs/<name>.folded`, override with `NAZAR_OBS_FOLDED`). If SLO
+/// rules are armed (`NAZAR_OBS_SLO`) and any breached during the run, the
+/// breaches are printed and the process exits with status 2 — the CI gate.
 /// Everything is a no-op unless `NAZAR_OBS` selects a sink, so the guard is
 /// unconditionally placed at the top of every bin's `main`.
 pub struct ObsRun {
@@ -17,6 +24,7 @@ pub struct ObsRun {
 impl ObsRun {
     /// Starts an observability run named after the binary (e.g. `"fig9d"`).
     pub fn start(name: &'static str) -> ObsRun {
+        nazar_obs::telemetry::begin_run();
         nazar_obs::event!("run_start", bin = name);
         ObsRun {
             name,
@@ -25,13 +33,87 @@ impl ObsRun {
     }
 }
 
+/// Resolves an artifact path from `env_var`, defaulting to
+/// `results/obs/<name>.<ext>`, and makes sure its parent directory exists.
+fn artifact_path(env_var: &str, name: &str, ext: &str) -> std::path::PathBuf {
+    let path = std::env::var(env_var)
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from(format!("results/obs/{name}.{ext}")));
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    path
+}
+
 impl Drop for ObsRun {
     fn drop(&mut self) {
         // Close the root span before draining so it appears in the tree.
         drop(self.root.take());
-        if nazar_obs::enabled() {
-            nazar_obs::finish_run(self.name);
-            eprintln!("obs: run report emitted for {}", self.name);
+        if !nazar_obs::enabled() {
+            return;
+        }
+        nazar_obs::telemetry::snapshot_final();
+        let output = nazar_obs::finish_run_full(self.name);
+        eprintln!("obs: run report emitted for {}", self.name);
+
+        let series = nazar_obs::telemetry::series_jsonl();
+        if !series.is_empty() {
+            let path = artifact_path("NAZAR_OBS_SERIES", self.name, "series.jsonl");
+            match std::fs::write(&path, &series) {
+                Ok(()) => eprintln!(
+                    "obs: telemetry series ({} snapshots) written to {}",
+                    nazar_obs::telemetry::snapshot_count(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("obs: failed to write {}: {e}", path.display()),
+            }
+        }
+
+        if !output.folded.is_empty() {
+            let path = artifact_path("NAZAR_OBS_FOLDED", self.name, "folded");
+            match std::fs::write(&path, &output.folded) {
+                Ok(()) => eprintln!("obs: folded flamegraph written to {}", path.display()),
+                Err(e) => eprintln!("obs: failed to write {}: {e}", path.display()),
+            }
+        }
+
+        if !output.top_self.is_empty() {
+            eprintln!("obs: top self-time spans for {}:", self.name);
+            eprintln!(
+                "obs:   {:<18} {:>8} {:>14} {:>14}",
+                "span", "count", "self_ms", "total_ms"
+            );
+            for s in &output.top_self {
+                eprintln!(
+                    "obs:   {:<18} {:>8} {:>14.3} {:>14.3}",
+                    s.name,
+                    s.count,
+                    s.self_ns as f64 / 1e6,
+                    s.total_ns as f64 / 1e6
+                );
+            }
+        }
+
+        if nazar_obs::slo::armed() {
+            let breaches = nazar_obs::slo::breaches();
+            if breaches.is_empty() {
+                eprintln!("obs: slo ok ({})", self.name);
+            } else {
+                for b in &breaches {
+                    eprintln!(
+                        "obs: slo breach: rule '{}' value {:.6} vs threshold {:.6} at t_us={}",
+                        b.rule, b.value, b.threshold, b.t_us
+                    );
+                }
+                eprintln!(
+                    "obs: slo gate FAILED for {}: {} breach(es)",
+                    self.name,
+                    breaches.len()
+                );
+                std::process::exit(2);
+            }
         }
     }
 }

@@ -549,6 +549,19 @@ impl Orchestrator {
                 flagged = stats.flagged,
                 causes = causes.len(),
             );
+            if nazar_obs::enabled() {
+                // Second snapshot per window, after the cloud side (ingest,
+                // analysis, adaptation, deploy) has run — captures the
+                // metrics the window_close snapshot can't see. Stamped with
+                // the fleet clock; the lockstep engine has no clock (always
+                // 0), so fall back to the window's day boundary.
+                let (_, end_day) = nazar_data::SimDate::window_range(w, self.config.windows);
+                let t_us = self
+                    .fleet
+                    .clock_us()
+                    .max(u64::from(end_day) * nazar_device::DAY_US);
+                nazar_obs::telemetry::snapshot(t_us, "window_complete");
+            }
             result
                 .causes_per_window
                 .push(causes.iter().map(RankedCause::label).collect());

@@ -1,7 +1,7 @@
 //! A fleet of devices replaying the generated streams.
 
 use crate::device::{Device, DeviceConfig, DeviceOutput, UploadedSample};
-use nazar_data::{Corruption, LocationStream, StreamItem};
+use nazar_data::{Corruption, LocationStream, SimDate, StreamItem};
 use nazar_log::DriftLogEntry;
 use nazar_nn::{BnPatch, MlpResNet};
 use nazar_obs::LazyCounter;
@@ -282,6 +282,16 @@ impl Fleet {
         });
         for (_, part) in &parts {
             record_stats(part);
+        }
+        // Window-close telemetry snapshot, stamped with the virtual time
+        // the event-driven engine would assign this boundary (the lockstep
+        // engine has no clock of its own) — same trigger, same timeline.
+        if nazar_obs::enabled() {
+            let (_, end_day) = SimDate::window_range(w, windows);
+            nazar_obs::telemetry::snapshot(
+                u64::from(end_day) * crate::scheduler::DAY_US,
+                "window_close",
+            );
         }
         parts
     }

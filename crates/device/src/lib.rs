@@ -29,7 +29,7 @@ mod state;
 
 pub use device::{Device, DeviceConfig, DeviceOutput, UploadedSample};
 pub use fleet::{Fleet, WindowOutput, WindowStats};
-pub use scheduler::{FleetSim, TraceEvent, DAY_US};
+pub use scheduler::{peak_rss_bytes, FleetSim, TraceEvent, DAY_US};
 pub use state::{DevicePools, FleetState, PoolSlot, CONF_HISTORY};
 
 use nazar_log::Attribute;

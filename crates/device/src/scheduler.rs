@@ -108,6 +108,34 @@ static BATCH_SECONDS: LazyHistogram = LazyHistogram::new(
     &[],
     nazar_obs::duration_buckets,
 );
+static PEAK_RSS: LazyGauge = LazyGauge::new_volatile(
+    "nazar_fleet_peak_rss_bytes",
+    "Peak resident set size of the host process (VmHWM), sampled at window close",
+    &[],
+);
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); `None` where the proc filesystem is unavailable.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Samples peak RSS into the (volatile) `nazar_fleet_peak_rss_bytes` gauge.
+fn record_peak_rss() {
+    if !nazar_obs::enabled() {
+        return;
+    }
+    if let Some(bytes) = peak_rss_bytes() {
+        PEAK_RSS.set(bytes as f64);
+    }
+}
 
 /// What a scheduler event does when popped.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -644,7 +672,16 @@ impl FleetSim {
         while let Some(ev) = self.heap.pop() {
             self.record_pop(&ev);
             match ev.kind {
-                EventKind::WindowClose => break,
+                EventKind::WindowClose => {
+                    // Every upload flush of the window popped before this
+                    // (same instant, real device ids sort first), so the
+                    // registry now holds the window's complete counts —
+                    // snapshot them at the close's virtual timestamp.
+                    QUEUE_DEPTH.set(self.depth_watermark as f64);
+                    record_peak_rss();
+                    nazar_obs::telemetry::snapshot(ev.at, "window_close");
+                    break;
+                }
                 EventKind::UploadFlush => {
                     let d = ev.device as usize;
                     let part = parts.remove(&ev.device).unwrap_or_default();

@@ -75,7 +75,7 @@ static SEGMENTS_PRUNED: LazyCounter = LazyCounter::new(
     "Segments skipped whole by a posting-list miss or timestamp range",
     &[],
 );
-static QUERY_FANOUT: LazyHistogram = LazyHistogram::new(
+static QUERY_FANOUT: LazyHistogram = LazyHistogram::new_volatile(
     "nazar_log_query_fanout_width",
     "Worker threads used per indexed query fan-out",
     &[],

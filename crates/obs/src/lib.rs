@@ -55,14 +55,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod sink;
+pub mod slo;
 pub mod span;
+pub mod telemetry;
 
 pub use metrics::{
-    duration_buckets, pow2_buckets, pow2_buckets_wide, registry, Counter, Gauge, Histogram,
-    LazyCounter, LazyGauge, LazyHistogram, MetricKind, MetricSnapshot, Registry,
+    duration_buckets, pow2_buckets, pow2_buckets_wide, quantile_from_buckets, registry, Counter,
+    Gauge, Histogram, LazyCounter, LazyGauge, LazyHistogram, MetricKind, MetricSnapshot, Registry,
 };
 pub use sink::{flush, prometheus_snapshot};
 pub use span::{current_span_id, span, span_child, span_detail, SpanGuard, SpanRecord};
@@ -87,10 +91,21 @@ fn state() -> &'static State {
         if let Some(config) = config {
             sink::install(config);
         }
-        State {
+        let state = State {
             enabled: AtomicBool::new(on),
             epoch: Instant::now(),
+        };
+        if on {
+            if let Ok(rules) = std::env::var("NAZAR_OBS_SLO") {
+                match slo::parse_rules(&rules) {
+                    Ok(rules) if !rules.is_empty() => slo::arm(rules),
+                    Ok(_) => {}
+                    Err(e) => eprintln!("nazar-obs: ignoring NAZAR_OBS_SLO: {e}"),
+                }
+            }
+            http::start_from_env();
         }
+        state
     })
 }
 
@@ -163,10 +178,32 @@ macro_rules! event {
 /// the rendered report JSON is returned for programmatic use. Returns an
 /// empty string when observability is disabled.
 pub fn finish_run(name: &str) -> String {
+    finish_run_full(name).report
+}
+
+/// Everything [`finish_run_full`] assembles from one pipeline run.
+#[derive(Debug, Default, Clone)]
+pub struct RunOutput {
+    /// The `run_report` JSONL line (what [`finish_run`] returns).
+    pub report: String,
+    /// Collapsed-stack flamegraph text ([`profile::folded`]).
+    pub folded: String,
+    /// Span names ranked by self time ([`profile::top_self`], top 10).
+    pub top_self: Vec<profile::SelfTime>,
+}
+
+/// [`finish_run`] plus the span-profile aggregates: the drained spans are
+/// also rendered as collapsed flamegraph stacks and a top-self-time table,
+/// so callers (the bench `ObsRun` guard) can write profiling artifacts
+/// without re-draining. Returns an empty [`RunOutput`] when observability
+/// is disabled.
+pub fn finish_run_full(name: &str) -> RunOutput {
     if !enabled() {
-        return String::new();
+        return RunOutput::default();
     }
     let spans = span::drain();
+    let folded = profile::folded(&spans);
+    let top_self = profile::top_self(&spans, 10);
     let tree = span::render_tree(&spans);
     let metrics = registry().snapshot_json();
     let prometheus = sink::render_prometheus();
@@ -184,7 +221,11 @@ pub fn finish_run(name: &str) -> String {
     line.push('}');
     sink::write_line(&line);
     sink::flush();
-    line
+    RunOutput {
+        report: line,
+        folded,
+        top_self,
+    }
 }
 
 /// Test and embedding hooks: enable/disable observability programmatically.

@@ -142,6 +142,44 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) from the fixed buckets —
+    /// see [`quantile_from_buckets`] for the interpolation contract.
+    pub fn quantile(&self, q: f64) -> f64 {
+        quantile_from_buckets(&self.bounds, &self.bucket_counts(), q)
+    }
+}
+
+/// Estimates a quantile from fixed histogram buckets, Prometheus-style:
+/// linear interpolation inside the bucket holding the target rank, with the
+/// first bucket's lower edge taken as 0 and the `+Inf` bucket clamped to the
+/// last finite bound. An empty histogram yields `0.0`.
+///
+/// The estimate is a pure function of the (deterministic) bucket counts, so
+/// it is itself deterministic — unlike a sampled quantile.
+pub fn quantile_from_buckets(bounds: &[f64], counts: &[u64], q: f64) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let rank = q.clamp(0.0, 1.0) * total as f64;
+    let mut cum = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        cum += c;
+        if cum as f64 >= rank && c > 0 {
+            if i >= bounds.len() {
+                // Target falls in +Inf: the best finite estimate is the
+                // largest bound (or 0 for a bound-less histogram).
+                return bounds.last().copied().unwrap_or(0.0);
+            }
+            let lower = if i == 0 { 0.0 } else { bounds[i - 1] };
+            let upper = bounds[i];
+            let prev_cum = (cum - c) as f64;
+            let frac = ((rank - prev_cum) / c as f64).clamp(0.0, 1.0);
+            return lower + (upper - lower) * frac;
+        }
+    }
+    bounds.last().copied().unwrap_or(0.0)
 }
 
 /// Default duration buckets in seconds: 1µs to 60s, roughly geometric.
@@ -202,6 +240,9 @@ struct Family {
     name: String,
     help: String,
     kind: MetricKind,
+    /// Wall-clock- or thread-count-dependent: excluded from the
+    /// deterministic telemetry series (see [`crate::telemetry`]).
+    volatile: bool,
     /// Label sets in first-seen order, each with its series.
     series: Vec<(Vec<(String, String)>, Series)>,
 }
@@ -235,6 +276,10 @@ pub struct MetricSnapshot {
     pub help: String,
     /// Family kind.
     pub kind: MetricKind,
+    /// Whether the family is volatile (wall-clock- or thread-dependent);
+    /// volatile series are excluded from the deterministic telemetry
+    /// series but stay in `/metrics` and run reports.
+    pub volatile: bool,
     /// The series' label set.
     pub labels: Vec<(String, String)>,
     /// The frozen value.
@@ -261,11 +306,13 @@ fn labels_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
 }
 
 impl Registry {
+    #[allow(clippy::too_many_arguments)]
     fn family_series<T, F, G>(
         &self,
         name: &str,
         help: &str,
         kind: MetricKind,
+        volatile: bool,
         labels: &[(&str, &str)],
         make: F,
         as_t: G,
@@ -274,6 +321,9 @@ impl Registry {
         F: FnOnce() -> Series,
         G: Fn(&Series) -> Option<Arc<T>>,
     {
+        // Wall-clock timings are volatile by construction: the `_seconds`
+        // suffix (DESIGN.md §7 naming) marks every duration histogram.
+        let volatile = volatile || name.ends_with("_seconds");
         let mut inner = self.inner.lock().expect("metrics registry poisoned");
         let idx = match inner.index.get(name) {
             Some(&i) => i,
@@ -283,6 +333,7 @@ impl Registry {
                     name: name.to_string(),
                     help: help.to_string(),
                     kind,
+                    volatile,
                     series: Vec::new(),
                 });
                 inner.index.insert(name.to_string(), i);
@@ -290,6 +341,7 @@ impl Registry {
             }
         };
         let family = &mut inner.families[idx];
+        family.volatile |= volatile;
         assert!(
             family.kind == kind,
             "metric `{name}` registered as {:?}, requested as {kind:?}",
@@ -311,10 +363,24 @@ impl Registry {
     ///
     /// Panics if `name` is already registered with a different kind.
     pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counter_with(name, help, false, labels)
+    }
+
+    /// [`Registry::counter`] with an explicit volatility flag; mark series
+    /// whose values depend on thread count or the wall clock so the
+    /// deterministic telemetry series can skip them.
+    pub fn counter_with(
+        &self,
+        name: &str,
+        help: &str,
+        volatile: bool,
+        labels: &[(&str, &str)],
+    ) -> Arc<Counter> {
         self.family_series(
             name,
             help,
             MetricKind::Counter,
+            volatile,
             labels,
             || Series::Counter(Arc::new(Counter::default())),
             |s| match s {
@@ -330,10 +396,22 @@ impl Registry {
     ///
     /// Panics if `name` is already registered with a different kind.
     pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauge_with(name, help, false, labels)
+    }
+
+    /// [`Registry::gauge`] with an explicit volatility flag.
+    pub fn gauge_with(
+        &self,
+        name: &str,
+        help: &str,
+        volatile: bool,
+        labels: &[(&str, &str)],
+    ) -> Arc<Gauge> {
         self.family_series(
             name,
             help,
             MetricKind::Gauge,
+            volatile,
             labels,
             || Series::Gauge(Arc::new(Gauge::default())),
             |s| match s {
@@ -357,10 +435,24 @@ impl Registry {
         labels: &[(&str, &str)],
         bounds: &[f64],
     ) -> Arc<Histogram> {
+        self.histogram_with(name, help, false, labels, bounds)
+    }
+
+    /// [`Registry::histogram`] with an explicit volatility flag (`_seconds`
+    /// names are volatile regardless).
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        volatile: bool,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Arc<Histogram> {
         self.family_series(
             name,
             help,
             MetricKind::Histogram,
+            volatile,
             labels,
             || Series::Histogram(Arc::new(Histogram::new(bounds))),
             |s| match s {
@@ -390,6 +482,7 @@ impl Registry {
                     name: family.name.clone(),
                     help: family.help.clone(),
                     kind: family.kind,
+                    volatile: family.volatile,
                     labels: labels.clone(),
                     value,
                 });
@@ -454,6 +547,12 @@ impl Registry {
                     json::write_f64(&mut out, *sum);
                     out.push_str(",\"count\":");
                     out.push_str(&count.to_string());
+                    for (label, q) in [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)] {
+                        out.push_str(",\"");
+                        out.push_str(label);
+                        out.push_str("\":");
+                        json::write_f64(&mut out, quantile_from_buckets(bounds, counts, q));
+                    }
                 }
             }
             out.push('}');
@@ -478,6 +577,7 @@ pub struct LazyCounter {
     name: &'static str,
     help: &'static str,
     labels: &'static [(&'static str, &'static str)],
+    volatile: bool,
     cell: OnceLock<Arc<Counter>>,
 }
 
@@ -492,13 +592,32 @@ impl LazyCounter {
             name,
             help,
             labels,
+            volatile: false,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Declares a volatile counter series — one whose value depends on
+    /// thread scheduling (cache hit/miss splits, fan-out widths), excluded
+    /// from the deterministic telemetry series.
+    pub const fn new_volatile(
+        name: &'static str,
+        help: &'static str,
+        labels: &'static [(&'static str, &'static str)],
+    ) -> Self {
+        LazyCounter {
+            name,
+            help,
+            labels,
+            volatile: true,
             cell: OnceLock::new(),
         }
     }
 
     fn series(&self) -> &Arc<Counter> {
-        self.cell
-            .get_or_init(|| registry().counter(self.name, self.help, self.labels))
+        self.cell.get_or_init(|| {
+            registry().counter_with(self.name, self.help, self.volatile, self.labels)
+        })
     }
 
     /// Adds `n` when observability is enabled.
@@ -523,6 +642,7 @@ pub struct LazyGauge {
     name: &'static str,
     help: &'static str,
     labels: &'static [(&'static str, &'static str)],
+    volatile: bool,
     cell: OnceLock<Arc<Gauge>>,
 }
 
@@ -537,6 +657,23 @@ impl LazyGauge {
             name,
             help,
             labels,
+            volatile: false,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Declares a volatile gauge series (host- or wall-clock-dependent,
+    /// e.g. peak RSS), excluded from the deterministic telemetry series.
+    pub const fn new_volatile(
+        name: &'static str,
+        help: &'static str,
+        labels: &'static [(&'static str, &'static str)],
+    ) -> Self {
+        LazyGauge {
+            name,
+            help,
+            labels,
+            volatile: true,
             cell: OnceLock::new(),
         }
     }
@@ -548,7 +685,7 @@ impl LazyGauge {
             return;
         }
         self.cell
-            .get_or_init(|| registry().gauge(self.name, self.help, self.labels))
+            .get_or_init(|| registry().gauge_with(self.name, self.help, self.volatile, self.labels))
             .set(v);
     }
 }
@@ -559,6 +696,7 @@ pub struct LazyHistogram {
     name: &'static str,
     help: &'static str,
     labels: &'static [(&'static str, &'static str)],
+    volatile: bool,
     bounds: fn() -> &'static [f64],
     cell: OnceLock<Arc<Histogram>>,
 }
@@ -575,6 +713,25 @@ impl LazyHistogram {
             name,
             help,
             labels,
+            volatile: false,
+            bounds,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// Declares a volatile histogram series (thread-count-dependent, e.g.
+    /// fan-out widths), excluded from the deterministic telemetry series.
+    pub const fn new_volatile(
+        name: &'static str,
+        help: &'static str,
+        labels: &'static [(&'static str, &'static str)],
+        bounds: fn() -> &'static [f64],
+    ) -> Self {
+        LazyHistogram {
+            name,
+            help,
+            labels,
+            volatile: true,
             bounds,
             cell: OnceLock::new(),
         }
@@ -588,7 +745,13 @@ impl LazyHistogram {
         }
         self.cell
             .get_or_init(|| {
-                registry().histogram(self.name, self.help, self.labels, (self.bounds)())
+                registry().histogram_with(
+                    self.name,
+                    self.help,
+                    self.volatile,
+                    self.labels,
+                    (self.bounds)(),
+                )
             })
             .observe(v);
     }
@@ -659,6 +822,52 @@ mod tests {
         let r = Registry::default();
         let _ = r.counter("y_total", "help", &[]);
         let _ = r.gauge("y_total", "help", &[]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[1.0, 2.0, 4.0]);
+        // Empty histogram: all quantiles are 0.
+        assert_eq!(h.quantile(0.5), 0.0);
+        for _ in 0..10 {
+            h.observe(1.5); // bucket (1, 2]
+        }
+        // All mass in one bucket: the median sits mid-bucket.
+        assert!((h.quantile(0.5) - 1.5).abs() < 1e-9);
+        assert!((h.quantile(1.0) - 2.0).abs() < 1e-9);
+        // Mass in +Inf clamps to the last finite bound.
+        for _ in 0..90 {
+            h.observe(100.0);
+        }
+        assert!((h.quantile(0.99) - 4.0).abs() < 1e-9);
+        // First bucket interpolates down from lower edge 0.
+        let low = Histogram::new(&[10.0]);
+        low.observe(3.0);
+        low.observe(3.0);
+        assert!((low.quantile(0.5) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn volatile_flags_propagate_to_snapshots() {
+        let r = Registry::default();
+        r.counter("stable_total", "help", &[]).inc();
+        r.counter_with("shaky_total", "help", true, &[]).inc();
+        // `_seconds` histograms are volatile regardless of the flag.
+        r.histogram("auto_seconds", "help", &[], &[1.0])
+            .observe(0.5);
+        let volatile: Vec<(String, bool)> = r
+            .snapshot()
+            .into_iter()
+            .map(|m| (m.name, m.volatile))
+            .collect();
+        assert_eq!(
+            volatile,
+            vec![
+                ("stable_total".to_string(), false),
+                ("shaky_total".to_string(), true),
+                ("auto_seconds".to_string(), true),
+            ]
+        );
     }
 
     #[test]

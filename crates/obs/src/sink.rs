@@ -233,6 +233,17 @@ pub fn render_prometheus() -> String {
                 out.push(' ');
                 out.push_str(&count.to_string());
                 out.push('\n');
+                // Summary-style quantile estimates, interpolated from the
+                // fixed buckets (advisory; scrapers that recompute
+                // histogram_quantile can ignore them).
+                for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+                    let v = crate::metrics::quantile_from_buckets(bounds, counts, q);
+                    out.push_str(&m.name);
+                    write_labels(&mut out, &m.labels, Some(("quantile", label)));
+                    out.push(' ');
+                    out.push_str(&format!("{v}"));
+                    out.push('\n');
+                }
             }
         }
     }
@@ -287,6 +298,8 @@ mod tests {
         assert!(text.contains("nazar_test_sink_seconds_bucket{stage=\"x\",le=\"1\"} 2"));
         assert!(text.contains("nazar_test_sink_seconds_bucket{stage=\"x\",le=\"+Inf\"} 3"));
         assert!(text.contains("nazar_test_sink_seconds_count{stage=\"x\"} 3"));
+        assert!(text.contains("nazar_test_sink_seconds{stage=\"x\",quantile=\"0.5\"}"));
+        assert!(text.contains("nazar_test_sink_seconds{stage=\"x\",quantile=\"0.99\"}"));
         crate::testing::disable();
     }
 

@@ -13,13 +13,13 @@
 use nazar_obs::LazyHistogram;
 use std::sync::OnceLock;
 
-static FANOUT: LazyHistogram = LazyHistogram::new(
+static FANOUT: LazyHistogram = LazyHistogram::new_volatile(
     "nazar_tensor_parallel_fanout_width",
     "Worker threads actually used per parallel fan-out",
     &[("op", "par_map")],
     nazar_obs::pow2_buckets,
 );
-static BAND_FANOUT: LazyHistogram = LazyHistogram::new(
+static BAND_FANOUT: LazyHistogram = LazyHistogram::new_volatile(
     "nazar_tensor_parallel_fanout_width",
     "Worker threads actually used per parallel fan-out",
     &[("op", "par_row_bands")],

@@ -13,12 +13,12 @@ use std::cell::RefCell;
 /// How many returned buffers a workspace keeps before dropping the rest.
 const MAX_POOLED: usize = 16;
 
-static POOL_HITS: LazyCounter = LazyCounter::new(
+static POOL_HITS: LazyCounter = LazyCounter::new_volatile(
     "nazar_tensor_workspace_pool_total",
     "Workspace buffer requests by outcome",
     &[("result", "hit")],
 );
-static POOL_MISSES: LazyCounter = LazyCounter::new(
+static POOL_MISSES: LazyCounter = LazyCounter::new_volatile(
     "nazar_tensor_workspace_pool_total",
     "Workspace buffer requests by outcome",
     &[("result", "miss")],

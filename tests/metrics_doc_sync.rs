@@ -1,0 +1,124 @@
+//! Metric ↔ documentation sync lint.
+//!
+//! The README's "Metrics reference" table and the metric names the runtime
+//! actually registers must agree **bidirectionally**:
+//!
+//! * every `nazar_*` metric name declared in non-test library code appears
+//!   in the README table, and
+//! * every name the README documents still exists in the code.
+//!
+//! Scanned source is cut at the first `#[cfg(test)]` line per file and
+//! `//` comment lines are skipped, so test-only probe metrics
+//! (`nazar_test_*`, which are additionally excluded by prefix) and doc
+//! examples never leak into the contract.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Metric names allowed in code without a README row: doc examples.
+const CODE_EXCEPTIONS: &[&str] = &["nazar_example_requests_total"];
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Collects `"nazar_..."` string literals from every non-test line of the
+/// workspace's library sources.
+fn metric_names_in_code() -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let crates_dir = repo_root().join("crates");
+    let mut stack = vec![crates_dir];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir).expect("read crates dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                // Unit tests live in `#[cfg(test)]` modules inside src;
+                // integration tests live in per-crate `tests/` dirs.
+                if path.file_name().is_some_and(|n| n == "tests") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && path.components().any(|c| c.as_os_str() == "src")
+            {
+                let text = std::fs::read_to_string(&path).expect("read source file");
+                let body = text
+                    .split("#[cfg(test)]")
+                    .next()
+                    .expect("split returns at least one part");
+                for line in body.lines() {
+                    if line.trim_start().starts_with("//") {
+                        continue;
+                    }
+                    collect_quoted_metric_names(line, &mut names);
+                }
+            }
+        }
+    }
+    names.retain(|n| !n.starts_with("nazar_test_"));
+    for e in CODE_EXCEPTIONS {
+        names.remove(*e);
+    }
+    names
+}
+
+/// Pushes every `"nazar_[a-z0-9_]+"` string literal in `line` into `out`.
+fn collect_quoted_metric_names(line: &str, out: &mut BTreeSet<String>) {
+    let mut rest = line;
+    while let Some(start) = rest.find("\"nazar_") {
+        let tail = &rest[start + 1..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'))
+            .unwrap_or(tail.len());
+        // Only a closing quote makes it a complete string literal.
+        if tail[end..].starts_with('"') {
+            out.insert(tail[..end].to_string());
+        }
+        rest = &tail[end..];
+    }
+}
+
+/// Collects the metric names documented in the README's metrics table
+/// (first backtick-quoted `nazar_*` token of each table row).
+fn metric_names_in_readme() -> BTreeSet<String> {
+    let text = std::fs::read_to_string(repo_root().join("README.md")).expect("read README");
+    let mut names = BTreeSet::new();
+    for line in text.lines() {
+        let Some(rest) = line.strip_prefix("| `nazar_") else {
+            continue;
+        };
+        let Some(end) = rest.find('`') else {
+            continue;
+        };
+        names.insert(format!("nazar_{}", &rest[..end]));
+    }
+    names
+}
+
+#[test]
+fn every_registered_metric_is_documented() {
+    let code = metric_names_in_code();
+    let docs = metric_names_in_readme();
+    assert!(
+        !code.is_empty() && !docs.is_empty(),
+        "scanners must find metrics on both sides"
+    );
+    let undocumented: Vec<&String> = code.difference(&docs).collect();
+    assert!(
+        undocumented.is_empty(),
+        "metrics registered in code but missing from the README table \
+         (add a row to 'Metrics reference'): {undocumented:?}"
+    );
+}
+
+#[test]
+fn every_documented_metric_still_exists() {
+    let code = metric_names_in_code();
+    let docs = metric_names_in_readme();
+    let stale: Vec<&String> = docs.difference(&code).collect();
+    assert!(
+        stale.is_empty(),
+        "metrics documented in the README table but no longer registered \
+         in code (drop the row or restore the metric): {stale:?}"
+    );
+}
