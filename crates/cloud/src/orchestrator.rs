@@ -10,6 +10,7 @@ use nazar_nn::MlpResNet;
 use nazar_nn::{BnPatch, Layer};
 use nazar_obs::{event, LazyCounter, LazyHistogram};
 use nazar_registry::VersionMeta;
+use nazar_store::{DriftStore, StoreConfig};
 use nazar_tensor::{parallel, Tensor};
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
@@ -152,6 +153,15 @@ pub struct CloudConfig {
     /// differential oracle.
     #[serde(default)]
     pub scheduler: SchedulerMode,
+    /// Durable drift-log persistence. `Some` mirrors every ingested entry
+    /// into a [`DriftStore`] (re-opened at startup, so history survives
+    /// orchestrator restarts) and flushes sealed chunks at each window
+    /// boundary. `None` keeps the log purely in-memory. The default reads
+    /// the `NAZAR_STORE_*` environment: persistence is on iff
+    /// `NAZAR_STORE_DIR` is set. Store failures are observability events,
+    /// never fatal to the run.
+    #[serde(default)]
+    pub persist: Option<StoreConfig>,
 }
 
 impl Default for CloudConfig {
@@ -172,6 +182,7 @@ impl Default for CloudConfig {
             net: Some(NetConfig::from_env()),
             log_retention: None,
             scheduler: SchedulerMode::default(),
+            persist: StoreConfig::from_env(),
         }
     }
 }
@@ -329,6 +340,8 @@ pub struct Orchestrator {
     scalar_ledger: u64,
     /// The simulated device↔cloud network (`None` = legacy direct path).
     exchange: Option<Exchange>,
+    /// Durable mirror of the drift log (`None` = in-memory only).
+    store: Option<DriftStore>,
 }
 
 impl Orchestrator {
@@ -347,6 +360,7 @@ impl Orchestrator {
             .net
             .clone()
             .map(|net| Exchange::new(fleet.device_ids(), net));
+        let store = config.persist.clone().and_then(open_store);
         Orchestrator {
             strategy,
             rolling_model: base_model.clone(),
@@ -360,6 +374,7 @@ impl Orchestrator {
             ledger: (0, 0),
             scalar_ledger: 0,
             exchange,
+            store,
         }
     }
 
@@ -483,6 +498,12 @@ impl Orchestrator {
         &self.drift_log
     }
 
+    /// The durable drift-log store, when [`CloudConfig::persist`] is set
+    /// and the store opened successfully.
+    pub fn drift_store(&self) -> Option<&DriftStore> {
+        self.store.as_ref()
+    }
+
     /// Runs all windows of the workload and returns the collected results.
     pub fn run(&mut self, streams: &[nazar_data::LocationStream]) -> RunResult {
         event!(
@@ -542,6 +563,25 @@ impl Orchestrator {
                 }
             };
 
+            // Make the window's rows durable before declaring it complete:
+            // a crash after this point replays no ingested entry. Flush
+            // failures degrade to an event — the analysis loop must outlive
+            // a full disk.
+            if let Some(store) = self.store.as_mut() {
+                match store.flush() {
+                    Ok(report) => {
+                        if report.chunks_written > 0 {
+                            event!(
+                                "store_flush",
+                                window = w,
+                                chunks = report.chunks_written,
+                                rows_sealed = report.rows_sealed,
+                            );
+                        }
+                    }
+                    Err(err) => event!("store_flush_failed", error = err.to_string()),
+                }
+            }
             event!(
                 "window_complete",
                 window = w,
@@ -589,8 +629,19 @@ impl Orchestrator {
             QUARANTINED_ENTRIES.add(report.quarantined as u64);
             event!("entries_quarantined", count = report.quarantined);
         }
+        if let Some(store) = self.store.as_mut() {
+            // The durable mirror applies the same quarantine (same schema,
+            // same ingest path), so it stays row-for-row identical to the
+            // in-memory log for the rows ingested this process lifetime.
+            store.ingest_batch(entries.to_vec());
+        }
         if let Some(limit) = self.config.log_retention {
             self.drift_log.retain_last(limit);
+            if let Some(store) = self.store.as_mut() {
+                if let Err(err) = store.retain_last(limit) {
+                    event!("store_retention_failed", error = err.to_string());
+                }
+            }
         }
     }
 
@@ -733,6 +784,31 @@ impl Orchestrator {
     }
 }
 
+/// Opens the durable drift store, degrading to `None` (with an event) on
+/// failure: persistence must never keep the fleet from running. A store
+/// that opened by dropping torn chunks reports what recovery salvaged.
+fn open_store(config: StoreConfig) -> Option<DriftStore> {
+    match DriftStore::open_config(&LOG_SCHEMA, config) {
+        Ok(store) => {
+            if !store.recovery().is_clean() {
+                event!(
+                    "store_recovered",
+                    rows = store.num_rows(),
+                    dropped_chunks = store.recovery().dropped_chunks,
+                    swept_orphans = store.recovery().swept_orphans,
+                );
+            } else if store.num_rows() > 0 {
+                event!("store_reopened", rows = store.num_rows());
+            }
+            Some(store)
+        }
+        Err(err) => {
+            event!("store_open_failed", error = err.to_string());
+            None
+        }
+    }
+}
+
 /// Drops uploaded samples that carry any non-finite feature, counting the
 /// quarantined ones in `nazar_cloud_quarantined_uploads_total`.
 ///
@@ -813,5 +889,44 @@ mod tests {
         let bad = DriftLogEntry::new(0, &[("no-such-column", "x")], false);
         orch.ingest(&[good, bad]);
         assert_eq!(orch.drift_log().num_rows(), 1);
+    }
+
+    #[test]
+    fn persisted_log_mirrors_ingest_and_survives_restart() {
+        use nazar_nn::ModelArch;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let dir = std::env::temp_dir().join(format!("nazar-cloud-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CloudConfig {
+            windows: 1,
+            persist: Some(StoreConfig::at(dir.to_string_lossy().into_owned())),
+            ..CloudConfig::default()
+        };
+        let model = MlpResNet::new(ModelArch::tiny(4, 3), &mut SmallRng::seed_from_u64(0));
+        let mut orch = Orchestrator::new(model.clone(), &[], Strategy::NoAdapt, config.clone());
+
+        let good = DriftLogEntry::new(
+            7,
+            &LOG_SCHEMA.iter().map(|&k| (k, "v")).collect::<Vec<_>>(),
+            true,
+        );
+        let bad = DriftLogEntry::new(0, &[("no-such-column", "x")], false);
+        orch.ingest(&[good, bad]);
+        // The durable mirror quarantined the same entry the in-memory log did.
+        let store = orch.drift_store().expect("store open");
+        assert_eq!(store.num_rows(), orch.drift_log().num_rows());
+        // An (empty) run flushes at the window boundary, sealing the row.
+        orch.run(&[]);
+        assert_eq!(orch.drift_store().expect("store").durable_rows(), 1);
+        drop(orch);
+
+        // A restarted orchestrator re-opens the same history.
+        let orch2 = Orchestrator::new(model, &[], Strategy::NoAdapt, config);
+        let store = orch2.drift_store().expect("store reopen");
+        assert!(store.recovery().is_clean());
+        assert_eq!(store.num_rows(), 1);
+        assert_eq!(store.entry(0).expect("entry").timestamp, 7);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

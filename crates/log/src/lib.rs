@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 mod entry;
+pub mod probe;
 mod store;
 
 pub use entry::{Attribute, DriftLogEntry};

@@ -1,0 +1,150 @@
+//! Low-level probe API over decoded columnar row blocks.
+//!
+//! The persistent chunked store (`nazar-store`, DESIGN.md §13) holds drift
+//! logs larger than RAM: rows live in compressed columnar chunks on a
+//! storage backend, and queries stream one decoded chunk at a time. This
+//! module is the bridge that lets those streamed chunks run through
+//! *exactly* the same per-segment probe machinery the in-memory
+//! [`DriftLog`](crate::DriftLog) index uses — posting-list selection,
+//! smallest-list walks, direct column verification, LSB-first drift
+//! bitmaps — so out-of-core results are bitwise identical to in-memory
+//! ones by construction, not by parallel reimplementation.
+//!
+//! A [`ColumnarBlock`] is built from a decoded chunk's raw columns and
+//! indexes them once (one `Segment` worth of posting lists); each probe
+//! then answers `count`/`rows`/`value_counts` questions against the block.
+//! All row offsets inside the block are local; callers carry the block's
+//! global start row and offset results themselves, which is what lets the
+//! store shift whole chunks during retention without touching their bytes.
+
+use crate::entry::Attribute;
+use crate::store::{probe_segment, segment_count, MatchCounts, Result, Segment};
+
+/// One decoded block of dictionary-encoded rows plus its probe index.
+///
+/// Equivalent to one [`DriftLog`](crate::DriftLog) index segment, except
+/// the columnar data is owned by the block (a decoded storage chunk)
+/// instead of borrowed from the log's global columns.
+#[derive(Debug, Clone)]
+pub struct ColumnarBlock {
+    /// Per-column dict codes, one `Vec<u32>` per schema column, all of the
+    /// same length (the block's row count).
+    columns: Vec<Vec<u32>>,
+    /// Per-row timestamps.
+    timestamps: Vec<u64>,
+    /// The posting-list index over the block (local rows, `start == 0`).
+    seg: Segment,
+}
+
+impl ColumnarBlock {
+    /// Builds a block (and its probe index) over decoded columnar data.
+    /// `columns` must all have the same length as `drift` and `timestamps`;
+    /// rows beyond the shortest column are ignored.
+    pub fn build(columns: Vec<Vec<u32>>, drift: &[bool], timestamps: &[u64]) -> ColumnarBlock {
+        let rows = columns
+            .iter()
+            .map(Vec::len)
+            .chain([drift.len(), timestamps.len()])
+            .min()
+            .unwrap_or(0);
+        let mut seg = Segment::new(0, columns.len());
+        for row in 0..rows {
+            seg.push_row(&columns, row, drift[row], timestamps[row]);
+        }
+        ColumnarBlock {
+            columns,
+            timestamps: timestamps[..rows].to_vec(),
+            seg,
+        }
+    }
+
+    /// Rows in the block.
+    pub fn rows(&self) -> usize {
+        self.timestamps.len()
+    }
+
+    /// Drift-flagged rows in the block.
+    pub fn drifted(&self) -> usize {
+        self.seg.drifted_count()
+    }
+
+    /// The block's per-row timestamps (local row order).
+    pub fn timestamps(&self) -> &[u64] {
+        &self.timestamps
+    }
+
+    /// The dict codes of column `ci`, one per local row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ci` is out of range for the block's columns.
+    pub fn column_codes(&self, ci: usize) -> &[u32] {
+        &self.columns[ci]
+    }
+
+    /// Whether local row `row` is drift-flagged (false out of range).
+    pub fn drift_flag(&self, row: usize) -> bool {
+        row < self.rows() && self.seg.drifted_bit(row as u32)
+    }
+
+    /// `COUNT(*)` / `COUNT(*) WHERE drift` over the block for resolved
+    /// predicates. `mask` (when given) is indexed by *local* row and
+    /// overrides the stored drift flags, exactly as
+    /// [`DriftLog::count_matching`](crate::DriftLog::count_matching) treats
+    /// its mask; rows beyond the mask's length count as not drifted.
+    pub fn count_matching(&self, preds: &[(usize, u32)], mask: Option<&[bool]>) -> MatchCounts {
+        segment_count(&self.columns, &self.seg, preds, mask)
+    }
+
+    /// Appends the *local* rows matching every predicate to `out`, in
+    /// ascending row order. An empty predicate set matches every row.
+    pub fn rows_matching(&self, preds: &[(usize, u32)], out: &mut Vec<usize>) {
+        if preds.is_empty() {
+            out.extend(0..self.rows());
+            return;
+        }
+        probe_segment(&self.columns, &self.seg, preds, |_, row| out.push(row));
+    }
+
+    /// Adds the block's per-value `(occurrences, drifted)` contributions
+    /// for column `ci` into `counts` (indexed by dict code). Codes beyond
+    /// `counts.len()` are ignored.
+    pub fn accumulate_value_counts(&self, ci: usize, counts: &mut [MatchCounts]) {
+        self.seg.accumulate_value_counts(ci, counts);
+    }
+}
+
+/// Re-exported predicate resolution result type, for store signatures.
+pub type ResolvedPredicates = Option<Vec<(usize, u32)>>;
+
+/// Resolves `set` against a schema + dictionary value lists without a
+/// [`DriftLog`](crate::DriftLog) instance — the form the persistent store
+/// uses when it holds dictionaries from a manifest.
+///
+/// `Ok(None)` means some value never occurs (the query matches nothing).
+///
+/// # Errors
+///
+/// Returns [`crate::LogError::UnknownKey`] for keys outside `schema`.
+pub fn resolve_predicates_in(
+    schema: &[String],
+    dict_values: &[Vec<String>],
+    set: &[Attribute],
+) -> Result<ResolvedPredicates> {
+    let mut preds = Vec::with_capacity(set.len());
+    for attr in set {
+        let ci = schema.iter().position(|k| k == &attr.key).ok_or_else(|| {
+            crate::store::LogError::UnknownKey {
+                key: attr.key.clone(),
+            }
+        })?;
+        match dict_values
+            .get(ci)
+            .and_then(|vals| vals.iter().position(|v| v == &attr.value))
+        {
+            Some(code) => preds.push((ci, code as u32)),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(preds))
+}

@@ -194,6 +194,18 @@ impl Dict {
             .map(|(i, v)| (v.clone(), i as u32))
             .collect();
     }
+
+    /// A dictionary over pre-interned `values` (code = position), with the
+    /// lookup index ready. Used when reopening a persisted log whose
+    /// dictionaries come from the store manifest.
+    fn from_values(values: Vec<String>) -> Self {
+        let mut dict = Dict {
+            values,
+            index: HashMap::new(),
+        };
+        dict.rebuild_index();
+        dict
+    }
 }
 
 /// Default rows per index segment. Small enough that tail maintenance and
@@ -239,9 +251,10 @@ fn fanout_width(threads: usize, est_work: usize, segments: usize) -> usize {
 /// Covers global rows `start..start + rows`; all stored offsets are
 /// segment-local (`global = start + local`), which is what lets
 /// [`DriftLog::retain_last`] shift surviving segments by adjusting `start`
-/// alone.
+/// alone. Crate-visible so [`crate::probe::ColumnarBlock`] can build the
+/// same index over a decoded storage chunk.
 #[derive(Debug, Clone, Default)]
-struct Segment {
+pub(crate) struct Segment {
     /// Global row id of local row 0.
     start: usize,
     /// Rows covered.
@@ -259,7 +272,7 @@ struct Segment {
 }
 
 impl Segment {
-    fn new(start: usize, columns: usize) -> Self {
+    pub(crate) fn new(start: usize, columns: usize) -> Self {
         Segment {
             start,
             postings: vec![Vec::new(); columns],
@@ -269,7 +282,7 @@ impl Segment {
 
     /// Appends global row `row` (read from the log's columns) as the next
     /// local row.
-    fn push_row(&mut self, columns: &[Vec<u32>], row: usize, drift: bool, ts: u64) {
+    pub(crate) fn push_row(&mut self, columns: &[Vec<u32>], row: usize, drift: bool, ts: u64) {
         let local = self.rows as u32;
         for (posting, column) in self.postings.iter_mut().zip(columns) {
             let code = column[row];
@@ -305,12 +318,31 @@ impl Segment {
             .map(|pos| column[pos].1.as_slice())
     }
 
+    /// Number of drift-flagged rows in the segment.
+    pub(crate) fn drifted_count(&self) -> usize {
+        self.drifted_count
+    }
+
     /// Whether local row `local` is drift-flagged.
-    fn drifted_bit(&self, local: u32) -> bool {
+    pub(crate) fn drifted_bit(&self, local: u32) -> bool {
         let i = local as usize;
         self.drifted
             .get(i / 64)
             .is_some_and(|w| (w >> (i % 64)) & 1 == 1)
+    }
+
+    /// Adds this segment's per-value `(occurrences, drifted)` contributions
+    /// for column `ci` into `counts` (indexed by dict code). Codes at or
+    /// beyond `counts.len()` are ignored — callers size `counts` to the
+    /// dictionary they resolve against.
+    pub(crate) fn accumulate_value_counts(&self, ci: usize, counts: &mut [MatchCounts]) {
+        for (code, rows) in &self.postings[ci] {
+            let Some(c) = counts.get_mut(*code as usize) else {
+                continue;
+            };
+            c.occurrences += rows.len();
+            c.drifted += rows.iter().filter(|&&l| self.drifted_bit(l)).count();
+        }
     }
 }
 
@@ -374,6 +406,32 @@ impl DriftLog {
             segment_rows: 0,
             index_disabled: false,
         }
+    }
+
+    /// Creates an empty log whose per-column dictionaries are pre-seeded
+    /// with `dict_values` (one value list per schema key, code = position).
+    ///
+    /// This is the reopen path of the persistent store (`nazar-store`): the
+    /// manifest records the dictionaries interned so far, and the tail log
+    /// must resolve and intern against *exactly* those codes so persisted
+    /// chunks and fresh rows share one code space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::SchemaMismatch`] when `dict_values` does not
+    /// provide exactly one value list per schema key.
+    pub fn with_dict_values(schema: &[String], dict_values: Vec<Vec<String>>) -> Result<Self> {
+        if dict_values.len() != schema.len() {
+            return Err(LogError::SchemaMismatch {
+                key: schema
+                    .get(dict_values.len())
+                    .cloned()
+                    .unwrap_or_else(|| "<extra dictionary>".to_string()),
+            });
+        }
+        let mut log = DriftLog::new(&schema.iter().map(String::as_str).collect::<Vec<_>>());
+        log.dicts = dict_values.into_iter().map(Dict::from_values).collect();
+        Ok(log)
     }
 
     /// Sets the index segment size (rows per segment, clamped to at
@@ -755,11 +813,7 @@ impl DriftLog {
             INDEX_HITS.inc();
             let partials = self.map_segments(threads, self.covered_rows(), |seg| {
                 let mut counts = vec![MatchCounts::default(); n_values];
-                for (code, rows) in &seg.postings[ci] {
-                    let c = &mut counts[*code as usize];
-                    c.occurrences += rows.len();
-                    c.drifted += rows.iter().filter(|&&l| seg.drifted_bit(l)).count();
-                }
+                seg.accumulate_value_counts(ci, &mut counts);
                 counts
             });
             let mut counts = vec![MatchCounts::default(); n_values];
@@ -1055,6 +1109,24 @@ impl DriftLog {
         &self.drift
     }
 
+    /// The per-row timestamps, row-indexed. The persistent store reads
+    /// these when sealing rows into chunks.
+    pub fn timestamps(&self) -> &[u64] {
+        &self.timestamps
+    }
+
+    /// Resolves a query attribute set against this log's schema and
+    /// dictionaries into `(column index, dict code)` predicates — the form
+    /// [`crate::probe::ColumnarBlock`] probes take. `Ok(None)` means some
+    /// value was never interned, so the query trivially matches nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LogError::UnknownKey`] for keys outside the schema.
+    pub fn resolve_predicates(&self, set: &[Attribute]) -> Result<Option<Vec<(usize, u32)>>> {
+        self.resolve_preds(set)
+    }
+
     fn column_index(&self, key: &str) -> Result<usize> {
         self.schema
             .iter()
@@ -1088,7 +1160,7 @@ fn smallest_posting<'s>(seg: &'s Segment, preds: &[(usize, u32)]) -> Option<(usi
 /// `columns` — `O(smallest list × preds)` with no merge or allocation —
 /// and calls `emit(local, global)` for each matching row, in ascending
 /// row order.
-fn probe_segment<F: FnMut(u32, usize)>(
+pub(crate) fn probe_segment<F: FnMut(u32, usize)>(
     columns: &[Vec<u32>],
     seg: &Segment,
     preds: &[(usize, u32)],
@@ -1116,7 +1188,7 @@ fn probe_segment<F: FnMut(u32, usize)>(
 }
 
 /// One segment's contribution to `count_matching`.
-fn segment_count(
+pub(crate) fn segment_count(
     columns: &[Vec<u32>],
     seg: &Segment,
     preds: &[(usize, u32)],

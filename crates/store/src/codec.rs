@@ -1,0 +1,497 @@
+//! Columnar codecs for chunk sections.
+//!
+//! Each chunk section (one dict-code column, the drift bitmap, the
+//! timestamp column) is encoded independently by one of the codecs here
+//! and tagged with its codec id in the chunk header, so old chunks stay
+//! readable when new codecs are added. Dict codes are small integers by
+//! construction (dictionary encoding caps them at the column's distinct
+//! count), so bitpacking and run-length encoding both routinely beat raw
+//! little-endian storage; the adaptive mode picks whichever is smaller,
+//! deterministically, with ties going to bitpack.
+//!
+//! Decoding never panics: every malformed input maps to
+//! [`StoreError`](crate::StoreError) through [`CodecError`], per the
+//! workspace's typed-error policy (DESIGN.md §9).
+
+use crate::config::CodecChoice;
+
+/// Codec id: raw little-endian `u32`s, 4 bytes per value.
+pub const CODEC_RAW: u8 = 0;
+/// Codec id: fixed-width bitpacking, LSB-first within each byte.
+pub const CODEC_BITPACK: u8 = 1;
+/// Codec id: run-length encoding as `(varint value, varint run)` pairs.
+pub const CODEC_RLE: u8 = 2;
+/// Codec id: zigzag-delta varints (timestamp columns).
+pub const CODEC_TS_DELTA: u8 = 3;
+/// Codec id: LSB-first bool bitmap (drift-flag sections).
+pub const CODEC_BITMAP: u8 = 4;
+
+/// A section failed to decode. Carried up into
+/// [`StoreError::Corrupt`](crate::StoreError::Corrupt) with the chunk key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The byte stream ended before the declared row count was produced.
+    Truncated,
+    /// The codec id byte names no known codec (or one invalid here).
+    UnknownCodec(u8),
+    /// A declared width/run/length is impossible (e.g. bit width > 32).
+    InvalidEncoding(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "section ends before declared row count"),
+            CodecError::UnknownCodec(id) => write!(f, "unknown codec id {id}"),
+            CodecError::InvalidEncoding(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE) — same table construction as `nazar-net`'s wire format;
+// duplicated here so the store has no dependency on the transport crate.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the chunk-footer checksum.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Varints (LEB128) and zigzag
+// ---------------------------------------------------------------------------
+
+/// Appends `v` as an unsigned LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads an unsigned LEB128 varint at `*pos`, advancing it.
+pub fn get_varint(bytes: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = bytes.get(*pos).ok_or(CodecError::Truncated)?;
+        *pos += 1;
+        if shift >= 64 || (shift == 63 && byte > 1) {
+            return Err(CodecError::InvalidEncoding("varint overflows u64"));
+        }
+        v |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed delta to an unsigned varint-friendly value.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// u32 column codecs (dict codes)
+// ---------------------------------------------------------------------------
+
+fn encode_raw(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn decode_raw(bytes: &[u8], rows: usize) -> Result<Vec<u32>, CodecError> {
+    if bytes.len() != rows * 4 {
+        return Err(CodecError::Truncated);
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect())
+}
+
+fn encode_bitpack(values: &[u32]) -> Vec<u8> {
+    let max = values.iter().copied().max().unwrap_or(0);
+    let width = (32 - max.leading_zeros()) as u8; // 0..=32
+    let mut out = Vec::with_capacity(1 + (values.len() * width as usize).div_ceil(8));
+    out.push(width);
+    if width == 0 {
+        return out; // all zeros, no payload
+    }
+    let mut acc = 0u64;
+    let mut bits = 0u32;
+    for &v in values {
+        acc |= u64::from(v) << bits;
+        bits += u32::from(width);
+        while bits >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            bits -= 8;
+        }
+    }
+    if bits > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+    out
+}
+
+fn decode_bitpack(bytes: &[u8], rows: usize) -> Result<Vec<u32>, CodecError> {
+    let &width = bytes.first().ok_or(CodecError::Truncated)?;
+    if width > 32 {
+        return Err(CodecError::InvalidEncoding("bitpack width > 32"));
+    }
+    if width == 0 {
+        return Ok(vec![0; rows]);
+    }
+    let payload = &bytes[1..];
+    if payload.len() != (rows * width as usize).div_ceil(8) {
+        return Err(CodecError::Truncated);
+    }
+    let mask = if width == 32 {
+        u64::from(u32::MAX)
+    } else {
+        (1u64 << width) - 1
+    };
+    let mut out = Vec::with_capacity(rows);
+    let mut acc = 0u64;
+    let mut bits = 0u32;
+    let mut next = 0usize;
+    for _ in 0..rows {
+        while bits < u32::from(width) {
+            acc |= u64::from(payload[next]) << bits;
+            next += 1;
+            bits += 8;
+        }
+        out.push((acc & mask) as u32);
+        acc >>= width;
+        bits -= u32::from(width);
+    }
+    Ok(out)
+}
+
+fn encode_rle(values: &[u32]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut runs: Vec<(u32, u64)> = Vec::new();
+    for &v in values {
+        match runs.last_mut() {
+            Some((run_v, n)) if *run_v == v => *n += 1,
+            _ => runs.push((v, 1)),
+        }
+    }
+    put_varint(&mut out, runs.len() as u64);
+    for (v, n) in runs {
+        put_varint(&mut out, u64::from(v));
+        put_varint(&mut out, n);
+    }
+    out
+}
+
+fn decode_rle(bytes: &[u8], rows: usize) -> Result<Vec<u32>, CodecError> {
+    let mut pos = 0usize;
+    let n_runs = get_varint(bytes, &mut pos)?;
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..n_runs {
+        let v = get_varint(bytes, &mut pos)?;
+        let n = get_varint(bytes, &mut pos)?;
+        let v = u32::try_from(v).map_err(|_| CodecError::InvalidEncoding("rle value > u32"))?;
+        if n as usize > rows - out.len() {
+            return Err(CodecError::InvalidEncoding("rle runs exceed row count"));
+        }
+        out.resize(out.len() + n as usize, v);
+    }
+    if out.len() != rows || pos != bytes.len() {
+        return Err(CodecError::Truncated);
+    }
+    Ok(out)
+}
+
+/// Encodes a `u32` column under `choice`, returning `(codec id, bytes)`.
+///
+/// `CodecChoice::Auto` computes both bitpack and RLE and keeps the smaller
+/// (ties to bitpack) — a deterministic, data-only decision, so the same
+/// rows always produce the same chunk bytes at any thread count.
+pub fn encode_u32s(values: &[u32], choice: CodecChoice) -> (u8, Vec<u8>) {
+    match choice {
+        CodecChoice::Raw => (CODEC_RAW, encode_raw(values)),
+        CodecChoice::Bitpack => (CODEC_BITPACK, encode_bitpack(values)),
+        CodecChoice::Rle => (CODEC_RLE, encode_rle(values)),
+        CodecChoice::Auto => {
+            let bp = encode_bitpack(values);
+            let rle = encode_rle(values);
+            if rle.len() < bp.len() {
+                (CODEC_RLE, rle)
+            } else {
+                (CODEC_BITPACK, bp)
+            }
+        }
+    }
+}
+
+/// Decodes a `u32` column section of exactly `rows` values.
+///
+/// # Errors
+///
+/// Any malformed input returns a [`CodecError`]; this function never
+/// panics, whatever the bytes.
+pub fn decode_u32s(codec: u8, bytes: &[u8], rows: usize) -> Result<Vec<u32>, CodecError> {
+    match codec {
+        CODEC_RAW => decode_raw(bytes, rows),
+        CODEC_BITPACK => decode_bitpack(bytes, rows),
+        CODEC_RLE => decode_rle(bytes, rows),
+        other => Err(CodecError::UnknownCodec(other)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drift-flag bitmap (LSB-first, same layout as the in-memory index bitmap)
+// ---------------------------------------------------------------------------
+
+/// Encodes bools as an LSB-first bitmap (bit `i % 8` of byte `i / 8`).
+pub fn encode_bools(flags: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; flags.len().div_ceil(8)];
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+/// Decodes an LSB-first bitmap of exactly `rows` bools.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Truncated`] when the byte length does not match
+/// `rows`, or [`CodecError::InvalidEncoding`] when padding bits are set.
+pub fn decode_bools(codec: u8, bytes: &[u8], rows: usize) -> Result<Vec<bool>, CodecError> {
+    if codec != CODEC_BITMAP {
+        return Err(CodecError::UnknownCodec(codec));
+    }
+    if bytes.len() != rows.div_ceil(8) {
+        return Err(CodecError::Truncated);
+    }
+    if !rows.is_multiple_of(8) {
+        if let Some(&last) = bytes.last() {
+            if last >> (rows % 8) != 0 {
+                return Err(CodecError::InvalidEncoding("bitmap padding bits set"));
+            }
+        }
+    }
+    Ok((0..rows)
+        .map(|i| bytes[i / 8] & (1 << (i % 8)) != 0)
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// Timestamps: zigzag-delta varints
+// ---------------------------------------------------------------------------
+
+/// Encodes timestamps as a varint first value plus zigzag-varint deltas.
+/// Wrapping arithmetic makes the round trip exact for every `u64`.
+pub fn encode_timestamps(ts: &[u64]) -> (u8, Vec<u8>) {
+    let mut out = Vec::with_capacity(ts.len() * 2);
+    if let Some(&first) = ts.first() {
+        put_varint(&mut out, first);
+        let mut prev = first;
+        for &t in &ts[1..] {
+            put_varint(&mut out, zigzag(t.wrapping_sub(prev) as i64));
+            prev = t;
+        }
+    }
+    (CODEC_TS_DELTA, out)
+}
+
+/// Decodes a timestamp section of exactly `rows` values.
+///
+/// # Errors
+///
+/// Any malformed input returns a [`CodecError`]; never panics.
+pub fn decode_timestamps(codec: u8, bytes: &[u8], rows: usize) -> Result<Vec<u64>, CodecError> {
+    if codec != CODEC_TS_DELTA {
+        return Err(CodecError::UnknownCodec(codec));
+    }
+    let mut pos = 0usize;
+    let mut out = Vec::with_capacity(rows);
+    if rows > 0 {
+        let first = get_varint(bytes, &mut pos)?;
+        out.push(first);
+        let mut prev = first;
+        for _ in 1..rows {
+            let delta = unzigzag(get_varint(bytes, &mut pos)?);
+            prev = prev.wrapping_add(delta as u64);
+            out.push(prev);
+        }
+    }
+    if pos != bytes.len() {
+        return Err(CodecError::Truncated);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX,
+        ] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Ok(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_overflow_rejected() {
+        // 10 continuation bytes encode more than 64 bits.
+        let buf = [0xFFu8; 10];
+        let mut pos = 0;
+        assert!(get_varint(&buf, &mut pos).is_err());
+    }
+
+    fn column_cases() -> Vec<Vec<u32>> {
+        vec![
+            vec![],
+            vec![0],
+            vec![0; 100],
+            vec![u32::MAX; 3],
+            (0..1000).map(|i| i % 7).collect(),
+            vec![5, 5, 5, 9, 9, 0, 0, 0, 0, 1],
+            (0..257).collect(),
+        ]
+    }
+
+    #[test]
+    fn u32_codecs_round_trip() {
+        for values in column_cases() {
+            for choice in [
+                CodecChoice::Auto,
+                CodecChoice::Raw,
+                CodecChoice::Bitpack,
+                CodecChoice::Rle,
+            ] {
+                let (codec, bytes) = encode_u32s(&values, choice);
+                assert_eq!(
+                    decode_u32s(codec, &bytes, values.len()).as_deref(),
+                    Ok(&values[..]),
+                    "{choice:?} failed on {values:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn auto_never_larger_than_bitpack() {
+        for values in column_cases() {
+            let (_, auto) = encode_u32s(&values, CodecChoice::Auto);
+            let (_, bp) = encode_u32s(&values, CodecChoice::Bitpack);
+            assert!(auto.len() <= bp.len());
+        }
+    }
+
+    #[test]
+    fn u32_decode_rejects_malformed() {
+        // Wrong length for raw.
+        assert!(decode_u32s(CODEC_RAW, &[1, 2, 3], 1).is_err());
+        // Bitpack width over 32.
+        assert!(decode_u32s(CODEC_BITPACK, &[33, 0, 0], 2).is_err());
+        // RLE runs longer than the row count.
+        let mut rle = Vec::new();
+        put_varint(&mut rle, 1);
+        put_varint(&mut rle, 7);
+        put_varint(&mut rle, 100);
+        assert!(decode_u32s(CODEC_RLE, &rle, 3).is_err());
+        // Unknown codec id.
+        assert_eq!(decode_u32s(200, &[], 0), Err(CodecError::UnknownCodec(200)));
+    }
+
+    #[test]
+    fn bitmap_round_trip_and_padding_check() {
+        for n in [0usize, 1, 7, 8, 9, 64, 100] {
+            let flags: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+            let bytes = encode_bools(&flags);
+            assert_eq!(decode_bools(CODEC_BITMAP, &bytes, n), Ok(flags));
+        }
+        // A set padding bit must be rejected (torn-write detection aid).
+        assert!(decode_bools(CODEC_BITMAP, &[0b1000_0000], 3).is_err());
+    }
+
+    #[test]
+    fn timestamps_round_trip_including_decreasing() {
+        for ts in [
+            vec![],
+            vec![42],
+            vec![5, 5, 5],
+            vec![100, 50, 200, 0, u64::MAX],
+            (0..500u64).map(|i| i * 3600).collect(),
+        ] {
+            let (codec, bytes) = encode_timestamps(&ts);
+            assert_eq!(decode_timestamps(codec, &bytes, ts.len()), Ok(ts));
+        }
+    }
+
+    #[test]
+    fn timestamp_decode_rejects_trailing_bytes() {
+        let (codec, mut bytes) = encode_timestamps(&[1, 2, 3]);
+        bytes.push(0);
+        assert!(decode_timestamps(codec, &bytes, 3).is_err());
+    }
+}

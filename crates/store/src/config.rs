@@ -1,0 +1,157 @@
+//! Store configuration and `NAZAR_STORE_*` environment knobs.
+
+use serde::{Deserialize, Serialize};
+
+/// Default rows per sealed chunk (`NAZAR_STORE_CHUNK_ROWS`).
+pub const DEFAULT_CHUNK_ROWS: usize = 8192;
+/// Default decoded-chunk cache capacity (`NAZAR_STORE_CACHE_CHUNKS`).
+pub const DEFAULT_CACHE_CHUNKS: usize = 8;
+
+/// Which codec encodes `u32` dict-code columns (`NAZAR_STORE_CODEC`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum CodecChoice {
+    /// Encode with both bitpack and RLE, keep the smaller (ties to
+    /// bitpack). Deterministic: depends only on the rows being sealed.
+    #[default]
+    Auto,
+    /// Raw little-endian `u32`s — the no-compression baseline.
+    Raw,
+    /// Fixed-width bitpacking only.
+    Bitpack,
+    /// Run-length encoding only.
+    Rle,
+}
+
+impl CodecChoice {
+    /// Parses the `NAZAR_STORE_CODEC` value (`auto|raw|bitpack|rle`);
+    /// anything else falls back to [`CodecChoice::Auto`].
+    pub fn parse(s: &str) -> CodecChoice {
+        match s.to_ascii_lowercase().as_str() {
+            "raw" => CodecChoice::Raw,
+            "bitpack" => CodecChoice::Bitpack,
+            "rle" => CodecChoice::Rle,
+            _ => CodecChoice::Auto,
+        }
+    }
+}
+
+/// Configuration for one [`DriftStore`](crate::DriftStore).
+///
+/// Embedded in `CloudConfig::persist`, so it round-trips through the same
+/// serde config files as the rest of the cloud configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreConfig {
+    /// Directory for the filesystem backend; `None` selects the in-memory
+    /// backend (exactly today's process-lifetime behavior).
+    #[serde(default)]
+    pub dir: Option<String>,
+    /// Rows per sealed chunk; flushes seal full chunks of this size plus
+    /// at most one partial tail chunk. `0` (also what a config file that
+    /// omits the field deserializes to) means [`DEFAULT_CHUNK_ROWS`].
+    #[serde(default)]
+    pub chunk_rows: usize,
+    /// Decoded chunks kept in the in-memory LRU cache; `0` disables
+    /// caching (every probe re-reads and re-decodes its chunks).
+    #[serde(default)]
+    pub cache_chunks: usize,
+    /// Codec for dict-code columns.
+    #[serde(default)]
+    pub codec: CodecChoice,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            dir: None,
+            chunk_rows: DEFAULT_CHUNK_ROWS,
+            cache_chunks: DEFAULT_CACHE_CHUNKS,
+            codec: CodecChoice::Auto,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// An in-memory store configuration (the default).
+    pub fn memory() -> StoreConfig {
+        StoreConfig::default()
+    }
+
+    /// A filesystem store rooted at `dir`.
+    pub fn at(dir: impl Into<String>) -> StoreConfig {
+        StoreConfig {
+            dir: Some(dir.into()),
+            ..StoreConfig::default()
+        }
+    }
+
+    /// Reads the `NAZAR_STORE_*` environment: returns `Some` iff
+    /// `NAZAR_STORE_DIR` is set (persistence is opt-in), with
+    /// `NAZAR_STORE_CHUNK_ROWS`, `NAZAR_STORE_CACHE_CHUNKS` and
+    /// `NAZAR_STORE_CODEC` overriding the defaults. Unparsable numbers
+    /// keep their defaults.
+    pub fn from_env() -> Option<StoreConfig> {
+        let dir = std::env::var("NAZAR_STORE_DIR").ok()?;
+        if dir.is_empty() {
+            return None;
+        }
+        let mut config = StoreConfig::at(dir);
+        if let Some(rows) = read_env_usize("NAZAR_STORE_CHUNK_ROWS") {
+            config.chunk_rows = rows.max(1);
+        }
+        if let Some(cap) = read_env_usize("NAZAR_STORE_CACHE_CHUNKS") {
+            config.cache_chunks = cap;
+        }
+        if let Ok(codec) = std::env::var("NAZAR_STORE_CODEC") {
+            config.codec = CodecChoice::parse(&codec);
+        }
+        Some(config)
+    }
+
+    /// `chunk_rows` with `0` mapped to the built-in default.
+    pub(crate) fn chunk_rows_clamped(&self) -> usize {
+        if self.chunk_rows == 0 {
+            DEFAULT_CHUNK_ROWS
+        } else {
+            self.chunk_rows
+        }
+    }
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_choice_parses_and_defaults() {
+        assert_eq!(CodecChoice::parse("rle"), CodecChoice::Rle);
+        assert_eq!(CodecChoice::parse("BITPACK"), CodecChoice::Bitpack);
+        assert_eq!(CodecChoice::parse("raw"), CodecChoice::Raw);
+        assert_eq!(CodecChoice::parse("nonsense"), CodecChoice::Auto);
+    }
+
+    #[test]
+    fn config_serde_round_trip() {
+        let config = StoreConfig {
+            dir: Some("/tmp/nazar".into()),
+            chunk_rows: 1024,
+            cache_chunks: 2,
+            codec: CodecChoice::Rle,
+        };
+        let json = serde_json::to_string(&config).expect("serializable");
+        let back: StoreConfig = serde_json::from_str(&json).expect("deserializable");
+        assert_eq!(back, config);
+    }
+
+    #[test]
+    fn config_deserializes_with_all_fields_defaulted() {
+        let back: StoreConfig = serde_json::from_str("{}").expect("defaults fill in");
+        assert_eq!(back.dir, None);
+        assert_eq!(back.codec, CodecChoice::Auto);
+        // Omitted numeric fields land on 0; 0 chunk rows means "default".
+        assert_eq!(back.chunk_rows_clamped(), DEFAULT_CHUNK_ROWS);
+    }
+}

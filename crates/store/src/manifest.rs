@@ -1,0 +1,211 @@
+//! The JSON manifest: the store's single source of truth.
+//!
+//! The manifest lists every live chunk in row order with its integrity
+//! metadata, plus the global column dictionaries all chunk codes index
+//! into. It is rewritten atomically (via [`Storage::put`]'s per-key
+//! atomicity) *after* new chunks land and *before* superseded ones are
+//! deleted, so every crash point leaves either the old or the new
+//! manifest pointing exclusively at chunks that exist — anything else on
+//! the backend is an orphan, swept at open.
+//!
+//! Numbers ride JSON through the vendored serde's `f64` funnel, exact up
+//! to 2^53 — far beyond any row count, virtual timestamp or CRC the
+//! store produces.
+
+use serde::{Deserialize, Serialize};
+
+use crate::storage::Storage;
+use crate::{Result, StoreError};
+
+/// The manifest's storage key.
+pub const MANIFEST_KEY: &str = "MANIFEST.json";
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// One live chunk's metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkMeta {
+    /// Storage key of the chunk blob.
+    pub key: String,
+    /// Global row index of the chunk's first row.
+    pub start_row: u64,
+    /// Rows in the chunk.
+    pub rows: u64,
+    /// Drift-flagged rows in the chunk.
+    pub drifted: u64,
+    /// Minimum timestamp in the chunk (0 when empty).
+    pub ts_min: u64,
+    /// Maximum timestamp in the chunk (0 when empty).
+    pub ts_max: u64,
+    /// CRC-32 of the chunk bytes (the chunk's own footer value; recovery
+    /// cross-checks blob against manifest).
+    pub crc32: u32,
+    /// Encoded size of the chunk blob in bytes.
+    pub encoded_bytes: u64,
+    /// Raw (pre-codec) size of the chunk's columns in bytes.
+    pub raw_bytes: u64,
+    /// Per-column dictionary lengths at seal time. Dictionaries only ever
+    /// grow, so when recovery drops a chunk suffix it truncates the global
+    /// dictionaries back to the last survivor's lengths — reproducing
+    /// exactly the first-use interning state of a log that saw only the
+    /// surviving rows.
+    pub dict_lens: Vec<u64>,
+}
+
+/// The manifest document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Format version.
+    pub version: u32,
+    /// Attribute schema, in column order.
+    pub schema: Vec<String>,
+    /// Global per-column dictionaries (value strings in code order).
+    pub dicts: Vec<Vec<String>>,
+    /// Live chunks in row order.
+    pub chunks: Vec<ChunkMeta>,
+    /// Next chunk id to allocate (monotone; never reused, so a replaced
+    /// tail chunk and its successor can never collide on a key).
+    pub next_chunk_id: u64,
+}
+
+impl Manifest {
+    /// An empty manifest over `schema`.
+    pub fn new(schema: &[String]) -> Manifest {
+        Manifest {
+            version: MANIFEST_VERSION,
+            schema: schema.to_vec(),
+            dicts: vec![Vec::new(); schema.len()],
+            chunks: Vec::new(),
+            next_chunk_id: 0,
+        }
+    }
+
+    /// Total rows across the listed chunks.
+    pub fn total_rows(&self) -> u64 {
+        self.chunks.iter().map(|c| c.rows).sum()
+    }
+
+    /// Serializes and atomically writes the manifest to `storage`.
+    pub fn write_to(&self, storage: &dyn Storage) -> Result<()> {
+        let json = serde_json::to_string(self).map_err(|e| StoreError::ManifestCorrupt {
+            reason: format!("serialize: {e}"),
+        })?;
+        storage.put(MANIFEST_KEY, json.as_bytes())
+    }
+
+    /// Reads the manifest from `storage`; `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Unparsable bytes, an unknown version, or internally inconsistent
+    /// metadata (wrong dict arity, non-contiguous rows) return
+    /// [`StoreError::ManifestCorrupt`].
+    pub fn read_from(storage: &dyn Storage) -> Result<Option<Manifest>> {
+        let Some(bytes) = storage.get(MANIFEST_KEY)? else {
+            return Ok(None);
+        };
+        let text = std::str::from_utf8(&bytes).map_err(|_| StoreError::ManifestCorrupt {
+            reason: "not utf-8".to_string(),
+        })?;
+        let manifest: Manifest =
+            serde_json::from_str(text).map_err(|e| StoreError::ManifestCorrupt {
+                reason: format!("parse: {e}"),
+            })?;
+        manifest.validate()?;
+        Ok(Some(manifest))
+    }
+
+    fn validate(&self) -> Result<()> {
+        let fail = |reason: &str| {
+            Err(StoreError::ManifestCorrupt {
+                reason: reason.to_string(),
+            })
+        };
+        if self.version != MANIFEST_VERSION {
+            return fail("unsupported manifest version");
+        }
+        if self.dicts.len() != self.schema.len() {
+            return fail("dictionary arity disagrees with schema");
+        }
+        let mut next_row = 0u64;
+        for meta in &self.chunks {
+            if meta.start_row != next_row {
+                return fail("chunk rows are not contiguous");
+            }
+            next_row += meta.rows;
+            if meta.dict_lens.len() != self.schema.len() {
+                return fail("chunk dict_lens arity disagrees with schema");
+            }
+            for (lens, dict) in meta.dict_lens.iter().zip(&self.dicts) {
+                if *lens > dict.len() as u64 {
+                    return fail("chunk dict_lens exceed dictionary length");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryBackend;
+
+    fn sample() -> Manifest {
+        let schema = vec!["weather".to_string(), "location".to_string()];
+        let mut m = Manifest::new(&schema);
+        m.dicts = vec![vec!["snow".into(), "clear".into()], vec!["nyc".into()]];
+        m.chunks.push(ChunkMeta {
+            key: "chunk-00000000.nzc".into(),
+            start_row: 0,
+            rows: 100,
+            drifted: 7,
+            ts_min: 10,
+            ts_max: 990,
+            crc32: 0xDEAD_BEEF,
+            encoded_bytes: 321,
+            raw_bytes: 1300,
+            dict_lens: vec![2, 1],
+        });
+        m.next_chunk_id = 1;
+        m
+    }
+
+    #[test]
+    fn manifest_round_trips_through_storage() {
+        let storage = MemoryBackend::new();
+        assert_eq!(Manifest::read_from(&storage), Ok(None));
+        let manifest = sample();
+        manifest.write_to(&storage).expect("write");
+        assert_eq!(Manifest::read_from(&storage), Ok(Some(manifest)));
+    }
+
+    #[test]
+    fn unparsable_manifest_is_a_typed_error() {
+        let storage = MemoryBackend::new();
+        storage.put(MANIFEST_KEY, b"{ not json").expect("put");
+        assert!(matches!(
+            Manifest::read_from(&storage),
+            Err(StoreError::ManifestCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_manifest_is_rejected() {
+        let storage = MemoryBackend::new();
+        let mut manifest = sample();
+        manifest.chunks[0].start_row = 5; // not contiguous from 0
+        manifest.write_to(&storage).expect("write");
+        assert!(matches!(
+            Manifest::read_from(&storage),
+            Err(StoreError::ManifestCorrupt { .. })
+        ));
+        let mut manifest = sample();
+        manifest.chunks[0].dict_lens = vec![99, 1]; // exceeds dict len
+        manifest.write_to(&storage).expect("write");
+        assert!(matches!(
+            Manifest::read_from(&storage),
+            Err(StoreError::ManifestCorrupt { .. })
+        ));
+    }
+}

@@ -1,0 +1,266 @@
+//! Pluggable chunk storage backends.
+//!
+//! The store reads and writes opaque byte blobs under flat string keys
+//! (`chunk-*.nzc`, `MANIFEST.json`); everything about durability lives
+//! behind this trait, zarrs-style, so the in-memory backend preserves
+//! today's process-lifetime behavior exactly while the filesystem backend
+//! adds crash safety (write-temp-then-rename, fsync before rename).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::{Result, StoreError};
+
+/// A flat key → bytes blob store.
+///
+/// `put` must be atomic per key (readers see either the old or the new
+/// value, never a torn mix), `delete` must be idempotent, and `list` must
+/// return keys in sorted order for deterministic recovery sweeps.
+pub trait Storage: std::fmt::Debug + Send + Sync {
+    /// Atomically stores `bytes` under `key`, replacing any prior value.
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()>;
+    /// The value under `key`, or `None` if absent.
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>>;
+    /// Removes `key`; succeeds (quietly) when it is already absent.
+    fn delete(&self, key: &str) -> Result<()>;
+    /// All present keys, sorted.
+    fn list(&self) -> Result<Vec<String>>;
+}
+
+/// Rejects keys that could escape the backend's flat namespace.
+fn check_key(key: &str) -> Result<()> {
+    let ok = !key.is_empty()
+        && !key.starts_with('.')
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+    if ok {
+        Ok(())
+    } else {
+        Err(StoreError::InvalidKey {
+            key: key.to_string(),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+/// Process-lifetime backend: a mutex-guarded `BTreeMap`. With it, the
+/// persistent store behaves exactly like the in-memory `DriftLog` did —
+/// nothing survives the process — which is the default.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    blobs: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemoryBackend {
+    /// An empty in-memory backend.
+    pub fn new() -> MemoryBackend {
+        MemoryBackend::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Vec<u8>>> {
+        // A poisoned lock only means another thread panicked mid-insert of
+        // an unrelated key; the map itself is always consistent.
+        self.blobs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl Storage for MemoryBackend {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        check_key(key)?;
+        self.lock().insert(key.to_string(), bytes.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        check_key(key)?;
+        Ok(self.lock().get(key).cloned())
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        check_key(key)?;
+        self.lock().remove(key);
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self.lock().keys().cloned().collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem backend
+// ---------------------------------------------------------------------------
+
+/// Durable backend: one file per key inside a directory.
+///
+/// Writes go to a `.tmp-` prefixed sibling first, are fsynced, then
+/// renamed over the final name — so a crash mid-write leaves at worst a
+/// temp file, which `list` hides and recovery sweeps away. Torn writes
+/// that *do* reach a final name (e.g. a crash between rename and a later
+/// page writeback on a weaker filesystem) are caught one layer up by the
+/// chunk checksum.
+#[derive(Debug)]
+pub struct FsBackend {
+    dir: PathBuf,
+}
+
+/// Prefix for in-flight temp files; never listed, swept at open.
+const TMP_PREFIX: &str = ".tmp-";
+
+impl FsBackend {
+    /// Opens (creating if needed) the directory-backed store at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] when the directory cannot be created.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FsBackend> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err("create_dir_all", &dir, e))?;
+        Ok(FsBackend { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Removes any `.tmp-` leftovers from interrupted writes. Returns how
+    /// many were swept; called by store recovery at open.
+    pub fn sweep_temp_files(&self) -> Result<usize> {
+        let mut swept = 0;
+        for entry in std::fs::read_dir(&self.dir).map_err(|e| io_err("read_dir", &self.dir, e))? {
+            let entry = entry.map_err(|e| io_err("read_dir", &self.dir, e))?;
+            let name = entry.file_name();
+            if name.to_string_lossy().starts_with(TMP_PREFIX) {
+                std::fs::remove_file(entry.path())
+                    .map_err(|e| io_err("remove_file", &entry.path(), e))?;
+                swept += 1;
+            }
+        }
+        Ok(swept)
+    }
+}
+
+fn io_err(op: &'static str, path: &Path, e: std::io::Error) -> StoreError {
+    StoreError::Io {
+        op,
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+impl Storage for FsBackend {
+    fn put(&self, key: &str, bytes: &[u8]) -> Result<()> {
+        check_key(key)?;
+        let tmp = self.dir.join(format!("{TMP_PREFIX}{key}"));
+        let path = self.dir.join(key);
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io_err("create", &tmp, e))?;
+        file.write_all(bytes)
+            .map_err(|e| io_err("write", &tmp, e))?;
+        file.sync_all().map_err(|e| io_err("fsync", &tmp, e))?;
+        drop(file);
+        std::fs::rename(&tmp, &path).map_err(|e| io_err("rename", &path, e))?;
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        check_key(key)?;
+        let path = self.dir.join(key);
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(io_err("read", &path, e)),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        check_key(key)?;
+        let path = self.dir.join(key);
+        match std::fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err("remove_file", &path, e)),
+        }
+    }
+
+    fn list(&self) -> Result<Vec<String>> {
+        let mut keys = Vec::new();
+        for entry in std::fs::read_dir(&self.dir).map_err(|e| io_err("read_dir", &self.dir, e))? {
+            let entry = entry.map_err(|e| io_err("read_dir", &self.dir, e))?;
+            if !entry.file_type().is_ok_and(|t| t.is_file()) {
+                continue;
+            }
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.starts_with(TMP_PREFIX) {
+                keys.push(name);
+            }
+        }
+        keys.sort();
+        Ok(keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(storage: &dyn Storage) {
+        assert_eq!(storage.list().expect("list"), Vec::<String>::new());
+        storage.put("b.bin", b"beta").expect("put");
+        storage.put("a.bin", b"alpha").expect("put");
+        assert_eq!(storage.get("a.bin").expect("get"), Some(b"alpha".to_vec()));
+        assert_eq!(storage.get("missing").expect("get"), None);
+        assert_eq!(storage.list().expect("list"), vec!["a.bin", "b.bin"]);
+        // Overwrite is a replace, not an append.
+        storage.put("a.bin", b"alpha2").expect("put");
+        assert_eq!(storage.get("a.bin").expect("get"), Some(b"alpha2".to_vec()));
+        // Delete is idempotent.
+        storage.delete("a.bin").expect("delete");
+        storage.delete("a.bin").expect("delete again");
+        assert_eq!(storage.list().expect("list"), vec!["b.bin"]);
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        exercise(&MemoryBackend::new());
+    }
+
+    #[test]
+    fn fs_backend_contract() {
+        let dir = std::env::temp_dir().join(format!("nazar-store-fs-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = FsBackend::open(&dir).expect("open");
+        exercise(&fs);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn keys_cannot_traverse_paths() {
+        let storage = MemoryBackend::new();
+        for bad in ["", "../evil", "a/b", ".hidden", "a\\b"] {
+            assert!(
+                matches!(storage.put(bad, b"x"), Err(StoreError::InvalidKey { .. })),
+                "key {bad:?} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn fs_backend_hides_and_sweeps_temp_files() {
+        let dir = std::env::temp_dir().join(format!("nazar-store-tmp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = FsBackend::open(&dir).expect("open");
+        fs.put("real.bin", b"ok").expect("put");
+        std::fs::write(dir.join(".tmp-crashed"), b"torn").expect("write temp");
+        assert_eq!(fs.list().expect("list"), vec!["real.bin"]);
+        assert_eq!(fs.sweep_temp_files().expect("sweep"), 1);
+        assert!(!dir.join(".tmp-crashed").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,392 @@
+//! Differential suite: a [`DriftStore`] fed a randomized op stream —
+//! pushes, batch ingests with quarantined entries, flushes, retention,
+//! windows, and mid-stream reopens — must answer every query *bitwise
+//! identically* to an in-memory [`DriftLog`] that received the same
+//! rows, at fan-out widths 1, 4 and 8.
+//!
+//! The oracle shares the probe machinery with the store by design (that
+//! is the whole point of `nazar_log::probe`), so these tests pin the
+//! store's chunking/codec/manifest plumbing: any row lost, duplicated,
+//! reordered or mis-decoded by persistence shows up as a query mismatch.
+
+use std::sync::Arc;
+
+use nazar_log::{Attribute, DriftLog, DriftLogEntry, MatchCounts};
+use nazar_store::{CodecChoice, DriftStore, MemoryBackend, StoreConfig};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+const THREAD_WIDTHS: [usize; 3] = [1, 4, 8];
+
+fn schema_refs(schema: &[String]) -> Vec<&str> {
+    schema.iter().map(|s| s.as_str()).collect()
+}
+
+fn value_name(v: u64) -> String {
+    format!("v{v}")
+}
+
+/// One step of the randomized workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Batch-ingest entries; `bad` of them (at random positions) carry a
+    /// wrong-arity attribute list and must be quarantined identically.
+    Ingest(Vec<DriftLogEntry>),
+    /// Seal the tail to the backend.
+    Flush,
+    /// Keep only the last `n` rows.
+    Retain(usize),
+    /// Drop the store and reopen it from the same backend (flushes
+    /// first, so no rows are meant to be lost).
+    Reopen,
+}
+
+#[derive(Debug, Clone)]
+struct Workload {
+    schema: Vec<String>,
+    ops: Vec<Op>,
+    mask: Vec<bool>,
+    chunk_rows: usize,
+    cache_chunks: usize,
+    codec: CodecChoice,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct WorkloadStrategy;
+
+impl Strategy for WorkloadStrategy {
+    type Value = Workload;
+
+    fn generate(&self, rng: &mut TestRng) -> Workload {
+        let n_cols = 1 + rng.below(3) as usize;
+        let n_vals = 1 + rng.below(5);
+        let schema: Vec<String> = (0..n_cols).map(|c| format!("key{c}")).collect();
+        let n_ops = 1 + rng.below(12) as usize;
+        let mut ops = Vec::with_capacity(n_ops);
+        let mut total_rows = 0usize;
+        for _ in 0..n_ops {
+            match rng.below(10) {
+                0..=5 => {
+                    let n = rng.below(30) as usize;
+                    let entries = (0..n)
+                        .map(|_| {
+                            let ts = rng.below(500);
+                            let drift = rng.next_u64() & 1 == 1;
+                            if rng.below(12) == 0 {
+                                // Wrong arity: quarantined by both sides.
+                                DriftLogEntry::new(ts, &[("bogus", "x")], drift)
+                            } else {
+                                let attrs: Vec<(String, String)> = schema
+                                    .iter()
+                                    .map(|k| (k.clone(), value_name(rng.below(n_vals))))
+                                    .collect();
+                                let refs: Vec<(&str, &str)> = attrs
+                                    .iter()
+                                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                                    .collect();
+                                DriftLogEntry::new(ts, &refs, drift)
+                            }
+                        })
+                        .collect::<Vec<_>>();
+                    total_rows += entries.len();
+                    ops.push(Op::Ingest(entries));
+                }
+                6 | 7 => ops.push(Op::Flush),
+                8 => ops.push(Op::Retain(rng.below(total_rows.max(1) as u64 * 2) as usize)),
+                _ => ops.push(Op::Reopen),
+            }
+        }
+        let mask_len = rng.below(400) as usize;
+        Workload {
+            schema,
+            ops,
+            mask: (0..mask_len).map(|_| rng.next_u64() & 1 == 1).collect(),
+            chunk_rows: 1 + rng.below(16) as usize,
+            cache_chunks: rng.below(4) as usize,
+            codec: match rng.below(4) {
+                0 => CodecChoice::Raw,
+                1 => CodecChoice::Bitpack,
+                2 => CodecChoice::Rle,
+                _ => CodecChoice::Auto,
+            },
+        }
+    }
+}
+
+fn workload() -> WorkloadStrategy {
+    WorkloadStrategy
+}
+
+fn config(w: &Workload) -> StoreConfig {
+    StoreConfig {
+        dir: None,
+        chunk_rows: w.chunk_rows,
+        cache_chunks: w.cache_chunks,
+        codec: w.codec,
+    }
+}
+
+/// Replays the op stream into a persistent store (on `backend`) and the
+/// in-memory oracle, returning both in their final states.
+fn replay(w: &Workload) -> (DriftStore, DriftLog) {
+    let refs = schema_refs(&w.schema);
+    let backend = Arc::new(MemoryBackend::new());
+    let mut store = DriftStore::open(backend.clone(), &refs, config(w)).expect("open fresh store");
+    let mut oracle = DriftLog::new(&refs);
+    for op in &w.ops {
+        match op {
+            Op::Ingest(entries) => {
+                let got = store.ingest_batch(entries.clone());
+                let want = oracle.ingest_batch(entries.clone());
+                assert_eq!(got, want, "ingest reports diverged");
+            }
+            Op::Flush => {
+                store.flush().expect("flush");
+            }
+            Op::Retain(n) => {
+                store.retain_last(*n).expect("retain_last");
+                oracle.retain_last(*n);
+            }
+            Op::Reopen => {
+                store.flush().expect("flush before reopen");
+                drop(store);
+                store = DriftStore::open(backend.clone(), &refs, config(w))
+                    .expect("reopen from backend");
+                assert!(
+                    store.recovery().is_clean(),
+                    "clean reopen repaired something: {:?}",
+                    store.recovery()
+                );
+            }
+        }
+    }
+    (store, oracle)
+}
+
+/// Query sets exercising empty sets, hits, misses, intersections, and
+/// never-interned values, built from the oracle's actual dictionaries.
+fn query_sets(oracle: &DriftLog) -> Vec<Vec<Attribute>> {
+    let schema = oracle.schema();
+    let val = |ci: usize, i: usize| oracle.dict_values(ci).get(i).cloned();
+    let mut sets = vec![
+        Vec::new(),
+        vec![Attribute::new(schema[0].clone(), "never-interned")],
+    ];
+    if let Some(v) = val(0, 0) {
+        sets.push(vec![Attribute::new(schema[0].clone(), v)]);
+    }
+    if schema.len() >= 2 {
+        if let (Some(a), Some(b)) = (val(0, 0), val(1, 1).or_else(|| val(1, 0))) {
+            sets.push(vec![
+                Attribute::new(schema[0].clone(), a.clone()),
+                Attribute::new(schema[1].clone(), b.clone()),
+            ]);
+            sets.push(vec![
+                Attribute::new(schema[1].clone(), b),
+                Attribute::new(schema[0].clone(), a),
+            ]);
+        }
+    }
+    sets
+}
+
+/// Full bitwise comparison of two logs: rows, flags, timestamps, dict
+/// order, codes. (`DriftLog` has no `PartialEq`; this is stricter
+/// anyway, since it also pins dictionary order.)
+fn assert_logs_equal(got: &DriftLog, want: &DriftLog) {
+    assert_eq!(got.schema(), want.schema());
+    assert_eq!(got.num_rows(), want.num_rows());
+    assert_eq!(got.timestamps(), want.timestamps());
+    assert_eq!(got.drift_flags(), want.drift_flags());
+    for ci in 0..want.schema().len() {
+        assert_eq!(
+            got.dict_values(ci),
+            want.dict_values(ci),
+            "column {ci} dict"
+        );
+        assert_eq!(
+            got.column_codes(ci),
+            want.column_codes(ci),
+            "column {ci} codes"
+        );
+    }
+}
+
+fn assert_store_equals_oracle(store: &DriftStore, oracle: &DriftLog, mask: &[bool]) {
+    assert_eq!(store.num_rows(), oracle.num_rows());
+    assert_eq!(store.num_drifted(), oracle.num_drifted());
+    for set in query_sets(oracle) {
+        for threads in THREAD_WIDTHS {
+            assert_eq!(
+                store
+                    .count_matching_with_threads(&set, None, threads)
+                    .expect("count"),
+                oracle
+                    .count_matching_with_threads(&set, None, threads)
+                    .expect("count"),
+                "count_matching({set:?}) at {threads} threads"
+            );
+            assert_eq!(
+                store
+                    .count_matching_with_threads(&set, Some(mask), threads)
+                    .expect("count"),
+                oracle
+                    .count_matching_with_threads(&set, Some(mask), threads)
+                    .expect("count"),
+                "masked count_matching({set:?}) at {threads} threads"
+            );
+            assert_eq!(
+                store
+                    .rows_matching_with_threads(&set, threads)
+                    .expect("rows"),
+                oracle
+                    .rows_matching_with_threads(&set, threads)
+                    .expect("rows"),
+                "rows_matching({set:?}) at {threads} threads"
+            );
+        }
+    }
+    for key in oracle.schema() {
+        for threads in THREAD_WIDTHS {
+            assert_eq!(
+                store
+                    .distinct_values_with_threads(key, threads)
+                    .expect("distinct"),
+                oracle
+                    .distinct_values_with_threads(key, threads)
+                    .expect("distinct"),
+                "distinct_values({key}) at {threads} threads"
+            );
+        }
+        assert_eq!(
+            store.group_counts(key).expect("group"),
+            oracle.group_counts(key).expect("group"),
+            "group_counts({key})"
+        );
+    }
+    // Row reconstruction must agree everywhere.
+    for row in 0..oracle.num_rows() {
+        assert_eq!(
+            store.entry(row).expect("entry"),
+            oracle.entry(row).expect("entry"),
+            "entry({row})"
+        );
+    }
+    // Windows (including empty and inverted ranges).
+    for (t0, t1) in [(0u64, 0u64), (0, 250), (100, 400), (0, u64::MAX)] {
+        assert_logs_equal(
+            &store.window(t0, t1).expect("window"),
+            &oracle.window(t0, t1),
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn persisted_queries_equal_in_memory_at_all_widths(w in workload()) {
+        let (store, oracle) = replay(&w);
+        assert_store_equals_oracle(&store, &oracle, &w.mask);
+    }
+
+    #[test]
+    fn reopen_after_final_flush_preserves_everything(w in workload()) {
+        let (mut store, oracle) = replay(&w);
+        store.flush().expect("final flush");
+        let backend_store = store; // keep backend alive through reopen
+        let refs = schema_refs(&w.schema);
+        // Reopening *twice* must also be stable (open is idempotent).
+        for _ in 0..2 {
+            let reopened = DriftStore::open(
+                backend_store.storage_handle(),
+                &refs,
+                config(&w),
+            )
+            .expect("reopen");
+            prop_assert!(reopened.recovery().is_clean());
+            assert_store_equals_oracle(&reopened, &oracle, &w.mask);
+        }
+    }
+}
+
+/// Deterministic pin of the unflushed-loss semantics: rows pushed after
+/// the last flush are gone after reopen, rows before it all survive.
+#[test]
+fn reopen_rolls_back_to_last_flush() {
+    let backend = Arc::new(MemoryBackend::new());
+    let config = StoreConfig {
+        chunk_rows: 4,
+        ..StoreConfig::memory()
+    };
+    let mut store = DriftStore::open(backend.clone(), &["k"], config.clone()).expect("open");
+    for i in 0..10u64 {
+        store
+            .push(DriftLogEntry::new(
+                i,
+                &[("k", value_name(i % 3).as_str())],
+                i % 2 == 0,
+            ))
+            .expect("push");
+    }
+    store.flush().expect("flush");
+    assert_eq!(store.durable_rows(), 10);
+    for i in 10..13u64 {
+        store
+            .push(DriftLogEntry::new(i, &[("k", "late")], false))
+            .expect("push");
+    }
+    assert_eq!(store.num_rows(), 13);
+    assert_eq!(store.durable_rows(), 10);
+    drop(store);
+    let store = DriftStore::open(backend, &["k"], config).expect("reopen");
+    assert_eq!(store.num_rows(), 10);
+    assert_eq!(
+        store
+            .count_matching(&[Attribute::new("k", "late")], None)
+            .expect("count"),
+        MatchCounts::default()
+    );
+}
+
+/// A larger fixed-seed run against the filesystem backend: several
+/// thousand rows, many chunks, a mid-run reopen — all queries equal.
+#[test]
+fn filesystem_backend_differential_smoke() {
+    let dir = std::env::temp_dir().join(format!("nazar-store-diff-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StoreConfig {
+        chunk_rows: 256,
+        cache_chunks: 2,
+        ..StoreConfig::at(dir.to_string_lossy().into_owned())
+    };
+    let schema = ["weather", "location"];
+    let mut store = DriftStore::open_config(&schema, config.clone()).expect("open");
+    let mut oracle = DriftLog::new(&schema);
+    let mk = |i: u64| {
+        DriftLogEntry::new(
+            i * 7 % 5000,
+            &[
+                ("weather", ["snow", "clear", "rain"][(i % 3) as usize]),
+                ("location", ["nyc", "helsinki"][(i % 2) as usize]),
+            ],
+            i.is_multiple_of(5),
+        )
+    };
+    for i in 0..3000 {
+        let e = mk(i);
+        store.push(e.clone()).expect("push");
+        oracle.push(e).expect("push");
+        if i % 700 == 0 {
+            store.flush().expect("flush");
+        }
+    }
+    store.flush().expect("flush");
+    drop(store);
+    let store = DriftStore::open_config(&schema, config).expect("reopen");
+    assert!(store.recovery().is_clean());
+    assert!(store.num_chunks() > 5, "expected many chunks");
+    let mask: Vec<bool> = (0..3000).map(|i| i % 7 == 0).collect();
+    assert_store_equals_oracle(&store, &oracle, &mask);
+    let _ = std::fs::remove_dir_all(&dir);
+}

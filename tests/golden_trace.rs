@@ -25,10 +25,15 @@
 
 use nazar::prelude::*;
 use nazar_net::NetConfig;
+use nazar_store::{DriftStore, StoreConfig};
 
 const SNAPSHOT: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/run_summary.txt");
 
 fn run(scheduler: SchedulerMode) -> RunResult {
+    run_with_persist(scheduler, None)
+}
+
+fn run_with_persist(scheduler: SchedulerMode, persist: Option<StoreConfig>) -> RunResult {
     let config = AnimalsConfig {
         classes: 6,
         dim: 24,
@@ -51,6 +56,7 @@ fn run(scheduler: SchedulerMode) -> RunResult {
         // Hermetic: ignore any NAZAR_NET_* knobs set in the environment.
         net: Some(NetConfig::default()),
         scheduler,
+        persist,
         ..CloudConfig::default()
     });
     system.run(&dataset.streams, Strategy::Nazar)
@@ -134,4 +140,40 @@ fn golden_trace_lockstep_matches_same_snapshot() {
     }
     let got = trace(&run(SchedulerMode::Lockstep));
     assert_matches_snapshot(&got, "lockstep");
+}
+
+/// Durable drift-log persistence (ISSUE 8) must be invisible to the run:
+/// the same snapshot with a store mirroring every ingest into a tempdir,
+/// then again mid-history against the reopened store — a restart between
+/// runs neither loses rows nor perturbs a single traced number.
+#[test]
+fn golden_trace_with_persistence_matches_same_snapshot() {
+    if std::env::var("NAZAR_BLESS").is_ok_and(|v| v == "1") {
+        return; // `golden_trace_matches_snapshot` owns blessing
+    }
+    let dir = std::env::temp_dir().join(format!("nazar-golden-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let persist = StoreConfig::at(dir.to_string_lossy().into_owned());
+
+    let result = run_with_persist(SchedulerMode::EventDriven, Some(persist.clone()));
+    assert_matches_snapshot(&trace(&result), "persisted");
+    // Mid-run reopen: the store holds exactly the rows the run ingested.
+    let store = DriftStore::open_config(&nazar_device::LOG_SCHEMA, persist.clone())
+        .expect("reopen persisted store");
+    assert!(store.recovery().is_clean());
+    assert_eq!(store.num_rows(), result.log_rows);
+    assert_eq!(
+        store.durable_rows(),
+        result.log_rows,
+        "flushed at window boundaries"
+    );
+    drop(store);
+
+    // Second run against the pre-populated store: history accumulates,
+    // results do not move.
+    let result = run_with_persist(SchedulerMode::EventDriven, Some(persist.clone()));
+    assert_matches_snapshot(&trace(&result), "persisted-reopen");
+    let store = DriftStore::open_config(&nazar_device::LOG_SCHEMA, persist).expect("reopen again");
+    assert_eq!(store.num_rows(), 2 * result.log_rows);
+    let _ = std::fs::remove_dir_all(&dir);
 }
