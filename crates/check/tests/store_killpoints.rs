@@ -7,6 +7,11 @@
 //! asserts the store recovered to a consistent durable state — either the
 //! pre-transaction rows or the post-transaction rows, never a torn mix,
 //! never a panic, never a dropped-chunk loss (puts are atomic).
+//!
+//! The `healed` variants additionally keep using the *same live instance*
+//! after an injected failure (the orchestrator deliberately outlives flush
+//! errors): in-memory state must stay consistent with the durable manifest
+//! so a retried flush/retention converges instead of corrupting.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -14,21 +19,26 @@ use std::sync::Arc;
 use nazar_log::{DriftLog, DriftLogEntry};
 use nazar_store::{DriftStore, MemoryBackend, Storage, StoreConfig, StoreError};
 
-/// Wraps a [`MemoryBackend`] and fails every mutating op (`put`/`delete`)
-/// from the `fail_at`-th one onward — a disk that dies mid-transaction and
-/// stays dead, which is how a crash looks to the bytes that survive it.
+/// Wraps a [`MemoryBackend`] and fails mutating ops (`put`/`delete`)
+/// whose index lands in `[fail_at, fail_until)`. With `fail_until` at
+/// `usize::MAX` that is a disk that dies mid-transaction and stays dead
+/// (how a crash looks to the bytes that survive it); with
+/// `fail_until == fail_at + 1` it is a transient fault — one failed op,
+/// then the disk heals and the *same live store* keeps getting used.
 #[derive(Debug)]
 struct FailpointStorage {
     inner: Arc<MemoryBackend>,
     fail_at: usize,
+    fail_until: usize,
     ops: AtomicUsize,
 }
 
 impl FailpointStorage {
-    fn new(inner: Arc<MemoryBackend>, fail_at: usize) -> FailpointStorage {
+    fn new(inner: Arc<MemoryBackend>, fail_at: usize, fail_until: usize) -> FailpointStorage {
         FailpointStorage {
             inner,
             fail_at,
+            fail_until,
             ops: AtomicUsize::new(0),
         }
     }
@@ -39,7 +49,7 @@ impl FailpointStorage {
 
     fn trip(&self) -> Result<(), StoreError> {
         let op = self.ops.fetch_add(1, Ordering::SeqCst);
-        if op >= self.fail_at {
+        if op >= self.fail_at && op < self.fail_until {
             Err(StoreError::Io {
                 op: "failpoint",
                 path: format!("injected failure at mutating op {op}"),
@@ -120,13 +130,14 @@ fn assert_state(store: &DriftStore, stream_len: u64, kept: u64) {
 
 /// Seeds a backend with `durable` rows flushed at `chunk_rows`, then
 /// pushes `extra` more unflushed rows into a store handle over a
-/// failpoint wrapper set to die at mutating op `fail_at`. Returns the
-/// inner backend and the store handle (pre-crash).
+/// failpoint wrapper failing mutating ops `[fail_at, fail_until)`.
+/// Returns the inner backend and the store handle (pre-crash).
 fn seeded_with_failpoint(
     durable: u64,
     extra: u64,
     chunk_rows: usize,
     fail_at: usize,
+    fail_until: usize,
 ) -> (Arc<MemoryBackend>, Arc<FailpointStorage>, DriftStore) {
     let inner = Arc::new(MemoryBackend::new());
     let config = StoreConfig {
@@ -140,7 +151,7 @@ fn seeded_with_failpoint(
     seed.flush().expect("seed flush");
     drop(seed);
 
-    let failpoint = Arc::new(FailpointStorage::new(inner.clone(), fail_at));
+    let failpoint = Arc::new(FailpointStorage::new(inner.clone(), fail_at, fail_until));
     let mut store =
         DriftStore::open(failpoint.clone() as Arc<dyn Storage>, &SCHEMA, config).expect("reopen");
     for i in durable..durable + extra {
@@ -156,13 +167,13 @@ fn flush_killed_at_every_op_recovers_to_a_consistent_state() {
     let (durable, extra, chunk_rows) = (10u64, 7u64, 4usize);
 
     // Dry run to learn how many mutating ops a full flush takes.
-    let (_, failpoint, mut store) = seeded_with_failpoint(durable, extra, chunk_rows, usize::MAX);
+    let (_, failpoint, mut store) = seeded_with_failpoint(durable, extra, chunk_rows, usize::MAX, usize::MAX);
     store.flush().expect("unimpeded flush");
     let total_ops = failpoint.mutating_ops();
     assert!(total_ops >= 3, "flush should put chunks + manifest");
 
     for fail_at in 0..total_ops {
-        let (inner, _, mut store) = seeded_with_failpoint(durable, extra, chunk_rows, fail_at);
+        let (inner, _, mut store) = seeded_with_failpoint(durable, extra, chunk_rows, fail_at, usize::MAX);
         let result = store.flush();
         assert!(
             result.is_err(),
@@ -202,13 +213,13 @@ fn retention_killed_at_every_op_recovers_to_a_consistent_state() {
     // replacement key, rewrites the manifest, deletes the stale keys.
     let (durable, chunk_rows, keep) = (14u64, 4usize, 5usize);
 
-    let (_, failpoint, mut store) = seeded_with_failpoint(durable, 0, chunk_rows, usize::MAX);
+    let (_, failpoint, mut store) = seeded_with_failpoint(durable, 0, chunk_rows, usize::MAX, usize::MAX);
     store.retain_last(keep).expect("unimpeded retain");
     let total_ops = failpoint.mutating_ops();
     assert!(total_ops >= 2, "retention should rewrite and delete");
 
     for fail_at in 0..total_ops {
-        let (inner, _, mut store) = seeded_with_failpoint(durable, 0, chunk_rows, fail_at);
+        let (inner, _, mut store) = seeded_with_failpoint(durable, 0, chunk_rows, fail_at, usize::MAX);
         assert!(store.retain_last(keep).is_err(), "kill-point {fail_at}");
         drop(store);
 
@@ -232,6 +243,106 @@ fn retention_killed_at_every_op_recovers_to_a_consistent_state() {
             "kill-point {fail_at}: {rows} rows"
         );
         assert_state(&reopened, durable, rows);
+    }
+}
+
+/// A flush that fails mid-transaction must leave the *live* instance
+/// consistent, not just the bytes a reopen would recover: the orchestrator
+/// deliberately keeps running after flush errors, so a later flush on the
+/// same `DriftStore` (once the disk heals) must not pop a full data chunk
+/// as the "old partial", delete its key, or write an overlapping manifest.
+#[test]
+fn live_store_stays_usable_after_a_healed_flush_failure_at_every_op() {
+    let (durable, extra, chunk_rows) = (10u64, 7u64, 4usize);
+
+    let (_, failpoint, mut store) =
+        seeded_with_failpoint(durable, extra, chunk_rows, usize::MAX, usize::MAX);
+    store.flush().expect("unimpeded flush");
+    let total_ops = failpoint.mutating_ops();
+
+    for fail_at in 0..total_ops {
+        // Fail exactly one mutating op, then heal.
+        let (inner, _, mut store) =
+            seeded_with_failpoint(durable, extra, chunk_rows, fail_at, fail_at + 1);
+        assert!(store.flush().is_err(), "kill-point {fail_at}");
+        // The live store still answers every query over all its rows.
+        assert_state(&store, durable + extra, durable + extra);
+
+        // Keep using the same instance: push one more row and re-flush.
+        store.push(entry(durable + extra)).expect("push");
+        store.flush().expect("healed flush must succeed");
+        let total = durable + extra + 1;
+        assert_state(&store, total, total);
+        drop(store);
+
+        // The durable state must hold everything — no chunk lost to the
+        // failed attempt, no manifest with overlapping row ranges (which
+        // would fail open with ManifestCorrupt).
+        let reopened = DriftStore::open(
+            inner,
+            &SCHEMA,
+            StoreConfig {
+                chunk_rows,
+                ..StoreConfig::memory()
+            },
+        )
+        .expect("reopen after healed failure");
+        assert_eq!(
+            reopened.recovery().dropped_chunks,
+            0,
+            "kill-point {fail_at}"
+        );
+        assert_state(&reopened, total, total);
+    }
+}
+
+/// Same discipline for retention: a mid-transaction failure must leave the
+/// live store either fully pre- or fully post-retention, and a retried
+/// `retain_last` on the same instance must converge without losing any
+/// durable chunk.
+#[test]
+fn live_store_stays_usable_after_a_healed_retention_failure_at_every_op() {
+    let (durable, chunk_rows, keep) = (14u64, 4usize, 5usize);
+
+    let (_, failpoint, mut store) =
+        seeded_with_failpoint(durable, 0, chunk_rows, usize::MAX, usize::MAX);
+    store.retain_last(keep).expect("unimpeded retain");
+    let total_ops = failpoint.mutating_ops();
+
+    for fail_at in 0..total_ops {
+        let (inner, _, mut store) =
+            seeded_with_failpoint(durable, 0, chunk_rows, fail_at, fail_at + 1);
+        assert!(store.retain_last(keep).is_err(), "kill-point {fail_at}");
+        // Never a torn middle on the live instance: all rows or `keep`.
+        let rows = store.num_rows() as u64;
+        assert!(
+            rows == durable || rows == keep as u64,
+            "kill-point {fail_at}: live store holds {rows} rows"
+        );
+        assert_state(&store, durable, rows);
+
+        // Healed retry converges, and the store keeps flushing new rows.
+        store.retain_last(keep).expect("healed retain");
+        assert_state(&store, durable, keep as u64);
+        store.push(entry(durable)).expect("push");
+        store.flush().expect("flush after retention");
+        drop(store);
+
+        let reopened = DriftStore::open(
+            inner,
+            &SCHEMA,
+            StoreConfig {
+                chunk_rows,
+                ..StoreConfig::memory()
+            },
+        )
+        .expect("reopen after healed retention failure");
+        assert_eq!(
+            reopened.recovery().dropped_chunks,
+            0,
+            "kill-point {fail_at}"
+        );
+        assert_state(&reopened, durable + 1, keep as u64 + 1);
     }
 }
 

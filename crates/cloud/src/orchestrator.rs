@@ -638,7 +638,11 @@ impl Orchestrator {
         if let Some(limit) = self.config.log_retention {
             self.drift_log.retain_last(limit);
             if let Some(store) = self.store.as_mut() {
-                if let Err(err) = store.retain_last(limit) {
+                // Out-of-core retention re-slices the boundary chunk and
+                // rewrites the full manifest — too heavy for every ingest
+                // batch, so the durable mirror is allowed to overshoot by
+                // up to one chunk of rows between trims.
+                if let Err(err) = store.retain_last_amortized(limit) {
                     event!("store_retention_failed", error = err.to_string());
                 }
             }

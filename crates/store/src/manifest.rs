@@ -9,10 +9,14 @@
 //! the backend is an orphan, swept at open.
 //!
 //! Numbers ride JSON through the vendored serde's `f64` funnel, exact up
-//! to 2^53 — far beyond any row count, virtual timestamp or CRC the
-//! store produces.
+//! to 2^53 — far beyond any row count, byte size or CRC the store
+//! produces. Timestamps are the exception: the log accepts arbitrary
+//! `u64` timestamps (nanosecond epochs live above 2^53), and a perturbed
+//! `ts_min`/`ts_max` would fail recovery's exact cross-check against the
+//! chunk header and silently mis-prune window queries — so those two
+//! fields serialize as decimal *strings*, exact at full `u64` range.
 
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 use crate::storage::Storage;
 use crate::{Result, StoreError};
@@ -23,7 +27,12 @@ pub const MANIFEST_KEY: &str = "MANIFEST.json";
 pub const MANIFEST_VERSION: u32 = 1;
 
 /// One live chunk's metadata.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialized by hand (not derived) so `ts_min`/`ts_max` can ride JSON
+/// as decimal strings: every other field is far below 2^53, but
+/// timestamps span the full `u64` range and must round-trip exactly for
+/// recovery's header cross-check and manifest pruning to be sound.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChunkMeta {
     /// Storage key of the chunk blob.
     pub key: String,
@@ -50,6 +59,57 @@ pub struct ChunkMeta {
     /// exactly the first-use interning state of a log that saw only the
     /// surviving rows.
     pub dict_lens: Vec<u64>,
+}
+
+impl Serialize for ChunkMeta {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("key".to_string(), self.key.to_value()),
+            ("start_row".to_string(), self.start_row.to_value()),
+            ("rows".to_string(), self.rows.to_value()),
+            ("drifted".to_string(), self.drifted.to_value()),
+            ("ts_min".to_string(), Value::Str(self.ts_min.to_string())),
+            ("ts_max".to_string(), Value::Str(self.ts_max.to_string())),
+            ("crc32".to_string(), self.crc32.to_value()),
+            ("encoded_bytes".to_string(), self.encoded_bytes.to_value()),
+            ("raw_bytes".to_string(), self.raw_bytes.to_value()),
+            ("dict_lens".to_string(), self.dict_lens.to_value()),
+        ])
+    }
+}
+
+/// Parses a `u64` that may arrive as a decimal string (the exact wire
+/// form) or a plain JSON number (exact only below 2^53).
+fn u64_lossless(v: &Value) -> std::result::Result<u64, DeError> {
+    match v {
+        Value::Str(s) => s
+            .parse()
+            .map_err(|_| DeError::custom(format!("`{s}` is not a u64"))),
+        other => u64::from_value(other),
+    }
+}
+
+impl Deserialize for ChunkMeta {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::type_mismatch("map", v))?;
+        let field = |name: &'static str| {
+            serde::value_get(entries, name).ok_or_else(|| DeError::missing_field(name, "ChunkMeta"))
+        };
+        Ok(ChunkMeta {
+            key: String::from_value(field("key")?)?,
+            start_row: u64::from_value(field("start_row")?)?,
+            rows: u64::from_value(field("rows")?)?,
+            drifted: u64::from_value(field("drifted")?)?,
+            ts_min: u64_lossless(field("ts_min")?)?,
+            ts_max: u64_lossless(field("ts_max")?)?,
+            crc32: u32::from_value(field("crc32")?)?,
+            encoded_bytes: u64::from_value(field("encoded_bytes")?)?,
+            raw_bytes: u64::from_value(field("raw_bytes")?)?,
+            dict_lens: Vec::<u64>::from_value(field("dict_lens")?)?,
+        })
+    }
 }
 
 /// The manifest document.
@@ -177,6 +237,37 @@ mod tests {
         assert_eq!(Manifest::read_from(&storage), Ok(None));
         let manifest = sample();
         manifest.write_to(&storage).expect("write");
+        assert_eq!(Manifest::read_from(&storage), Ok(Some(manifest)));
+    }
+
+    #[test]
+    fn timestamps_above_2_pow_53_round_trip_exactly() {
+        // Nanosecond epochs overflow JSON's f64-exact integer range; the
+        // string wire form must keep every bit, or recovery's ts-range
+        // cross-check would drop perfectly healthy chunks at reopen.
+        let storage = MemoryBackend::new();
+        let mut manifest = sample();
+        manifest.chunks[0].ts_min = (1u64 << 53) + 1;
+        manifest.chunks[0].ts_max = u64::MAX;
+        manifest.write_to(&storage).expect("write");
+        assert_eq!(Manifest::read_from(&storage), Ok(Some(manifest)));
+    }
+
+    #[test]
+    fn numeric_timestamps_are_still_accepted() {
+        // Back-compat: a manifest whose ts fields are plain JSON numbers
+        // (the pre-string wire form) still parses.
+        let storage = MemoryBackend::new();
+        let manifest = sample();
+        let json = serde_json::to_string(&manifest)
+            .expect("serialize")
+            .replace("\"ts_min\":\"10\"", "\"ts_min\":10")
+            .replace("\"ts_max\":\"990\"", "\"ts_max\":990");
+        assert!(
+            json.contains("\"ts_min\":10") && json.contains("\"ts_max\":990"),
+            "wire form changed; this test no longer exercises numeric back-compat"
+        );
+        storage.put(MANIFEST_KEY, json.as_bytes()).expect("put");
         assert_eq!(Manifest::read_from(&storage), Ok(Some(manifest)));
     }
 

@@ -381,7 +381,12 @@ impl DriftStore {
         let Ok(header) = verify_chunk(&meta.key, &bytes) else {
             return Ok(None);
         };
-        let matches = header.rows as u64 == meta.rows
+        // `dict_lens` arity equals the schema width (manifest validation),
+        // so this also pins the chunk's column count to the schema —
+        // without it a checksum-valid chunk of the wrong width would panic
+        // downstream code that indexes columns by schema position.
+        let matches = header.columns == meta.dict_lens.len()
+            && header.rows as u64 == meta.rows
             && header.drifted as u64 == meta.drifted
             && (header.rows == 0 || (header.ts_min, header.ts_max) == (meta.ts_min, meta.ts_max))
             && crc32(&bytes[..bytes.len() - 4]) == meta.crc32;
@@ -524,9 +529,12 @@ impl DriftStore {
     ///
     /// # Errors
     ///
-    /// Backend I/O failures. The store's in-memory state is only updated
-    /// after every write succeeded, so a failed flush leaves a consistent
-    /// (just less durable) store.
+    /// Backend I/O failures. All changes are staged in locals and the
+    /// in-memory state is committed only after every backend write
+    /// succeeded, so a failed flush leaves the store exactly as it was
+    /// (just less durable) — callers may keep using it and retry; at
+    /// worst the failed attempt leaves unreferenced keys behind, swept
+    /// at the next open.
     pub fn flush(&mut self) -> Result<FlushReport> {
         let start = std::time::Instant::now();
         let chunk_rows = self.config.chunk_rows_clamped();
@@ -543,9 +551,14 @@ impl DriftStore {
 
         if tail_rows > self.tail_sealed {
             // Seal the whole tail as fresh chunks (replacing the old
-            // partial chunk, whose rows are the tail's leading rows).
+            // partial chunk, whose rows are the tail's leading rows). The
+            // new chunk list is built in a local: a put or manifest write
+            // can fail mid-transaction (ENOSPC, dead disk) and the live
+            // store must still describe exactly the durable state the old
+            // manifest does.
+            let mut new_chunks = self.chunks.clone();
             let old_partial = if self.tail_sealed > 0 {
-                self.chunks.pop()
+                new_chunks.pop()
             } else {
                 None
             };
@@ -554,8 +567,7 @@ impl DriftStore {
             // densely in first-use order, so `max code + 1` is exactly
             // the dictionary length after those rows). Recovery relies on
             // this to truncate dictionaries when it drops a chunk suffix.
-            let mut running_lens: Vec<u64> = self
-                .chunks
+            let mut running_lens: Vec<u64> = new_chunks
                 .last()
                 .map(|m| m.dict_lens.clone())
                 .unwrap_or_else(|| vec![0; self.schema().len()]);
@@ -581,21 +593,24 @@ impl DriftStore {
                 )?;
                 report.stats.add(&stats);
                 report.chunks_written += 1;
-                self.chunks.push(meta);
+                new_chunks.push(meta);
                 start_local += n;
             }
-            self.write_manifest()?;
-            if let Some(old) = old_partial {
-                self.storage.delete(&old.key)?;
-                self.lock_cache().evict(&old.key);
-                report.replaced_tail_chunk = true;
-            }
-            // Rows sealed into full chunks leave the tail.
+            self.write_manifest_for(&new_chunks)?;
+            // Commit: every chunk and the manifest landed. Only the stale
+            // partial-chunk delete remains, and if it fails the key is
+            // merely an unreferenced orphan.
+            self.chunks = new_chunks;
             let new_tail_sealed = tail_rows % chunk_rows;
             let dropped = tail_rows - new_tail_sealed;
             self.tail.retain_last(new_tail_sealed);
             self.tail_start += dropped;
             self.tail_sealed = new_tail_sealed;
+            if let Some(old) = old_partial {
+                report.replaced_tail_chunk = true;
+                self.lock_cache().evict(&old.key);
+                self.storage.delete(&old.key)?;
+            }
         } else {
             // Dictionary growth without new rows (quarantined entries can
             // intern values before failing): manifest rewrite only.
@@ -639,13 +654,21 @@ impl DriftStore {
     /// Atomically writes the current manifest (schema, dictionaries,
     /// chunk list) and records the dictionary high-water marks.
     fn write_manifest(&mut self) -> Result<()> {
+        let chunks = self.chunks.clone();
+        self.write_manifest_for(&chunks)
+    }
+
+    /// [`Self::write_manifest`] over an explicit (staged, not yet
+    /// committed) chunk list — the transactional paths write the manifest
+    /// from locals and assign `self.chunks` only once it has landed.
+    fn write_manifest_for(&mut self, chunks: &[ChunkMeta]) -> Result<()> {
         let manifest = Manifest {
             version: crate::manifest::MANIFEST_VERSION,
             schema: self.tail.schema().to_vec(),
             dicts: (0..self.schema().len())
                 .map(|ci| self.tail.dict_values(ci).to_vec())
                 .collect(),
-            chunks: self.chunks.clone(),
+            chunks: chunks.to_vec(),
             next_chunk_id: self.next_chunk_id,
         };
         manifest.write_to(&*self.storage)?;
@@ -667,7 +690,10 @@ impl DriftStore {
     ///
     /// # Errors
     ///
-    /// Backend I/O failures or a corrupt boundary chunk.
+    /// Backend I/O failures or a corrupt boundary chunk. As with
+    /// [`DriftStore::flush`], in-memory state only moves after every
+    /// backend write succeeded, so a failed retention leaves the live
+    /// store (and its manifest) untouched and retryable.
     pub fn retain_last(&mut self, n: usize) -> Result<()> {
         let total = self.num_rows();
         if total <= n {
@@ -675,30 +701,32 @@ impl DriftStore {
         }
         let cut = total - n;
         if cut >= self.tail_start {
-            // Every chunk dies; the tail (which holds all surviving rows,
-            // since cut >= tail_start) shrinks in memory.
+            // Every chunk dies; the tail holds all surviving rows (since
+            // cut >= tail_start). Manifest first: if that write fails,
+            // nothing — durable or in-memory — has moved.
+            self.write_manifest_for(&[])?;
             let old = std::mem::take(&mut self.chunks);
             self.tail.retain_last(n);
             self.tail_start = 0;
             self.tail_sealed = 0;
-            self.write_manifest()?;
             for meta in old {
-                self.storage.delete(&meta.key)?;
                 self.lock_cache().evict(&meta.key);
+                self.storage.delete(&meta.key)?;
             }
             return Ok(());
         }
         // The cut lands strictly below the tail: the tail (and the partial
         // tail chunk, which starts at tail_start) is untouched; head
-        // chunks are dropped or re-sliced.
-        let old_chunks = std::mem::take(&mut self.chunks);
+        // chunks are dropped or re-sliced. The survivor list is staged in
+        // a local and committed only after the manifest lands.
+        let mut new_chunks: Vec<ChunkMeta> = Vec::with_capacity(self.chunks.len());
         let mut doomed: Vec<String> = Vec::new();
-        for meta in old_chunks {
+        for meta in self.chunks.clone() {
             let end = meta.start_row as usize + meta.rows as usize;
             if end <= cut {
                 doomed.push(meta.key);
             } else if meta.start_row as usize >= cut {
-                self.chunks.push(ChunkMeta {
+                new_chunks.push(ChunkMeta {
                     start_row: meta.start_row - cut as u64,
                     ..meta
                 });
@@ -714,17 +742,35 @@ impl DriftStore {
                     timestamps: block.timestamps[from..].to_vec(),
                 };
                 let (replacement, _) = self.write_chunk(&data, 0, meta.dict_lens.clone())?;
-                self.chunks.push(replacement);
+                new_chunks.push(replacement);
                 doomed.push(meta.key);
             }
         }
+        self.write_manifest_for(&new_chunks)?;
+        self.chunks = new_chunks;
         self.tail_start -= cut;
-        self.write_manifest()?;
         for key in doomed {
-            self.storage.delete(&key)?;
             self.lock_cache().evict(&key);
+            self.storage.delete(&key)?;
         }
         Ok(())
+    }
+
+    /// Amortized [`DriftStore::retain_last`] for hot ingest paths: a
+    /// no-op until the store overshoots `n` by more than one chunk's
+    /// worth of rows, so repeated calls pay the boundary-chunk re-slice
+    /// and full manifest rewrite at most once per `chunk_rows` ingested
+    /// rows instead of on every batch. Returns whether retention ran.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`DriftStore::retain_last`]'s errors.
+    pub fn retain_last_amortized(&mut self, n: usize) -> Result<bool> {
+        if self.num_rows() > n + self.config.chunk_rows_clamped() {
+            self.retain_last(n)?;
+            return Ok(true);
+        }
+        Ok(false)
     }
 
     // -- chunk loading ------------------------------------------------------
@@ -749,6 +795,16 @@ impl DriftStore {
             return Err(StoreError::Corrupt {
                 key: meta.key.clone(),
                 reason: "row count disagrees with manifest".to_string(),
+            });
+        }
+        if data.columns.len() != self.schema().len() {
+            return Err(StoreError::Corrupt {
+                key: meta.key.clone(),
+                reason: format!(
+                    "chunk has {} columns, schema has {}",
+                    data.columns.len(),
+                    self.schema().len()
+                ),
             });
         }
         Ok(data)

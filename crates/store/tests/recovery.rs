@@ -190,6 +190,66 @@ fn every_single_byte_flip_recovers_without_panicking() {
 }
 
 #[test]
+fn narrower_chunk_with_valid_crc_is_dropped_at_open_not_a_panic() {
+    use nazar_store::chunk::{decode_chunk, encode_chunk};
+    use nazar_store::codec::crc32;
+    use nazar_store::{CodecChoice, Manifest};
+
+    let (backend, config, _) = seeded(10, 4);
+    let keys = chunk_keys(&backend);
+    // Re-encode chunk 1's rows with one column dropped: the chunk's own
+    // CRC footer is valid, rows/drifted/ts bounds all match the manifest —
+    // and the manifest's cross-check crc32 is forged to match too (the
+    // manifest has no integrity protection of its own). Only the column
+    // arity gives it away; without that check this panics on a
+    // by-schema-position column index.
+    let bytes = backend.get(&keys[1]).expect("get").expect("exists");
+    let mut data = decode_chunk(&keys[1], &bytes).expect("decode");
+    data.columns.pop();
+    let (narrow, _) = encode_chunk(&data, CodecChoice::Auto);
+    backend.put(&keys[1], &narrow).expect("put");
+    let mut manifest = Manifest::read_from(&*backend)
+        .expect("read manifest")
+        .expect("present");
+    let meta = manifest
+        .chunks
+        .iter_mut()
+        .find(|m| m.key == keys[1])
+        .expect("chunk listed");
+    meta.crc32 = crc32(&narrow[..narrow.len() - 4]);
+    manifest.write_to(&*backend).expect("write manifest");
+
+    let store =
+        DriftStore::open(backend.clone(), &["weather", "location"], config).expect("reopen");
+    // Chunk 1 and its successor are dropped like any other torn chunk.
+    assert_eq!(store.recovery().dropped_chunks, 2);
+    assert_equals_oracle(&store, &oracle_prefix(4));
+}
+
+#[test]
+fn narrower_chunk_swapped_under_a_live_store_is_a_typed_error() {
+    use nazar_store::chunk::{decode_chunk, encode_chunk};
+    use nazar_store::CodecChoice;
+
+    let (backend, config, _) = seeded(10, 4);
+    let store = DriftStore::open(backend.clone(), &["weather", "location"], config).expect("open");
+    // Swap a full chunk for a narrower (but checksum-valid, same-row-count)
+    // one after open: queries must surface a typed error, never index past
+    // the decoded columns.
+    let keys = chunk_keys(&backend);
+    let bytes = backend.get(&keys[0]).expect("get").expect("exists");
+    let mut data = decode_chunk(&keys[0], &bytes).expect("decode");
+    data.columns.pop();
+    let (narrow, _) = encode_chunk(&data, CodecChoice::Auto);
+    backend.put(&keys[0], &narrow).expect("put");
+
+    let err = store
+        .count_matching(&[Attribute::new("location", "nyc")], None)
+        .expect_err("narrower chunk must not probe");
+    assert!(matches!(err, StoreError::Corrupt { .. }), "got {err:?}");
+}
+
+#[test]
 fn corrupt_manifest_is_a_typed_error_not_a_panic() {
     let (backend, config, _) = seeded(6, 4);
     for garbage in [
