@@ -17,9 +17,9 @@ use nazar_cloud::timing::synthetic_drift_log;
 use nazar_data::ClassSpace;
 use nazar_detect::{DriftDetector, EnergyScore, EntropyThreshold, MspThreshold, Odin};
 use nazar_log::{Attribute, DriftLog, DriftLogEntry};
-use nazar_nn::{Layer, MlpResNet, Mode, ModelArch};
+use nazar_nn::{Layer, MlpResNet, Mode, ModelArch, QuantizedMlp};
 use nazar_registry::{ModelPool, VersionMeta};
-use nazar_tensor::{Tape, Tensor};
+use nazar_tensor::{kernels, SimdTier, Tape, Tensor, Workspace};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -74,6 +74,43 @@ fn bench_tensor_ops(c: &mut Criterion) {
     group.bench_function("matmul_256_naive_baseline", |bencher| {
         bencher.iter(|| black_box(naive_matmul(&a256, &b256)))
     });
+    // Explicit SIMD tiers on the 256³ shape (the default env tier is
+    // `exact`, so `matmul_256` above already runs the AVX-512 path when
+    // the host supports it; these rows isolate each tier).
+    let mut ws = Workspace::new();
+    let mut out256 = vec![0.0f32; 256 * 256];
+    for (name, tier) in [
+        ("matmul_256_simd_off", SimdTier::Off),
+        ("matmul_256_simd_exact", SimdTier::Exact),
+        ("matmul_256_simd_fast", SimdTier::Fast),
+    ] {
+        group.bench_function(name, |bencher| {
+            bencher.iter(|| {
+                kernels::matmul_into_tier(
+                    a256.data(),
+                    b256.data(),
+                    256,
+                    256,
+                    256,
+                    &mut out256,
+                    &mut ws,
+                    1,
+                    tier,
+                );
+                black_box(out256[0])
+            })
+        });
+    }
+    // i8 integer matmul on the same shape (the quantized device path).
+    let qa: Vec<i8> = a256.data().iter().map(|&v| (v * 40.0) as i8).collect();
+    let qb: Vec<i8> = b256.data().iter().map(|&v| (v * 40.0) as i8).collect();
+    let mut qout = vec![0i32; 256 * 256];
+    group.bench_function("matmul_256_i8", |bencher| {
+        bencher.iter(|| {
+            kernels::matmul_i8_into_threads(&qa, &qb, 256, 256, 256, &mut qout, 1);
+            black_box(qout[0])
+        })
+    });
     group.bench_function("transpose_512", |bencher| {
         bencher.iter(|| black_box(wide.transpose().expect("matrix")))
     });
@@ -92,6 +129,14 @@ fn bench_inference(c: &mut Criterion) {
     let row = x.select_rows(&[0]).expect("row");
     group.bench_function("forward_resnet50_analog_b1", |bencher| {
         bencher.iter(|| black_box(model.logits(&row, Mode::Eval)))
+    });
+    // The i8-quantized detection mirror on the same model/input.
+    let quant = QuantizedMlp::from_model(&model);
+    group.bench_function("forward_resnet50_analog_b1_i8", |bencher| {
+        bencher.iter(|| black_box(quant.logits(&row)))
+    });
+    group.bench_function("forward_resnet50_analog_b160_i8", |bencher| {
+        bencher.iter(|| black_box(quant.logits(&x)))
     });
     group.finish();
 }

@@ -167,13 +167,15 @@ fn flush_killed_at_every_op_recovers_to_a_consistent_state() {
     let (durable, extra, chunk_rows) = (10u64, 7u64, 4usize);
 
     // Dry run to learn how many mutating ops a full flush takes.
-    let (_, failpoint, mut store) = seeded_with_failpoint(durable, extra, chunk_rows, usize::MAX, usize::MAX);
+    let (_, failpoint, mut store) =
+        seeded_with_failpoint(durable, extra, chunk_rows, usize::MAX, usize::MAX);
     store.flush().expect("unimpeded flush");
     let total_ops = failpoint.mutating_ops();
     assert!(total_ops >= 3, "flush should put chunks + manifest");
 
     for fail_at in 0..total_ops {
-        let (inner, _, mut store) = seeded_with_failpoint(durable, extra, chunk_rows, fail_at, usize::MAX);
+        let (inner, _, mut store) =
+            seeded_with_failpoint(durable, extra, chunk_rows, fail_at, usize::MAX);
         let result = store.flush();
         assert!(
             result.is_err(),
@@ -213,13 +215,15 @@ fn retention_killed_at_every_op_recovers_to_a_consistent_state() {
     // replacement key, rewrites the manifest, deletes the stale keys.
     let (durable, chunk_rows, keep) = (14u64, 4usize, 5usize);
 
-    let (_, failpoint, mut store) = seeded_with_failpoint(durable, 0, chunk_rows, usize::MAX, usize::MAX);
+    let (_, failpoint, mut store) =
+        seeded_with_failpoint(durable, 0, chunk_rows, usize::MAX, usize::MAX);
     store.retain_last(keep).expect("unimpeded retain");
     let total_ops = failpoint.mutating_ops();
     assert!(total_ops >= 2, "retention should rewrite and delete");
 
     for fail_at in 0..total_ops {
-        let (inner, _, mut store) = seeded_with_failpoint(durable, 0, chunk_rows, fail_at, usize::MAX);
+        let (inner, _, mut store) =
+            seeded_with_failpoint(durable, 0, chunk_rows, fail_at, usize::MAX);
         assert!(store.retain_last(keep).is_err(), "kill-point {fail_at}");
         drop(store);
 

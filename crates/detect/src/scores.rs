@@ -170,8 +170,10 @@ impl DriftDetector for EnergyScore {
         (0..n)
             .map(|i| {
                 let row = &logits.data()[i * c..(i + 1) * c];
-                let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let lse = row.iter().map(|&v| ((v - max) / t).exp()).sum::<f32>().ln() * t + max;
+                // Shared max-shifted helper (same one behind nn's
+                // log-softmax/entropy), so detector and loss numerics
+                // cannot drift apart.
+                let lse = nazar_tensor::log_sum_exp(row, t);
                 // Non-finite logits make the log-sum-exp NaN; score the row
                 // as maximally drifted instead of leaking NaN downstream.
                 sanitize_score(-lse) // energy: higher = more drifted

@@ -4,7 +4,7 @@ use crate::item_attributes;
 use nazar_data::{Corruption, SimDate, StreamItem};
 use nazar_detect::MspThreshold;
 use nazar_log::{Attribute, DriftLogEntry};
-use nazar_nn::{BnPatch, MlpResNet};
+use nazar_nn::{BnPatch, MlpResNet, QuantMode, QuantizedMlp};
 use nazar_registry::{DeployOutcome, ModelPool, VersionMeta};
 use nazar_tensor::Tensor;
 use rand::Rng;
@@ -21,6 +21,10 @@ pub struct DeviceConfig {
     /// Maximum stored model versions (`None` disables the cap, as in the
     /// Fig. 8c experiment).
     pub pool_capacity: Option<usize>,
+    /// Numeric mode for the detection forward pass ([`QuantMode::I8`] runs
+    /// the quantized mirror; BN patches still apply in f32).
+    #[serde(default)]
+    pub quant: QuantMode,
 }
 
 impl Default for DeviceConfig {
@@ -29,6 +33,7 @@ impl Default for DeviceConfig {
             sample_rate: 0.3,
             detection_threshold: 0.9,
             pool_capacity: Some(8),
+            quant: QuantMode::F32,
         }
     }
 }
@@ -73,6 +78,10 @@ pub struct Device {
     location: String,
     base_patch: BnPatch,
     active_model: MlpResNet,
+    /// i8 mirror of `active_model`, present iff `config.quant` is `I8`.
+    /// Kept in lockstep by the `activate*` methods (BN-only patches, so
+    /// the quantized weights never need refreshing).
+    quant_model: Option<QuantizedMlp>,
     active_version: Option<u64>,
     pool: ModelPool<BnPatch>,
     detector: MspThreshold,
@@ -89,11 +98,16 @@ impl Device {
         config: DeviceConfig,
     ) -> Self {
         let base_patch = BnPatch::extract(&mut base_model);
+        let quant_model = match config.quant {
+            QuantMode::I8 => Some(QuantizedMlp::from_model(&base_model)),
+            QuantMode::F32 => None,
+        };
         Device {
             id: id.into(),
             location: location.into(),
             base_patch,
             active_model: base_model,
+            quant_model,
             active_version: None,
             pool: ModelPool::new(config.pool_capacity),
             detector: MspThreshold::new(config.detection_threshold),
@@ -130,6 +144,10 @@ impl Device {
         self.base_patch
             .apply(&mut self.active_model)
             .expect("base patch fits its own model");
+        if let Some(q) = &mut self.quant_model {
+            q.apply_patch(&self.base_patch)
+                .expect("base patch fits its own quantized mirror");
+        }
         self.active_version = None;
     }
 
@@ -141,6 +159,10 @@ impl Device {
                     patch
                         .apply(&mut self.active_model)
                         .expect("pool patches fit the base model");
+                    if let Some(q) = &mut self.quant_model {
+                        q.apply_patch(&patch)
+                            .expect("pool patches fit the quantized mirror");
+                    }
                     self.active_version = Some(id);
                 }
             }
@@ -156,7 +178,10 @@ impl Device {
     pub fn process<R: Rng + ?Sized>(&mut self, item: &StreamItem, rng: &mut R) -> DeviceOutput {
         let attrs = item_attributes(item);
         self.activate(&attrs);
-        let (prediction, msp) = forward_item(&mut self.active_model, item);
+        let (prediction, msp) = match &self.quant_model {
+            Some(q) => forward_item_quant(q, item),
+            None => forward_item(&mut self.active_model, item),
+        };
         self.seq += 1;
         let (entry, sample) = emit_outputs(
             item,
@@ -186,6 +211,18 @@ pub(crate) fn forward_item(model: &mut MlpResNet, item: &StreamItem) -> (usize, 
     let x = Tensor::from_vec(item.features.clone(), &[1, item.features.len()])
         .expect("one feature row");
     let logits = model.logits(&x, nazar_nn::Mode::Eval);
+    let prediction = logits.argmax_axis1().expect("logit row")[0];
+    let msp = nazar_detect::msp_of_logits(&logits)[0];
+    (prediction, msp)
+}
+
+/// [`forward_item`] on the i8-quantized mirror ([`QuantMode::I8`]): same
+/// `(prediction, MSP)` contract, exact-integer matmuls inside, so the
+/// result is thread-width invariant by construction.
+pub(crate) fn forward_item_quant(quant: &QuantizedMlp, item: &StreamItem) -> (usize, f32) {
+    let x = Tensor::from_vec(item.features.clone(), &[1, item.features.len()])
+        .expect("one feature row");
+    let logits = quant.logits(&x);
     let prediction = logits.argmax_axis1().expect("logit row")[0];
     let msp = nazar_detect::msp_of_logits(&logits)[0];
     (prediction, msp)

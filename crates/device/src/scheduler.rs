@@ -29,12 +29,12 @@
 //! `tests/scheduler_determinism.rs` pin event-order and output determinism
 //! across thread counts.
 
-use crate::device::{emit_outputs, forward_item, DeviceConfig, DeviceOutput};
+use crate::device::{emit_outputs, forward_item, forward_item_quant, DeviceConfig, DeviceOutput};
 use crate::fleet::{record_stats, tally, WindowOutput};
 use crate::item_attributes;
 use crate::state::{DevicePools, FleetState};
 use nazar_data::{LocationStream, SimDate, StreamItem};
-use nazar_nn::{BnPatch, MlpResNet};
+use nazar_nn::{BnPatch, MlpResNet, QuantMode, QuantizedMlp};
 use nazar_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use nazar_registry::{VersionArena, VersionMeta};
 use nazar_tensor::parallel;
@@ -250,6 +250,9 @@ pub struct TraceEvent {
 #[derive(Debug)]
 struct Scratch {
     model: MlpResNet,
+    /// i8 mirror of `model`, present iff the fleet runs [`QuantMode::I8`].
+    /// BN patches apply to both; the quantized weights never change.
+    quant: Option<QuantizedMlp>,
     applied: Option<Option<u32>>,
     /// Deploy epoch the memo was taken in; arena ids may be reused across
     /// deployments, so a stale epoch invalidates the memo.
@@ -268,6 +271,10 @@ impl Scratch {
         patch
             .apply(&mut self.model)
             .expect("pool patches fit the base model");
+        if let Some(q) = &mut self.quant {
+            q.apply_patch(patch)
+                .expect("pool patches fit the quantized mirror");
+        }
         self.applied = Some(sel);
     }
 }
@@ -828,6 +835,10 @@ impl FleetSim {
 fn run_chunk(chunk: Chunk, ctx: &BatchCtx<'_>) -> (usize, Vec<JobResult>, Scratch) {
     let mut scratch = chunk.scratch.unwrap_or_else(|| Scratch {
         model: ctx.base_model.clone(),
+        quant: match ctx.config.quant {
+            QuantMode::I8 => Some(QuantizedMlp::from_model(ctx.base_model)),
+            QuantMode::F32 => None,
+        },
         applied: None,
         epoch: ctx.epoch,
     });
@@ -849,7 +860,10 @@ fn run_chunk(chunk: Chunk, ctx: &BatchCtx<'_>) -> (usize, Vec<JobResult>, Scratc
                     let attrs = item_attributes(it);
                     let sel = ctx.pools.select(ctx.arena, d, &attrs);
                     scratch.ensure(sel.map(|(_, vid)| vid), ctx.arena, ctx.base_patch);
-                    let (prediction, msp) = forward_item(&mut scratch.model, it);
+                    let (prediction, msp) = match &scratch.quant {
+                        Some(q) => forward_item_quant(q, it),
+                        None => forward_item(&mut scratch.model, it),
+                    };
                     res.detects.push(Event {
                         at: ev.at + 1,
                         device: ev.device,

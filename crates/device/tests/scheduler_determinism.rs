@@ -11,7 +11,7 @@
 use nazar_data::{LocationStream, Severity, SimDate, StreamItem, Weather};
 use nazar_device::{DeviceConfig, Fleet, FleetSim};
 use nazar_log::Attribute;
-use nazar_nn::{BnPatch, MlpResNet, Mode, ModelArch};
+use nazar_nn::{BnPatch, MlpResNet, Mode, ModelArch, QuantMode};
 use nazar_registry::VersionMeta;
 use nazar_tensor::Tensor;
 use proptest::prelude::*;
@@ -160,5 +160,41 @@ proptest! {
             }
         }
         prop_assert_eq!(lockstep.max_versions(), event.max_versions());
+    }
+
+    /// The same lockstep-vs-event differential under [`QuantMode::I8`]:
+    /// both engines route detection through the quantized mirror and must
+    /// still agree bit-for-bit (PR 9 tentpole).
+    #[test]
+    fn engines_agree_under_i8_quantization(
+        seed in 0u64..1_000_000,
+        raw in proptest::collection::vec(
+            (0usize..10, 0u16..SimDate::TOTAL_DAYS, 0usize..CLASSES, 0usize..4),
+            1..30,
+        ),
+        do_deploy in any::<bool>(),
+    ) {
+        let streams = streams_from(&raw);
+        let model = base_model();
+        let config = DeviceConfig {
+            quant: QuantMode::I8,
+            ..DeviceConfig::default()
+        };
+        let mut lockstep = Fleet::from_streams(&streams, &model, &config);
+        let mut event = FleetSim::from_streams(&streams, &model, &config);
+
+        let mut rng_a = SmallRng::seed_from_u64(seed);
+        let mut rng_b = SmallRng::seed_from_u64(seed);
+        for w in 0..WINDOWS {
+            let a = lockstep.process_window_parts(&streams, w, WINDOWS, &mut rng_a);
+            let b = event.process_window_parts(&streams, w, WINDOWS, &mut rng_b);
+            prop_assert_eq!(a, b);
+            if do_deploy && w == 0 {
+                let patch = donor_patch(seed ^ 1);
+                let meta = VersionMeta::new(vec![Attribute::new("weather", "fog")], 1.5);
+                lockstep.deploy(&meta, &patch);
+                event.deploy(&meta, &patch);
+            }
+        }
     }
 }

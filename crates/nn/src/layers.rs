@@ -166,6 +166,12 @@ impl BatchNorm1d {
         &self.running_var
     }
 
+    /// The epsilon added to the variance before the square root (the
+    /// quantized mirror precomputes `std = sqrt(var + eps)` with it).
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
     /// Overwrites the running statistics (used when applying BN patches).
     pub fn set_running_stats(&mut self, mean: Tensor, var: Tensor) {
         self.running_mean = mean;

@@ -45,6 +45,7 @@ mod model;
 mod optim;
 mod param;
 mod patch;
+pub mod quant;
 mod schedule;
 pub mod train;
 
@@ -56,4 +57,5 @@ pub use model::{MlpResNet, ModelArch, ResidualBlock};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use param::Param;
 pub use patch::{BnLayerState, BnPatch};
+pub use quant::{QuantMode, QuantizedMlp};
 pub use schedule::{clip_grad_norm, LrSchedule};

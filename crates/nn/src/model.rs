@@ -119,6 +119,26 @@ impl ResidualBlock {
         f(&mut self.bn1);
         f(&mut self.bn2);
     }
+
+    /// First linear stage (read access for the quantized mirror).
+    pub fn lin1(&self) -> &Linear {
+        &self.lin1
+    }
+
+    /// First batch-norm stage.
+    pub fn bn1(&self) -> &BatchNorm1d {
+        &self.bn1
+    }
+
+    /// Second linear stage.
+    pub fn lin2(&self) -> &Linear {
+        &self.lin2
+    }
+
+    /// Second batch-norm stage.
+    pub fn bn2(&self) -> &BatchNorm1d {
+        &self.bn2
+    }
 }
 
 impl Layer for ResidualBlock {
@@ -179,6 +199,26 @@ impl MlpResNet {
     /// The architecture this model was built from.
     pub fn arch(&self) -> &ModelArch {
         &self.arch
+    }
+
+    /// Stem linear layer (read access for the quantized mirror).
+    pub fn stem(&self) -> &Linear {
+        &self.stem
+    }
+
+    /// Stem batch-norm layer.
+    pub fn stem_bn(&self) -> &BatchNorm1d {
+        &self.stem_bn
+    }
+
+    /// The residual blocks, in forward order.
+    pub fn blocks(&self) -> &[ResidualBlock] {
+        &self.blocks
+    }
+
+    /// Classification head.
+    pub fn head(&self) -> &Linear {
+        &self.head
     }
 
     /// Forward pass returning `(penultimate_features, logits)`.

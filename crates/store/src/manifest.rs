@@ -91,9 +91,7 @@ fn u64_lossless(v: &Value) -> std::result::Result<u64, DeError> {
 
 impl Deserialize for ChunkMeta {
     fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
-        let entries = v
-            .as_map()
-            .ok_or_else(|| DeError::type_mismatch("map", v))?;
+        let entries = v.as_map().ok_or_else(|| DeError::type_mismatch("map", v))?;
         let field = |name: &'static str| {
             serde::value_get(entries, name).ok_or_else(|| DeError::missing_field(name, "ChunkMeta"))
         };

@@ -1,0 +1,215 @@
+//! Storage backends: element types, allocators, and the [`Buffer`]
+//! abstraction that makes [`crate::Tensor`] generic over both.
+//!
+//! The design follows the proven `Tensor<T, A: Backend>` shape: a tensor is
+//! a [`Buffer`] (element storage owned by a backend) plus a shape. The
+//! [`Backend`] trait owns allocation through a generic associated storage
+//! type, so adding a new device/allocator is one trait impl — the kernels
+//! and the f32 math API are untouched. The only backend in-tree is [`Cpu`]
+//! (storage = `Vec<T>`); the trait boundary is what the ROADMAP's
+//! "backend-generic tensor layer" item asks for, and what an mmap- or
+//! arena-backed storage would plug into.
+//!
+//! Element types are deliberately closed over the small set the Nazar
+//! pipeline needs: `f32` (training/adaptation), `i8` (quantized device
+//! inference), and `i32` (exact quantized accumulators).
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A scalar element a [`crate::Tensor`] can store.
+///
+/// Sealed in spirit: the quantized inference path relies on the exact set
+/// `{f32, i8, i32}` and their conversion semantics, so new impls should be
+/// added deliberately, together with kernel support.
+pub trait Element:
+    Copy + Clone + fmt::Debug + Default + PartialEq + PartialOrd + Send + Sync + 'static
+{
+    /// The additive identity for this element type.
+    const ZERO: Self;
+    /// The multiplicative identity for this element type.
+    const ONE: Self;
+    /// Short dtype name (diagnostics; mirrors NumPy naming).
+    const DTYPE: &'static str;
+}
+
+impl Element for f32 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const DTYPE: &'static str = "f32";
+}
+
+impl Element for i8 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const DTYPE: &'static str = "i8";
+}
+
+impl Element for i32 {
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
+    const DTYPE: &'static str = "i32";
+}
+
+/// An allocator/device a [`Buffer`] lives on.
+///
+/// A backend maps every [`Element`] type to a concrete storage type via a
+/// generic associated type, and knows how to move data in and out of plain
+/// `Vec`s. All storage must be addressable as a contiguous host slice —
+/// the kernels operate on `&[T]`/`&mut [T]` and are backend-agnostic.
+pub trait Backend: fmt::Debug + Copy + Clone + Default + PartialEq + Send + Sync + 'static {
+    /// Human-readable backend name (diagnostics).
+    const NAME: &'static str;
+
+    /// The storage this backend allocates for elements of type `T`.
+    type Storage<T: Element>: AsRef<[T]> + AsMut<[T]> + Clone + fmt::Debug + PartialEq + Send + Sync;
+
+    /// Wraps an existing host vector without copying (for `Cpu`).
+    fn from_vec<T: Element>(data: Vec<T>) -> Self::Storage<T>;
+
+    /// Moves storage back into a host vector.
+    fn into_vec<T: Element>(storage: Self::Storage<T>) -> Vec<T>;
+
+    /// Allocates `len` elements, all set to `fill`.
+    fn alloc<T: Element>(len: usize, fill: T) -> Self::Storage<T> {
+        Self::from_vec(vec![fill; len])
+    }
+}
+
+/// The default host backend: storage is a plain `Vec<T>`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cpu;
+
+impl Backend for Cpu {
+    const NAME: &'static str = "cpu";
+    type Storage<T: Element> = Vec<T>;
+
+    fn from_vec<T: Element>(data: Vec<T>) -> Vec<T> {
+        data
+    }
+
+    fn into_vec<T: Element>(storage: Vec<T>) -> Vec<T> {
+        storage
+    }
+}
+
+/// Element storage owned by a backend — the buffer under every
+/// [`crate::Tensor`].
+///
+/// Dereferences to `[T]`, so callers (and all the in-crate kernels) treat
+/// it exactly like a slice; the backend only governs allocation and
+/// ownership. `Buffer<T, Cpu>` round-trips to `Vec<T>` at zero cost.
+pub struct Buffer<T: Element, A: Backend = Cpu> {
+    storage: A::Storage<T>,
+}
+
+impl<T: Element, A: Backend> Buffer<T, A> {
+    /// Wraps a host vector in backend storage.
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Buffer {
+            storage: A::from_vec(data),
+        }
+    }
+
+    /// Allocates `len` elements, all set to `fill`.
+    pub fn filled(len: usize, fill: T) -> Self {
+        Buffer {
+            storage: A::alloc(len, fill),
+        }
+    }
+
+    /// Allocates `len` zeroed elements.
+    pub fn zeroed(len: usize) -> Self {
+        Self::filled(len, T::ZERO)
+    }
+
+    /// Moves the buffer back into a host vector.
+    pub fn into_vec(self) -> Vec<T> {
+        A::into_vec(self.storage)
+    }
+
+    /// The contents as a contiguous slice.
+    pub fn as_slice(&self) -> &[T] {
+        self.storage.as_ref()
+    }
+
+    /// The contents as a mutable contiguous slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        self.storage.as_mut()
+    }
+}
+
+impl<T: Element, A: Backend> Deref for Buffer<T, A> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Element, A: Backend> DerefMut for Buffer<T, A> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Element, A: Backend> Clone for Buffer<T, A> {
+    fn clone(&self) -> Self {
+        Buffer {
+            storage: self.storage.clone(),
+        }
+    }
+}
+
+impl<T: Element, A: Backend> fmt::Debug for Buffer<T, A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Buffer")
+            .field("backend", &A::NAME)
+            .field("dtype", &T::DTYPE)
+            .field("data", &self.storage)
+            .finish()
+    }
+}
+
+impl<T: Element, A: Backend> PartialEq for Buffer<T, A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.storage == other.storage
+    }
+}
+
+impl<T: Element, A: Backend> From<Vec<T>> for Buffer<T, A> {
+    fn from(data: Vec<T>) -> Self {
+        Buffer::from_vec(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_buffer_round_trips_without_copying() {
+        let v = vec![1.0f32, 2.0, 3.0];
+        let ptr = v.as_ptr();
+        let buf: Buffer<f32> = Buffer::from_vec(v);
+        assert_eq!(buf.as_slice(), &[1.0, 2.0, 3.0]);
+        let back = buf.into_vec();
+        assert_eq!(back.as_ptr(), ptr, "cpu round trip must not copy");
+    }
+
+    #[test]
+    fn buffers_deref_like_slices() {
+        let mut buf: Buffer<i8> = Buffer::zeroed(4);
+        buf[2] = 7;
+        assert_eq!(buf.iter().copied().sum::<i8>(), 7);
+        assert_eq!(buf.len(), 4);
+    }
+
+    #[test]
+    fn element_constants_cover_the_quant_set() {
+        assert_eq!(f32::ZERO, 0.0);
+        assert_eq!(i8::ONE, 1);
+        assert_eq!(i32::DTYPE, "i32");
+        assert_eq!(Cpu::NAME, "cpu");
+    }
+}

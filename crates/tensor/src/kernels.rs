@@ -19,10 +19,19 @@
 //! a row-ordered accumulation.
 
 use crate::parallel::{num_threads, par_row_bands};
+use crate::simd::{self, SimdTier};
 use crate::workspace::Workspace;
 
 /// Column-tile width of the packed-B matmul micro-kernel.
 const TILE_COLS: usize = 16;
+
+/// Column-panel width of the SIMD matmul (two AVX-512 registers).
+const SIMD_PANEL: usize = 32;
+
+/// Largest integer count exactly representable in an `f32` (2^24). Above
+/// this, `count as f32` silently rounds, so mean/variance denominators and
+/// count-weighted sums that feed detection thresholds switch to `f64`.
+pub const F32_EXACT_COUNT: usize = 1 << 24;
 
 /// Rows per matmul register block. Together with [`TILE_COLS`] this gives
 /// the micro-kernel `4 x 16 = 64` independent accumulator lanes, enough
@@ -55,7 +64,11 @@ pub fn matmul_into(
     out: &mut [f32],
     ws: &mut Workspace,
 ) {
-    let threads = if n * k * m >= PAR_MIN_MULADDS {
+    // `saturating_mul`: at fleet scale the muladd count can exceed
+    // `usize::MAX / 2` in theory; saturation errs toward "go parallel"
+    // instead of wrapping to a tiny count and silently serializing.
+    let muladds = n.saturating_mul(k).saturating_mul(m);
+    let threads = if muladds >= PAR_MIN_MULADDS {
         num_threads()
     } else {
         1
@@ -80,6 +93,32 @@ pub fn matmul_into_threads(
     ws: &mut Workspace,
     threads: usize,
 ) {
+    matmul_into_tier(a, b, n, k, m, out, ws, threads, simd::env_tier());
+}
+
+/// [`matmul_into_threads`] with an explicit [`SimdTier`] instead of the
+/// latched `NAZAR_TENSOR_SIMD` default — the hook the equivalence suite
+/// uses to sweep scalar/exact/fast within one process.
+///
+/// `SimdTier::Off` (or any vector tier on a CPU without AVX-512F) runs the
+/// scalar packed-panel kernel; `Exact` runs the bitwise-identical vector
+/// kernel; `Fast` runs the FMA-contracted kernel.
+///
+/// # Panics
+///
+/// Panics if any slice length disagrees with the given dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn matmul_into_tier(
+    a: &[f32],
+    b: &[f32],
+    n: usize,
+    k: usize,
+    m: usize,
+    out: &mut [f32],
+    ws: &mut Workspace,
+    threads: usize,
+    tier: SimdTier,
+) {
     assert_eq!(a.len(), n * k, "matmul lhs length");
     assert_eq!(b.len(), k * m, "matmul rhs length");
     assert_eq!(out.len(), n * m, "matmul out length");
@@ -88,6 +127,31 @@ pub fn matmul_into_threads(
     }
     if k == 0 {
         out.fill(0.0);
+        return;
+    }
+
+    let tier = simd::effective(tier);
+    if tier.is_vector() {
+        // SIMD path: pack only the full 32-wide column panels (p-major at
+        // offset j0 * k); the `m % 32` column tail is read from `b`
+        // directly by the in-band scalar loop.
+        let full_cols = m - m % SIMD_PANEL;
+        let mut packed = ws.take_filled_later(k * full_cols);
+        let mut j0 = 0;
+        while j0 < full_cols {
+            let panel = &mut packed[j0 * k..(j0 + SIMD_PANEL) * k];
+            for p in 0..k {
+                panel[p * SIMD_PANEL..(p + 1) * SIMD_PANEL]
+                    .copy_from_slice(&b[p * m + j0..p * m + j0 + SIMD_PANEL]);
+            }
+            j0 += SIMD_PANEL;
+        }
+        let packed_ref: &[f32] = &packed;
+        par_row_bands(out, n, m, threads, |first_row, band| {
+            let handled = simd::matmul_band(tier, a, b, packed_ref, k, m, first_row, band);
+            debug_assert!(handled, "vector tier was verified available");
+        });
+        ws.recycle(packed);
         return;
     }
 
@@ -399,6 +463,159 @@ pub fn zip_assign(dst: &mut [f32], src: &[f32], f: impl Fn(f32, f32) -> f32) {
     for (d, &s) in dst.iter_mut().zip(src) {
         *d = f(*d, s);
     }
+}
+
+/// Temperature-aware, max-shifted log-sum-exp of one row:
+/// `t * ln(Σⱼ exp((x[j] - max) / t)) + max`.
+///
+/// This is the *single* numerically-stable LSE in the workspace — both
+/// `nazar_nn::loss` (log-softmax / entropy, `t = 1.0`) and the
+/// energy-score detector (`t = temperature`) route through it, so the two
+/// crates can never drift apart numerically again. At `t = 1.0` the
+/// division and multiplication by `t` are bitwise no-ops, which keeps the
+/// historical log-softmax results (and the golden traces pinned on them)
+/// unchanged.
+///
+/// Edge cases follow IEEE semantics: an empty row yields `-inf`; a row
+/// containing NaN yields NaN (callers that need sanitized scores clamp
+/// afterwards, as the detectors do).
+pub fn log_sum_exp(row: &[f32], t: f32) -> f32 {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        // All -inf (or empty): Σ exp = 0, LSE = -inf. Skip the sum so
+        // `(-inf - -inf)` cannot manufacture NaN.
+        return f32::NEG_INFINITY;
+    }
+    row.iter().map(|&v| ((v - max) / t).exp()).sum::<f32>().ln() * t + max
+}
+
+/// In-place softmax of one row: max-shift, exponentiate, normalize.
+///
+/// The max scan and the exp/sum reduction are scalar in every tier (vector
+/// max intrinsics disagree with `f32::max` on NaN, and the sum must keep
+/// `j = 0..d` order); the subtract and divide stages vectorize under any
+/// vector tier and are lane-independent, so the result is bitwise
+/// identical across all tiers.
+pub fn softmax_row_tier(row: &mut [f32], tier: SimdTier) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if !simd::sub_scalar(tier, row, max) {
+        for v in row.iter_mut() {
+            *v -= max;
+        }
+    }
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = v.exp();
+        sum += *v;
+    }
+    if !simd::div_scalar(tier, row, sum) {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Fused batch-norm inference kernel over row-major `x: [n, d]`:
+/// `out[i, j] = (x[i, j] - mean[j]) / std[j] * gamma[j] + beta[j]`.
+///
+/// Reproduces the eval-mode arithmetic of `nazar_nn`'s `BatchNorm1d`
+/// (subtract, divide by `sqrt(var + eps)` precomputed by the caller,
+/// scale, shift — in exactly that order) without the autograd tape; the
+/// quantized device forward uses it between integer matmuls. Every stage
+/// is lane-independent, so scalar and vector tiers agree bitwise.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with `d` or each other.
+#[allow(clippy::too_many_arguments)]
+pub fn bn_eval_into(
+    x: &[f32],
+    d: usize,
+    mean: &[f32],
+    std: &[f32],
+    gamma: &[f32],
+    beta: &[f32],
+    out: &mut [f32],
+    tier: SimdTier,
+) {
+    assert!(d > 0 && x.len().is_multiple_of(d), "bn_eval input length");
+    assert_eq!(x.len(), out.len(), "bn_eval out length");
+    assert_eq!(mean.len(), d, "bn_eval mean length");
+    assert_eq!(std.len(), d, "bn_eval std length");
+    assert_eq!(gamma.len(), d, "bn_eval gamma length");
+    assert_eq!(beta.len(), d, "bn_eval beta length");
+    if simd::bn_eval_rows(tier, x, d, mean, std, gamma, beta, out) {
+        return;
+    }
+    for (row, orow) in x.chunks_exact(d).zip(out.chunks_exact_mut(d)) {
+        for j in 0..d {
+            orow[j] = (row[j] - mean[j]) / std[j] * gamma[j] + beta[j];
+        }
+    }
+}
+
+/// Quantized matrix product `out = a · b` for row-major `a: [n, k]` i8,
+/// `b: [k, m]` i8, `out: [n, m]` i32.
+///
+/// Accumulation is exact integer arithmetic (`i8 × i8 → i32`; worst case
+/// `k * 127²` stays far inside `i32` for every dimension this workspace
+/// uses, asserted below), so the result is identical for *any* summation
+/// order — the i8 inference path is deterministic at every thread width
+/// by construction, with no ordering discipline needed.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the dimensions, or if
+/// `k * 127 * 127` could overflow the `i32` accumulator.
+pub fn matmul_i8_into(a: &[i8], b: &[i8], n: usize, k: usize, m: usize, out: &mut [i32]) {
+    let threads = if n.saturating_mul(k).saturating_mul(m) >= PAR_MIN_MULADDS {
+        num_threads()
+    } else {
+        1
+    };
+    matmul_i8_into_threads(a, b, n, k, m, out, threads);
+}
+
+/// [`matmul_i8_into`] with an explicit worker count (tests sweep widths
+/// in-process to demonstrate the order-independence claim directly).
+pub fn matmul_i8_into_threads(
+    a: &[i8],
+    b: &[i8],
+    n: usize,
+    k: usize,
+    m: usize,
+    out: &mut [i32],
+    threads: usize,
+) {
+    assert_eq!(a.len(), n * k, "matmul_i8 lhs length");
+    assert_eq!(b.len(), k * m, "matmul_i8 rhs length");
+    assert_eq!(out.len(), n * m, "matmul_i8 out length");
+    assert!(
+        i32::try_from(k)
+            .ok()
+            .and_then(|k| k.checked_mul(127 * 127))
+            .is_some(),
+        "matmul_i8: k = {k} could overflow the i32 accumulator"
+    );
+    if n == 0 || m == 0 {
+        return;
+    }
+    out.fill(0);
+    if k == 0 {
+        return;
+    }
+    par_row_bands(out, n, m, threads, |first_row, band| {
+        for (r, out_row) in band.chunks_mut(m).enumerate() {
+            let a_row = &a[(first_row + r) * k..(first_row + r + 1) * k];
+            for (p, &ap) in a_row.iter().enumerate() {
+                let ap = i32::from(ap);
+                let b_row = &b[p * m..(p + 1) * m];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += ap * i32::from(bv);
+                }
+            }
+        }
+    });
 }
 
 #[cfg(test)]

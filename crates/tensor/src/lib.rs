@@ -6,8 +6,15 @@
 //! of the entropy objective with respect to batch-normalization parameters)
 //! is reproduced here on top of a small, fully self-contained tensor library:
 //!
-//! * [`Tensor`] — an n-dimensional dense `f32` array with shape/stride
-//!   bookkeeping, broadcasting helpers, matrix multiplication and reductions.
+//! * [`Tensor`] — an n-dimensional dense array, generic over element type
+//!   and storage backend (`Tensor<T = f32, A = Cpu>` over a [`Buffer`]),
+//!   with shape/stride bookkeeping, broadcasting helpers, matrix
+//!   multiplication and reductions. The plain-`Tensor` (f32 on [`Cpu`]) API
+//!   is unchanged; `Tensor<i8>`/`Tensor<i32>` carry the quantized device
+//!   inference path.
+//! * [`simd`] — runtime-dispatched AVX-512 inner kernels ([`SimdTier`];
+//!   `NAZAR_TENSOR_SIMD` selects `off`/`exact`/`fast`), with the scalar
+//!   kernels as the always-available bitwise oracle.
 //! * [`Tape`] / [`Var`] — a classic reverse-mode autodiff tape. Operations on
 //!   [`Var`]s record nodes on the tape; [`Var::backward`] walks the tape in
 //!   reverse and accumulates gradients for every node (including leaves, so
@@ -33,20 +40,29 @@
 //! assert_eq!(grads.get(&x).unwrap().data(), &[1.0, 1.0, 1.0]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide; the only exemption is the `simd` module,
+// which needs `std::arch` intrinsics behind runtime feature detection and
+// carries a local `#[allow(unsafe_code)]` plus a safety contract per kernel.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod autograd;
+mod backend;
 mod error;
 pub mod kernels;
 mod ops;
 pub mod parallel;
 mod shape;
+#[allow(unsafe_code)]
+pub mod simd;
 mod tensor;
 mod workspace;
 
 pub use autograd::{Gradients, Tape, Var};
+pub use backend::{Backend, Buffer, Cpu, Element};
 pub use error::{Result, TensorError};
+pub use kernels::log_sum_exp;
 pub use shape::Shape;
+pub use simd::SimdTier;
 pub use tensor::Tensor;
-pub use workspace::Workspace;
+pub use workspace::{pooled_bytes_total, Workspace};

@@ -56,9 +56,10 @@ pub fn num_threads() -> usize {
 /// # Panics
 ///
 /// Panics if `out.len() != n_rows * row_len` or a worker thread panics.
-pub fn par_row_bands<F>(out: &mut [f32], n_rows: usize, row_len: usize, threads: usize, f: F)
+pub fn par_row_bands<T, F>(out: &mut [T], n_rows: usize, row_len: usize, threads: usize, f: F)
 where
-    F: Fn(usize, &mut [f32]) + Sync,
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
 {
     assert_eq!(out.len(), n_rows * row_len, "row band buffer length");
     let threads = threads.clamp(1, n_rows.max(1));

@@ -1,18 +1,23 @@
-//! Dense, row-major `f32` tensors.
+//! Dense, row-major tensors, generic over element type and backend.
 
+use crate::backend::{Backend, Buffer, Cpu, Element};
 use crate::error::{Result, TensorError};
 use crate::kernels;
 use crate::shape::Shape;
 use crate::workspace::Workspace;
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
-/// A dense, row-major tensor of `f32` values.
+/// A dense, row-major tensor: a [`Buffer`] of elements plus a [`Shape`].
 ///
-/// `Tensor` is deliberately simple: a flat `Vec<f32>` plus a [`Shape`]. All
-/// operations allocate their output (there is no view machinery); the sizes
-/// involved in the Nazar experiments are small enough that clarity wins.
+/// `Tensor` is deliberately simple: flat backend storage plus a [`Shape`].
+/// All operations allocate their output (there is no view machinery); the
+/// sizes involved in the Nazar experiments are small enough that clarity
+/// wins. The defaults `T = f32`, `A = Cpu` mean plain `Tensor` is exactly
+/// the f32 host tensor the rest of the workspace is written against; the
+/// quantized inference path uses `Tensor<i8>` / `Tensor<i32>` over the same
+/// storage machinery.
 ///
 /// Fallible operations (shape mismatches and the like) return
 /// [`TensorError`]; infallible convenience wrappers panic only on programmer
@@ -29,24 +34,27 @@ use std::fmt;
 /// assert_eq!(c.data(), a.data());
 /// # Ok::<(), nazar_tensor::TensorError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Tensor {
-    data: Vec<f32>,
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor<T: Element = f32, A: Backend = Cpu> {
+    data: Buffer<T, A>,
     shape: Shape,
 }
 
-impl Tensor {
+impl<T: Element, A: Backend> Tensor<T, A> {
     // ------------------------------------------------------------------
-    // Constructors
+    // Backend-generic constructors and accessors
     // ------------------------------------------------------------------
 
-    /// Builds a tensor from a flat buffer and a shape.
+    /// Builds a tensor of any element type from a flat buffer and a shape.
+    ///
+    /// The f32-literal-friendly [`Tensor::from_vec`] is the common entry
+    /// point; this is its dtype/backend-generic sibling.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
     /// the number of elements implied by `dims`.
-    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+    pub fn from_vec_in(data: Vec<T>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if data.len() != shape.len() {
             return Err(TensorError::LengthMismatch {
@@ -54,101 +62,25 @@ impl Tensor {
                 actual: data.len(),
             });
         }
-        Ok(Tensor { data, shape })
+        Ok(Tensor {
+            data: Buffer::from_vec(data),
+            shape,
+        })
     }
 
-    /// A scalar tensor holding a single value.
-    pub fn scalar(value: f32) -> Self {
-        Tensor {
-            data: vec![value],
-            shape: Shape::scalar(),
-        }
+    /// A tensor of any element type filled with [`Element::ZERO`].
+    pub fn zeros_in(dims: &[usize]) -> Self {
+        Self::full_in(dims, T::ZERO)
     }
 
-    /// A tensor filled with zeros.
-    pub fn zeros(dims: &[usize]) -> Self {
+    /// A tensor of any element type filled with `value`.
+    pub fn full_in(dims: &[usize], value: T) -> Self {
         let shape = Shape::new(dims);
         Tensor {
-            data: vec![0.0; shape.len()],
+            data: Buffer::filled(shape.len(), value),
             shape,
         }
     }
-
-    /// A tensor filled with ones.
-    pub fn ones(dims: &[usize]) -> Self {
-        Self::full(dims, 1.0)
-    }
-
-    /// A tensor filled with `value`.
-    pub fn full(dims: &[usize], value: f32) -> Self {
-        let shape = Shape::new(dims);
-        Tensor {
-            data: vec![value; shape.len()],
-            shape,
-        }
-    }
-
-    /// The `n`-by-`n` identity matrix.
-    pub fn eye(n: usize) -> Self {
-        let mut t = Tensor::zeros(&[n, n]);
-        for i in 0..n {
-            t.data[i * n + i] = 1.0;
-        }
-        t
-    }
-
-    /// A tensor of i.i.d. samples from `N(mean, std^2)` (Box–Muller).
-    pub fn randn<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Self {
-        let shape = Shape::new(dims);
-        let n = shape.len();
-        let mut data = Vec::with_capacity(n);
-        while data.len() < n {
-            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
-            let u2: f32 = rng.gen_range(0.0..1.0);
-            let r = (-2.0 * u1.ln()).sqrt();
-            let theta = 2.0 * std::f32::consts::PI * u2;
-            data.push(mean + std * r * theta.cos());
-            if data.len() < n {
-                data.push(mean + std * r * theta.sin());
-            }
-        }
-        Tensor { data, shape }
-    }
-
-    /// A tensor of i.i.d. samples from `U[lo, hi)`.
-    pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Self {
-        let shape = Shape::new(dims);
-        let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
-        Tensor { data, shape }
-    }
-
-    /// Stacks equal-length 1-D rows into an `[n, d]` matrix.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if `rows` is empty or the rows disagree on length.
-    pub fn stack_rows(rows: &[Vec<f32>]) -> Result<Self> {
-        let first = rows
-            .first()
-            .ok_or(TensorError::Empty { op: "stack_rows" })?;
-        let d = first.len();
-        let mut data = Vec::with_capacity(rows.len() * d);
-        for r in rows {
-            if r.len() != d {
-                return Err(TensorError::ShapeMismatch {
-                    op: "stack_rows",
-                    lhs: vec![d],
-                    rhs: vec![r.len()],
-                });
-            }
-            data.extend_from_slice(r);
-        }
-        Tensor::from_vec(data, &[rows.len(), d])
-    }
-
-    // ------------------------------------------------------------------
-    // Accessors
-    // ------------------------------------------------------------------
 
     /// The tensor's shape.
     pub fn shape(&self) -> &Shape {
@@ -171,18 +103,18 @@ impl Tensor {
     }
 
     /// The underlying flat buffer, row-major.
-    pub fn data(&self) -> &[f32] {
+    pub fn data(&self) -> &[T] {
         &self.data
     }
 
     /// Mutable access to the underlying flat buffer.
-    pub fn data_mut(&mut self) -> &mut [f32] {
+    pub fn data_mut(&mut self) -> &mut [T] {
         &mut self.data
     }
 
-    /// Consumes the tensor and returns its flat buffer.
-    pub fn into_data(self) -> Vec<f32> {
-        self.data
+    /// Consumes the tensor and returns its flat buffer as a host vector.
+    pub fn into_data(self) -> Vec<T> {
+        self.data.into_vec()
     }
 
     /// Number of rows of a rank-2 tensor.
@@ -210,13 +142,157 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns an error for non-matrices or out-of-range rows.
-    pub fn row(&self, i: usize) -> Result<&[f32]> {
+    pub fn row(&self, i: usize) -> Result<&[T]> {
         let (n, d) = (self.nrows()?, self.ncols()?);
         if i >= n {
             return Err(TensorError::IndexOutOfBounds { index: i, bound: n });
         }
         Ok(&self.data[i * d..(i + 1) * d])
     }
+
+    /// The single value of a scalar (or single-element) tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the tensor holds more than one element.
+    pub fn item(&self) -> Result<T> {
+        if self.data.len() != 1 {
+            return Err(TensorError::LengthMismatch {
+                expected: 1,
+                actual: self.data.len(),
+            });
+        }
+        Ok(self.data[0])
+    }
+
+    fn expect_rank(&self, op: &'static str, rank: usize) -> Result<()> {
+        if self.shape.rank() != rank {
+            return Err(TensorError::RankMismatch {
+                op,
+                expected: rank,
+                actual: self.shape.rank(),
+            });
+        }
+        Ok(())
+    }
+
+    fn expect_same_shape(&self, op: &'static str, other: &Tensor<T, A>) -> Result<()> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: other.dims().to_vec(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Builds a tensor from a flat buffer and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the number of elements implied by `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
+        Tensor::from_vec_in(data, dims)
+    }
+
+    /// A scalar tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value].into(),
+            shape: Shape::scalar(),
+        }
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        Tensor::zeros_in(dims)
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::full(dims, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        Tensor::full_in(dims, value)
+    }
+
+    /// The `n`-by-`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// A tensor of i.i.d. samples from `N(mean, std^2)` (Box–Muller).
+    pub fn randn<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.len();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor {
+            data: data.into(),
+            shape,
+        }
+    }
+
+    /// A tensor of i.i.d. samples from `U[lo, hi)`.
+    pub fn rand_uniform<R: Rng + ?Sized>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Self {
+        let shape = Shape::new(dims);
+        let data: Vec<f32> = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor {
+            data: data.into(),
+            shape,
+        }
+    }
+
+    /// Stacks equal-length 1-D rows into an `[n, d]` matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `rows` is empty or the rows disagree on length.
+    pub fn stack_rows(rows: &[Vec<f32>]) -> Result<Self> {
+        let first = rows
+            .first()
+            .ok_or(TensorError::Empty { op: "stack_rows" })?;
+        let d = first.len();
+        let mut data = Vec::with_capacity(rows.len() * d);
+        for r in rows {
+            if r.len() != d {
+                return Err(TensorError::ShapeMismatch {
+                    op: "stack_rows",
+                    lhs: vec![d],
+                    rhs: vec![r.len()],
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Tensor::from_vec(data, &[rows.len(), d])
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors (the structural ones live on the generic impl above)
+    // ------------------------------------------------------------------
 
     /// Copies the given rows of a rank-2 tensor into a new matrix.
     ///
@@ -251,43 +327,6 @@ impl Tensor {
         Tensor::from_vec(self.data[start * d..end * d].to_vec(), &[end - start, d])
     }
 
-    /// The single value of a scalar (or single-element) tensor.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the tensor holds more than one element.
-    pub fn item(&self) -> Result<f32> {
-        if self.data.len() != 1 {
-            return Err(TensorError::LengthMismatch {
-                expected: 1,
-                actual: self.data.len(),
-            });
-        }
-        Ok(self.data[0])
-    }
-
-    fn expect_rank(&self, op: &'static str, rank: usize) -> Result<()> {
-        if self.shape.rank() != rank {
-            return Err(TensorError::RankMismatch {
-                op,
-                expected: rank,
-                actual: self.shape.rank(),
-            });
-        }
-        Ok(())
-    }
-
-    fn expect_same_shape(&self, op: &'static str, other: &Tensor) -> Result<()> {
-        if !self.shape.same_as(&other.shape) {
-            return Err(TensorError::ShapeMismatch {
-                op,
-                lhs: self.dims().to_vec(),
-                rhs: other.dims().to_vec(),
-            });
-        }
-        Ok(())
-    }
-
     // ------------------------------------------------------------------
     // Elementwise
     // ------------------------------------------------------------------
@@ -297,7 +336,7 @@ impl Tensor {
         let mut data = vec![0.0f32; self.data.len()];
         kernels::map_into(&self.data, &mut data, f);
         Tensor {
-            data,
+            data: data.into(),
             shape: self.shape.clone(),
         }
     }
@@ -317,7 +356,7 @@ impl Tensor {
         let mut data = vec![0.0f32; self.data.len()];
         kernels::zip_into(&self.data, &other.data, &mut data, f);
         Ok(Tensor {
-            data,
+            data: data.into(),
             shape: self.shape.clone(),
         })
     }
@@ -473,7 +512,7 @@ impl Tensor {
             }
         }
         Ok(Tensor {
-            data,
+            data: data.into(),
             shape: self.shape.clone(),
         })
     }
@@ -543,7 +582,14 @@ impl Tensor {
         if self.data.is_empty() {
             return Err(TensorError::Empty { op: "mean_all" });
         }
-        Ok(self.sum_all() / self.data.len() as f32)
+        let n = self.data.len();
+        if n > kernels::F32_EXACT_COUNT {
+            // `n as f32` rounds above 2^24, silently biasing the mean at
+            // fleet scale; accumulate and divide in f64, round once.
+            let sum: f64 = self.data.iter().map(|&x| f64::from(x)).sum();
+            return Ok((sum / n as f64) as f32);
+        }
+        Ok(self.sum_all() / n as f32)
     }
 
     /// Column sums of an `[n, d]` matrix, as a `[d]` vector.
@@ -567,6 +613,20 @@ impl Tensor {
         let n = self.nrows()?;
         if n == 0 {
             return Err(TensorError::Empty { op: "mean_axis0" });
+        }
+        if n > kernels::F32_EXACT_COUNT {
+            // See `mean_all`: keep the denominator (and the column sums,
+            // which overflow f32 precision long before the count does)
+            // in f64 above the exact-count range.
+            let d = self.ncols()?;
+            let mut sums = vec![0.0f64; d];
+            for row in self.data.chunks_exact(d) {
+                for (s, &x) in sums.iter_mut().zip(row) {
+                    *s += f64::from(x);
+                }
+            }
+            let data: Vec<f32> = sums.iter().map(|&s| (s / n as f64) as f32).collect();
+            return Tensor::from_vec(data, &[d]);
         }
         Ok(self.sum_axis0()?.scale(1.0 / n as f32))
     }
@@ -703,6 +763,17 @@ impl Tensor {
         if d == 0 {
             return Err(TensorError::Empty { op: "mean_axis1" });
         }
+        if d > kernels::F32_EXACT_COUNT {
+            // See `mean_all`: f64 accumulation once the row width exceeds
+            // the f32-exact integer range.
+            let n = self.nrows()?;
+            let mut data = Vec::with_capacity(n);
+            for row in self.data.chunks_exact(d) {
+                let sum: f64 = row.iter().map(|&x| f64::from(x)).sum();
+                data.push((sum / d as f64) as f32);
+            }
+            return Tensor::from_vec(data, &[n]);
+        }
         Ok(self.sum_axis1()?.scale(1.0 / d as f32))
     }
 
@@ -756,8 +827,10 @@ impl Tensor {
         let mut out = Vec::with_capacity(n * c);
         for i in 0..n {
             let row = &self.data[i * c..(i + 1) * c];
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln() + max;
+            // At t = 1.0 the shared helper's divide/multiply by the
+            // temperature are bitwise no-ops, so this is the historical
+            // max-shifted formula exactly.
+            let lse = kernels::log_sum_exp(row, 1.0);
             out.extend(row.iter().map(|&x| x - lse));
         }
         Tensor::from_vec(out, &[n, c])
@@ -773,8 +846,48 @@ impl Tensor {
             && self
                 .data
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.iter())
                 .all(|(a, b)| (a - b).abs() <= tol)
+    }
+}
+
+// Hand-written serde impls for the default f32/Cpu tensor, matching the wire
+// format the former `#[derive(Serialize, Deserialize)]` produced (a map of
+// "data" and "shape") so persisted patches/checkpoints keep round-tripping.
+impl Serialize for Tensor {
+    fn to_value(&self) -> Value {
+        let data: Vec<f32> = self.data.as_slice().to_vec();
+        Value::Map(vec![
+            ("data".to_string(), data.to_value()),
+            ("shape".to_string(), self.shape.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for Tensor {
+    fn from_value(v: &Value) -> std::result::Result<Self, DeError> {
+        let entries = v
+            .as_map()
+            .ok_or_else(|| DeError::type_mismatch("map for Tensor", v))?;
+        let data: Vec<f32> = serde::value_get(entries, "data")
+            .map(Deserialize::from_value)
+            .transpose()?
+            .ok_or_else(|| DeError::missing_field("data", "Tensor"))?;
+        let shape: Shape = serde::value_get(entries, "shape")
+            .map(Deserialize::from_value)
+            .transpose()?
+            .ok_or_else(|| DeError::missing_field("shape", "Tensor"))?;
+        if data.len() != shape.len() {
+            return Err(DeError::custom(format!(
+                "Tensor data length {} does not match shape {:?}",
+                data.len(),
+                shape.dims()
+            )));
+        }
+        Ok(Tensor {
+            data: data.into(),
+            shape,
+        })
     }
 }
 

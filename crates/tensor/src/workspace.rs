@@ -7,11 +7,27 @@
 //! methods route through a thread-local workspace, which keeps the public
 //! API unchanged while still amortizing allocations.
 
-use nazar_obs::LazyCounter;
+use nazar_obs::{LazyCounter, LazyGauge};
 use std::cell::RefCell;
+use std::sync::atomic::{AtomicIsize, Ordering};
 
 /// How many returned buffers a workspace keeps before dropping the rest.
 const MAX_POOLED: usize = 16;
+
+/// Shrink trigger: a buffer returned with more than `HIGH_WATER_RATIO`
+/// times the recent peak request size is considered a burst leftover and
+/// is shrunk before pooling, so one huge adaptation job cannot pin
+/// peak-sized scratch for the rest of the run.
+const HIGH_WATER_RATIO: usize = 4;
+
+/// Per-recycle decay divisor of the recent-peak request tracker. Each
+/// recycle leaks `1/16` of the remembered peak, so the watermark follows
+/// demand down within a few dozen recycles of a burst ending.
+const PEAK_DECAY_DIVISOR: usize = 16;
+
+/// Buffers at or below this capacity (in elements) are never shrunk —
+/// small scratch is cheap to keep and reallocation-churn-prone.
+const SHRINK_FLOOR: usize = 1024;
 
 static POOL_HITS: LazyCounter = LazyCounter::new_volatile(
     "nazar_tensor_workspace_pool_total",
@@ -23,11 +39,37 @@ static POOL_MISSES: LazyCounter = LazyCounter::new_volatile(
     "Workspace buffer requests by outcome",
     &[("result", "miss")],
 );
+static POOL_BYTES: LazyGauge = LazyGauge::new_volatile(
+    "nazar_tensor_workspace_pool_bytes",
+    "Bytes currently held by workspace buffer pools (all threads)",
+    &[],
+);
+
+/// Process-wide pooled-bytes total backing the gauge (workspaces are
+/// per-thread, the gauge is global, so each pool publishes deltas).
+static POOL_BYTES_TOTAL: AtomicIsize = AtomicIsize::new(0);
+
+fn note_pool_bytes(delta: isize) {
+    if delta == 0 {
+        return;
+    }
+    let now = POOL_BYTES_TOTAL.fetch_add(delta, Ordering::Relaxed) + delta;
+    POOL_BYTES.set(now.max(0) as f64);
+}
+
+/// Bytes currently pooled across every live [`Workspace`] (diagnostics
+/// and the shrink-policy regression tests; also exported as the
+/// `nazar_tensor_workspace_pool_bytes` gauge).
+pub fn pooled_bytes_total() -> usize {
+    POOL_BYTES_TOTAL.load(Ordering::Relaxed).max(0) as usize
+}
 
 /// A recycling pool of `Vec<f32>` scratch buffers.
 #[derive(Debug, Default)]
 pub struct Workspace {
     pool: Vec<Vec<f32>>,
+    /// Decayed high-water mark of recent request sizes (elements).
+    recent_peak: usize,
 }
 
 impl Workspace {
@@ -39,6 +81,14 @@ impl Workspace {
     /// Number of buffers currently pooled (diagnostics/tests).
     pub fn pooled(&self) -> usize {
         self.pool.len()
+    }
+
+    /// Bytes currently held by this pool's buffers.
+    pub fn pooled_bytes(&self) -> usize {
+        self.pool
+            .iter()
+            .map(|b| b.capacity() * std::mem::size_of::<f32>())
+            .sum()
     }
 
     /// Takes a buffer of exactly `len` elements, all zero.
@@ -67,6 +117,7 @@ impl Workspace {
     }
 
     fn take_buffer(&mut self, len: usize) -> Vec<f32> {
+        self.recent_peak = self.recent_peak.max(len);
         match self
             .pool
             .iter()
@@ -75,6 +126,7 @@ impl Workspace {
         {
             Some(buf) => {
                 POOL_HITS.inc();
+                note_pool_bytes(-((buf.capacity() * std::mem::size_of::<f32>()) as isize));
                 buf
             }
             None => {
@@ -85,9 +137,23 @@ impl Workspace {
     }
 
     /// Returns a buffer to the pool for reuse.
-    pub fn recycle(&mut self, buf: Vec<f32>) {
+    ///
+    /// Shrink/cap policy: the pool remembers a decayed high-water mark of
+    /// recent request sizes; a returned buffer whose capacity exceeds
+    /// `HIGH_WATER_RATIO` (4) times that mark is shrunk to the mark before
+    /// pooling. A one-off burst (a single large adaptation job) therefore
+    /// stops pinning peak-sized scratch once steady-state requests drop
+    /// back down — the regression test below drives exactly that shape.
+    pub fn recycle(&mut self, mut buf: Vec<f32>) {
         if buf.capacity() == 0 {
             return;
+        }
+        // Decay the watermark toward current demand before judging `buf`.
+        self.recent_peak -= self.recent_peak / PEAK_DECAY_DIVISOR;
+        let cap_target = self.recent_peak.max(SHRINK_FLOOR);
+        if buf.capacity() > cap_target.saturating_mul(HIGH_WATER_RATIO) {
+            buf.truncate(cap_target);
+            buf.shrink_to(cap_target);
         }
         if self.pool.len() >= MAX_POOLED {
             // Keep the larger buffer: evict the smallest pooled one.
@@ -98,11 +164,14 @@ impl Workspace {
                 .min_by_key(|(_, b)| b.capacity())
             {
                 if self.pool[i].capacity() < buf.capacity() {
-                    self.pool[i] = buf;
+                    let evicted = std::mem::replace(&mut self.pool[i], buf);
+                    let delta = self.pool[i].capacity() as isize - evicted.capacity() as isize;
+                    note_pool_bytes(delta * std::mem::size_of::<f32>() as isize);
                 }
             }
             return;
         }
+        note_pool_bytes((buf.capacity() * std::mem::size_of::<f32>()) as isize);
         self.pool.push(buf);
     }
 
@@ -115,6 +184,14 @@ impl Workspace {
             static WS: RefCell<Workspace> = RefCell::new(Workspace::new());
         }
         WS.with(|ws| f(&mut ws.borrow_mut()))
+    }
+}
+
+impl Drop for Workspace {
+    fn drop(&mut self) {
+        // Keep the process-wide pooled-bytes gauge honest when short-lived
+        // workspaces (tests, one-shot jobs) die with buffers still pooled.
+        note_pool_bytes(-(self.pooled_bytes() as isize));
     }
 }
 
@@ -152,6 +229,48 @@ mod tests {
             ws.recycle(vec![0.0; i + 1]);
         }
         assert!(ws.pooled() <= MAX_POOLED);
+    }
+
+    #[test]
+    fn burst_footprint_decays_back_to_steady_state() {
+        // Regression (PR 9 satellite 2): a single peak-sized matmul used to
+        // pin its scratch capacity in the pool forever. Drive one large
+        // burst, then a steady small workload, and require the pool's
+        // footprint to decay to within the shrink policy's envelope.
+        let mut ws = Workspace::new();
+        const BURST: usize = 1 << 20; // 1M elements = 4 MiB
+        const STEADY: usize = 2048;
+
+        let big = ws.take_filled_later(BURST);
+        ws.recycle(big);
+        let burst_bytes = ws.pooled_bytes();
+        assert!(burst_bytes >= BURST * 4, "burst retained: {burst_bytes}");
+
+        // Steady-state small requests; the decayed watermark must fall and
+        // the oversized buffer must be shrunk on some return.
+        for _ in 0..200 {
+            let buf = ws.take_filled_later(STEADY);
+            ws.recycle(buf);
+        }
+        let settled = ws.pooled_bytes();
+        let envelope = STEADY * 4 * HIGH_WATER_RATIO * 4 + SHRINK_FLOOR * 4 * MAX_POOLED;
+        assert!(
+            settled <= envelope,
+            "pool footprint failed to decay: {settled} bytes (envelope {envelope})"
+        );
+        assert!(settled < burst_bytes / 8, "no meaningful decay: {settled}");
+    }
+
+    #[test]
+    fn pooled_bytes_tracks_pool_contents() {
+        let mut ws = Workspace::new();
+        assert_eq!(ws.pooled_bytes(), 0);
+        let buf = ws.take_filled_later(100);
+        let cap = buf.capacity();
+        ws.recycle(buf);
+        assert_eq!(ws.pooled_bytes(), cap * 4);
+        let _ = ws.take_filled_later(10);
+        assert_eq!(ws.pooled_bytes(), 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! thread count, which is what makes `NAZAR_NUM_THREADS` a pure
 //! performance knob.
 
-use nazar_tensor::{kernels, Workspace};
+use nazar_tensor::{kernels, simd, SimdTier, Workspace};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -201,5 +201,208 @@ proptest! {
         let mut out = vec![0.0f32; n * m];
         kernels::matmul_into(&a, &b, n, k, m, &mut out, &mut warm);
         prop_assert_eq!(out, expected);
+    }
+
+    // ----------------------------------------------------------------
+    // SIMD tiers vs the scalar oracle (PR 9)
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn simd_exact_matmul_is_bitwise_vs_scalar_oracle(
+        n in 1usize..48,
+        k in 1usize..48,
+        m in 1usize..72,
+        threads in 1usize..=8,
+        seed in 0u64..1_000,
+    ) {
+        // The exact tier (mul + add, per-lane p-order accumulation) must be
+        // *bitwise* identical to the scalar kernel at every shape — panel
+        // edges, remainder rows, and all thread widths included.
+        let a = data(seed, n * k);
+        let b = data(seed.wrapping_add(8), k * m);
+        let mut ws = Workspace::new();
+        let mut scalar = vec![0.0f32; n * m];
+        kernels::matmul_into_tier(&a, &b, n, k, m, &mut scalar, &mut ws, 1, SimdTier::Off);
+        let mut vector = vec![f32::NAN; n * m];
+        kernels::matmul_into_tier(&a, &b, n, k, m, &mut vector, &mut ws, threads, SimdTier::Exact);
+        prop_assert_eq!(vector, scalar);
+    }
+
+    #[test]
+    fn simd_fast_matmul_is_ulp_bounded_vs_scalar_oracle(
+        n in 1usize..48,
+        k in 1usize..48,
+        m in 1usize..72,
+        seed in 0u64..1_000,
+    ) {
+        // The fast tier contracts one rounding per multiply-add, so the
+        // worst-case drift from the oracle scales with the accumulation
+        // length k: |fast - scalar| <= |a|·|b| product * k * eps-ish.
+        let a = data(seed, n * k);
+        let b = data(seed.wrapping_add(9), k * m);
+        let mut ws = Workspace::new();
+        let mut scalar = vec![0.0f32; n * m];
+        kernels::matmul_into_tier(&a, &b, n, k, m, &mut scalar, &mut ws, 1, SimdTier::Off);
+        let mut fast = vec![f32::NAN; n * m];
+        kernels::matmul_into_tier(&a, &b, n, k, m, &mut fast, &mut ws, 1, SimdTier::Fast);
+        let abs_a: Vec<f32> = a.iter().map(|x| x.abs()).collect();
+        let abs_b: Vec<f32> = b.iter().map(|x| x.abs()).collect();
+        let abs_ref = naive_matmul(&abs_a, &abs_b, n, k, m);
+        for i in 0..n * m {
+            let tol = 1e-6 + abs_ref[i] * (k as f32) * 1e-6;
+            prop_assert!(
+                (fast[i] - scalar[i]).abs() <= tol,
+                "fast {} vs scalar {} (tol {tol})", fast[i], scalar[i],
+            );
+        }
+    }
+
+    #[test]
+    fn bn_eval_kernel_is_bitwise_across_tiers(
+        n in 1usize..16,
+        d in 1usize..64,
+        seed in 0u64..1_000,
+    ) {
+        let x = data(seed, n * d);
+        let mean = data(seed.wrapping_add(10), d);
+        let std: Vec<f32> = data(seed.wrapping_add(11), d)
+            .into_iter()
+            .map(|v| v.abs() + 0.5)
+            .collect();
+        let gamma = data(seed.wrapping_add(12), d);
+        let beta = data(seed.wrapping_add(13), d);
+        // Scalar reference: exactly the BatchNorm1d eval arithmetic.
+        let mut reference = vec![0.0f32; n * d];
+        for (row, orow) in x.chunks_exact(d).zip(reference.chunks_exact_mut(d)) {
+            for j in 0..d {
+                orow[j] = (row[j] - mean[j]) / std[j] * gamma[j] + beta[j];
+            }
+        }
+        for tier in [SimdTier::Off, SimdTier::Exact, SimdTier::Fast] {
+            let mut out = vec![f32::NAN; n * d];
+            kernels::bn_eval_into(&x, d, &mean, &std, &gamma, &beta, &mut out, tier);
+            prop_assert_eq!(&out, &reference);
+        }
+    }
+
+    #[test]
+    fn softmax_row_kernel_is_bitwise_across_tiers(
+        d in 1usize..80,
+        seed in 0u64..1_000,
+    ) {
+        let row = data(seed, d);
+        // Scalar reference: max-shift, exp, in-order sum, divide.
+        let mut reference = row.clone();
+        let max = reference.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for v in reference.iter_mut() {
+            *v -= max;
+        }
+        let mut sum = 0.0f32;
+        for v in reference.iter_mut() {
+            *v = v.exp();
+            sum += *v;
+        }
+        for v in reference.iter_mut() {
+            *v /= sum;
+        }
+        for tier in [SimdTier::Off, SimdTier::Exact, SimdTier::Fast] {
+            let mut out = row.clone();
+            kernels::softmax_row_tier(&mut out, tier);
+            prop_assert_eq!(&out, &reference);
+            let total: f32 = out.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_i8_is_exact_and_thread_invariant(
+        n in 1usize..24,
+        k in 1usize..24,
+        m in 1usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let a: Vec<i8> = (0..n * k).map(|_| rng.gen_range(-127i8..=127)).collect();
+        let b: Vec<i8> = (0..k * m).map(|_| rng.gen_range(-127i8..=127)).collect();
+        // i64 reference: integer accumulation has one correct answer.
+        let mut reference = vec![0i64; n * m];
+        for i in 0..n {
+            for p in 0..k {
+                for j in 0..m {
+                    reference[i * m + j] += i64::from(a[i * k + p]) * i64::from(b[p * m + j]);
+                }
+            }
+        }
+        let mut out = vec![0i32; n * m];
+        kernels::matmul_i8_into(&a, &b, n, k, m, &mut out);
+        for i in 0..n * m {
+            prop_assert_eq!(i64::from(out[i]), reference[i]);
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Shared log-sum-exp vs an f64 reference (PR 9 satellite 1)
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn log_sum_exp_tracks_f64_reference(
+        d in 1usize..32,
+        ti in 0usize..4,
+        si in 0usize..4,
+        seed in 0u64..1_000,
+    ) {
+        let t = [0.5f32, 1.0, 2.0, 10.0][ti];
+        let scale = [1.0f32, 50.0, 500.0, 5000.0][si];
+        // Large-magnitude logits used to overflow exp() before the
+        // max-shift unification; the shared helper must stay finite and
+        // within f32 noise of an f64 ground truth at every scale.
+        let row: Vec<f32> = data(seed, d).into_iter().map(|v| v * scale).collect();
+        let got = kernels::log_sum_exp(&row, t);
+        let t64 = f64::from(t);
+        let max64 = row.iter().map(|&v| f64::from(v)).fold(f64::NEG_INFINITY, f64::max);
+        let reference = row
+            .iter()
+            .map(|&v| ((f64::from(v) - max64) / t64).exp())
+            .sum::<f64>()
+            .ln()
+            * t64
+            + max64;
+        prop_assert!(got.is_finite(), "LSE overflowed: {got}");
+        let tol = 1e-4 * reference.abs().max(1.0);
+        prop_assert!(
+            (f64::from(got) - reference).abs() <= tol,
+            "got {got} vs f64 reference {reference}",
+        );
+    }
+
+    #[test]
+    fn log_softmax_rows_matches_shared_helper(
+        n in 1usize..8,
+        c in 1usize..16,
+        seed in 0u64..1_000,
+    ) {
+        // nn's log-softmax (and through it entropy_of_logits) must be the
+        // shared helper at t = 1.0, bit for bit.
+        let x = data(seed, n * c);
+        let t = nazar_tensor::Tensor::from_vec(x.clone(), &[n, c]).unwrap();
+        let lp = t.log_softmax_rows().unwrap();
+        for i in 0..n {
+            let row = &x[i * c..(i + 1) * c];
+            let lse = kernels::log_sum_exp(row, 1.0);
+            for (j, &v) in row.iter().enumerate() {
+                prop_assert!(lp.data()[i * c + j] == v - lse);
+            }
+        }
+    }
+}
+
+#[test]
+fn simd_tier_reporting_is_consistent() {
+    // On AVX-512 hosts the vector tiers must actually engage; elsewhere
+    // they must clamp to Off (and the kernels above fall back to scalar).
+    if simd::available() {
+        assert_eq!(simd::effective(SimdTier::Exact), SimdTier::Exact);
+    } else {
+        assert_eq!(simd::effective(SimdTier::Fast), SimdTier::Off);
     }
 }

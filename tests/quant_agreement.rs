@@ -1,0 +1,99 @@
+//! i8 vs f32 detection agreement on the golden-trace workload (PR 9
+//! satellite).
+//!
+//! [`QuantMode::I8`](nazar_nn::QuantMode) trades numeric fidelity for
+//! integer matmuls on the device detection path. Two contracts pin the
+//! trade:
+//!
+//! 1. **Agreement** — on the same reduced-scale window the golden trace
+//!    runs, the i8 mirror's drifted verdict (`msp < threshold`) must match
+//!    the f32 reference on ≥ 99% of items.
+//! 2. **Determinism** — the i8 path accumulates in exact integer
+//!    arithmetic, so its logits must be *bitwise* identical at every
+//!    thread width (swept in-process via the explicit-threads entry point;
+//!    the CI `test-matrix` job additionally re-runs this whole test under
+//!    `NAZAR_NUM_THREADS=1` and `=8`).
+
+use nazar::prelude::*;
+use nazar_nn::QuantizedMlp;
+use nazar_tensor::Tensor;
+
+/// Same reduced-scale dataset the golden trace uses (`tests/golden_trace.rs`).
+fn golden_dataset() -> AnimalsDataset {
+    let config = AnimalsConfig {
+        classes: 6,
+        dim: 24,
+        train_per_class: 30,
+        val_per_class: 8,
+        devices_per_location: 2,
+        arrivals_per_day: 1.0,
+        ..AnimalsConfig::default()
+    };
+    AnimalsDataset::generate(&config)
+}
+
+fn forward_f32(model: &mut MlpResNet, features: &[f32]) -> (usize, f32) {
+    let x = Tensor::from_vec(features.to_vec(), &[1, features.len()]).unwrap();
+    let logits = model.logits(&x, nazar_nn::Mode::Eval);
+    let prediction = logits.argmax_axis1().unwrap()[0];
+    (prediction, nazar_detect::msp_of_logits(&logits)[0])
+}
+
+fn forward_i8(quant: &QuantizedMlp, features: &[f32], threads: usize) -> (usize, f32) {
+    let x = Tensor::from_vec(features.to_vec(), &[1, features.len()]).unwrap();
+    let logits = quant.logits_with_threads(&x, threads);
+    let prediction = logits.argmax_axis1().unwrap()[0];
+    (prediction, nazar_detect::msp_of_logits(&logits)[0])
+}
+
+#[test]
+fn i8_detection_agrees_with_f32_on_golden_workload() {
+    let dataset = golden_dataset();
+    let system = NazarSystem::train(
+        &dataset.train,
+        &dataset.val,
+        ModelArch::resnet18_analog(24, 6),
+        4,
+    );
+    let mut model = system.base_model().clone();
+    let quant = QuantizedMlp::from_model(&model);
+    let threshold = DeviceConfig::default().detection_threshold;
+
+    let mut total = 0usize;
+    let mut verdict_agree = 0usize;
+    let mut pred_agree = 0usize;
+    for stream in &dataset.streams {
+        for item in &stream.items {
+            let (pred_f, msp_f) = forward_f32(&mut model, &item.features);
+            let (pred_q, msp_q) = forward_i8(&quant, &item.features, 1);
+            // Exact integer accumulation: the i8 logits (and everything
+            // derived from them) are bitwise identical at any thread width.
+            for threads in [4, 8] {
+                assert_eq!(
+                    (pred_q, msp_q),
+                    forward_i8(&quant, &item.features, threads),
+                    "i8 path must be bitwise identical at {threads} threads"
+                );
+            }
+            total += 1;
+            if (msp_f < threshold) == (msp_q < threshold) {
+                verdict_agree += 1;
+            }
+            if pred_f == pred_q {
+                pred_agree += 1;
+            }
+        }
+    }
+
+    assert!(total >= 100, "workload too small to be meaningful: {total}");
+    let verdict_rate = verdict_agree as f64 / total as f64;
+    let pred_rate = pred_agree as f64 / total as f64;
+    assert!(
+        verdict_rate >= 0.99,
+        "drifted-verdict agreement {verdict_agree}/{total} = {verdict_rate:.4} < 0.99"
+    );
+    assert!(
+        pred_rate >= 0.95,
+        "prediction agreement {pred_agree}/{total} = {pred_rate:.4} < 0.95"
+    );
+}
