@@ -1,0 +1,269 @@
+//! Detector-zoo shootout: every [`DetectorKind`] over the vision and text
+//! workloads' per-device MSP streams.
+//!
+//! Replays the exact per-device streaming path the fleet engines run (one
+//! [`StreamDetector`] per device, fed the base model's MSP per item) and
+//! scores each zoo member on four axes:
+//!
+//! * **AUROC** — ranking quality of the continuous drift score against the
+//!   ground-truth drift labels;
+//! * **precision** / **recall** — quality of the boolean alarms at the
+//!   zoo's default operating point;
+//! * **detection latency** — mean items from the onset of a drifted run
+//!   until the first alarm inside it (censored at the run length when a
+//!   run is never caught).
+//!
+//! Stdout is deterministic (timings go to stderr) so CI can byte-diff runs
+//! across `NAZAR_NUM_THREADS` widths. `NAZAR_SHOOTOUT_QUICK=1` shrinks the
+//! workloads for smoke tests; results land in `BENCH_detect.json` (or
+//! `NAZAR_BENCH_OUT`).
+
+use nazar_bench::report::{bench_row, merge_bench_json, num, Table};
+use nazar_cloud::experiment::train_base_model;
+use nazar_data::{AnimalsConfig, AnimalsDataset, LocationStream, TextConfig, TextDataset};
+use nazar_detect::{eval, msp_of_logits, DetectorKind, StreamDetector};
+use nazar_device::DeviceConfig;
+use nazar_nn::{MlpResNet, Mode, ModelArch};
+use nazar_tensor::{parallel, Tensor};
+use std::time::Instant;
+
+/// One device's MSP stream with ground-truth drift labels, in item order.
+#[derive(Debug, Clone)]
+struct DeviceStream {
+    msp: Vec<f32>,
+    truth: Vec<bool>,
+}
+
+/// A named workload reduced to its per-device streams.
+struct Workload {
+    name: &'static str,
+    devices: Vec<DeviceStream>,
+}
+
+/// Forward-passes every stream item through the trained model and groups
+/// the resulting MSPs per device, preserving each device's item order.
+fn device_streams(model: &mut MlpResNet, streams: &[LocationStream]) -> Vec<DeviceStream> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_device: std::collections::HashMap<String, DeviceStream> =
+        std::collections::HashMap::new();
+    for stream in streams {
+        for chunk in stream.items.chunks(256) {
+            let rows: Vec<Vec<f32>> = chunk.iter().map(|it| it.features.clone()).collect();
+            let x = Tensor::stack_rows(&rows).expect("stream rows");
+            let logits = model.logits(&x, Mode::Eval);
+            for (item, msp) in chunk.iter().zip(msp_of_logits(&logits)) {
+                let entry = by_device.entry(item.device_id.clone()).or_insert_with(|| {
+                    order.push(item.device_id.clone());
+                    DeviceStream {
+                        msp: Vec::new(),
+                        truth: Vec::new(),
+                    }
+                });
+                entry.msp.push(msp);
+                entry.truth.push(item.is_drifted());
+            }
+        }
+    }
+    order
+        .iter()
+        .map(|id| by_device.remove(id).expect("grouped device"))
+        .collect()
+}
+
+/// Per-(workload, detector) shootout metrics.
+struct Outcome {
+    auroc: f64,
+    precision: f64,
+    recall: f64,
+    latency: f64,
+    alarms: usize,
+}
+
+/// Mean items from each drifted run's onset to its first alarm; runs with
+/// no alarm count their full length (a censored miss). `NaN`-free: returns
+/// 0 when the stream has no drifted runs at all.
+fn detection_latency(flags: &[bool], truth: &[bool]) -> (f64, usize) {
+    let mut total = 0usize;
+    let mut runs = 0usize;
+    let mut i = 0usize;
+    while i < truth.len() {
+        if !truth[i] {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < truth.len() && truth[i] {
+            i += 1;
+        }
+        let caught = (start..i).find(|&j| flags[j]);
+        total += caught.map_or(i - start, |j| j - start + 1);
+        runs += 1;
+    }
+    (
+        if runs == 0 {
+            0.0
+        } else {
+            total as f64 / runs as f64
+        },
+        runs,
+    )
+}
+
+/// Replays one detector kind over every device stream of a workload.
+fn shoot(kind: DetectorKind, devices: &[DeviceStream], threshold: f32) -> Outcome {
+    let mut scores: Vec<f32> = Vec::new();
+    let mut flags: Vec<bool> = Vec::new();
+    let mut truth: Vec<bool> = Vec::new();
+    let mut latency_total = 0.0;
+    let mut latency_runs = 0usize;
+    for dev in devices {
+        let mut det = StreamDetector::new(kind, threshold);
+        let mut dev_flags = Vec::with_capacity(dev.msp.len());
+        for &msp in &dev.msp {
+            let (score, drifted) = det.observe_scored(msp);
+            scores.push(score as f32);
+            dev_flags.push(drifted);
+        }
+        let (mean, runs) = detection_latency(&dev_flags, &dev.truth);
+        latency_total += mean * runs as f64;
+        latency_runs += runs;
+        flags.extend_from_slice(&dev_flags);
+        truth.extend_from_slice(&dev.truth);
+    }
+    let e = eval::DetectionEval::from_decisions(&flags, &truth);
+    Outcome {
+        auroc: eval::auroc(&scores, &truth),
+        precision: f64::from(e.precision()),
+        recall: f64::from(e.recall()),
+        latency: if latency_runs == 0 {
+            0.0
+        } else {
+            latency_total / latency_runs as f64
+        },
+        alarms: flags.iter().filter(|&&f| f).count(),
+    }
+}
+
+fn vision_workload(quick: bool) -> Workload {
+    let config = AnimalsConfig {
+        devices_per_location: if quick { 2 } else { 3 },
+        arrivals_per_day: if quick { 1.0 } else { 2.0 },
+        ..AnimalsConfig::small()
+    };
+    let dataset = AnimalsDataset::generate(&config);
+    let arch = if quick {
+        ModelArch::tiny(config.dim, config.classes)
+    } else {
+        ModelArch::resnet18_analog(config.dim, config.classes)
+    };
+    let t0 = Instant::now();
+    let trained = train_base_model(&dataset.train, &dataset.val, arch, config.seed ^ 0xbeef);
+    eprintln!("# vision: trained in {:.1}s", t0.elapsed().as_secs_f64());
+    let mut model = trained.model;
+    Workload {
+        name: "vision",
+        devices: device_streams(&mut model, &dataset.streams),
+    }
+}
+
+fn text_workload(quick: bool) -> Workload {
+    let config = TextConfig {
+        topics: 6,
+        vocab: 24,
+        tokens_per_doc: 48,
+        train_per_topic: 30,
+        val_per_topic: 8,
+        devices_per_location: if quick { 2 } else { 4 },
+        arrivals_per_day: if quick { 1.0 } else { 2.0 },
+        ..TextConfig::default()
+    };
+    let dataset = TextDataset::generate(&config);
+    let arch = if quick {
+        ModelArch::tiny(config.vocab, config.topics)
+    } else {
+        ModelArch::resnet18_analog(config.vocab, config.topics)
+    };
+    let t0 = Instant::now();
+    let trained = train_base_model(&dataset.train, &dataset.val, arch, 4);
+    eprintln!("# text: trained in {:.1}s", t0.elapsed().as_secs_f64());
+    let mut model = trained.model;
+    Workload {
+        name: "text",
+        devices: device_streams(&mut model, &dataset.streams),
+    }
+}
+
+fn main() {
+    let _obs = nazar_bench::ObsRun::start("detector_shootout");
+    let quick = std::env::var("NAZAR_SHOOTOUT_QUICK").is_ok_and(|v| v == "1");
+    let threshold = DeviceConfig::default().detection_threshold;
+    let workloads = [vision_workload(quick), text_workload(quick)];
+
+    let mut rows = Vec::new();
+    for workload in &workloads {
+        let items: usize = workload.devices.iter().map(|d| d.msp.len()).sum();
+        let drifted: usize = workload
+            .devices
+            .iter()
+            .map(|d| d.truth.iter().filter(|&&t| t).count())
+            .sum();
+        let t0 = Instant::now();
+        // One replay task per kind; results merge back in zoo order, so the
+        // table is identical at any `NAZAR_NUM_THREADS`.
+        let outcomes = parallel::par_map_with(
+            DetectorKind::ALL.to_vec(),
+            parallel::num_threads(),
+            |kind| shoot(kind, &workload.devices, threshold),
+        );
+        eprintln!(
+            "# {}: replayed 6 detectors in {:.2}s",
+            workload.name,
+            t0.elapsed().as_secs_f64()
+        );
+        let mut table = Table::new(
+            format!(
+                "Detector shootout — {} ({} devices, {} items, {} drifted)",
+                workload.name,
+                workload.devices.len(),
+                items,
+                drifted
+            ),
+            &[
+                "detector",
+                "AUROC",
+                "precision",
+                "recall",
+                "latency (items)",
+                "alarms",
+            ],
+        );
+        for (kind, o) in DetectorKind::ALL.iter().zip(&outcomes) {
+            table.row(&[
+                kind.name().to_string(),
+                num(o.auroc, 3),
+                num(o.precision, 3),
+                num(o.recall, 3),
+                num(o.latency, 1),
+                o.alarms.to_string(),
+            ]);
+            rows.push(bench_row(
+                &format!("detect/{}/{}", workload.name, kind.name()),
+                &[
+                    ("auroc", o.auroc),
+                    ("precision", o.precision),
+                    ("recall", o.recall),
+                    ("latency_items", o.latency),
+                ],
+            ));
+        }
+        table.print();
+    }
+    println!(
+        "note: streaming operating points use the zoo defaults; AUROC ranks the continuous \
+         scores, latency averages items from drift onset to first alarm (censored at run end)."
+    );
+
+    let out = std::env::var("NAZAR_BENCH_OUT").unwrap_or_else(|_| "BENCH_detect.json".to_string());
+    merge_bench_json(&out, "detect/", rows).expect("write bench JSON");
+    eprintln!("# wrote {out}");
+}

@@ -19,6 +19,10 @@
 //!   date, weather and ground-truth drift cause.
 //! * [`real_rain`] — the "real rainy images" stand-in (camera-statistics
 //!   shift composed with rain) used to stress the detector (§5.3).
+//! * [`TextDataset`] — a DetAIL-style drifting-*text* workload:
+//!   term-frequency documents from a seeded [`TopicModel`], with weather
+//!   days swapping in per-cause shifted vocabularies, streaming through the
+//!   same [`StreamItem`] shape as the vision workloads.
 //!
 //! # Example
 //!
@@ -41,6 +45,7 @@ pub mod real_rain;
 pub mod sampling;
 mod space;
 mod stream;
+mod text;
 mod timeline;
 mod weather;
 
@@ -50,5 +55,6 @@ pub use corruptions::{Corruption, Severity};
 pub use error::{DataError, Result};
 pub use space::{ClassSpace, Sample};
 pub use stream::{LabeledSet, LocationStream, StreamItem};
+pub use text::{TextConfig, TextDataset, TopicModel, TEXT_LOCATIONS};
 pub use timeline::SimDate;
 pub use weather::{Weather, WeatherModel};

@@ -1,0 +1,409 @@
+//! Population Stability Index over deterministic quantile bins.
+//!
+//! PSI is the credit-scoring industry's standard drift score: bin a
+//! reference sample into quantile bins, observe where new data lands, and
+//! accumulate `Σ (aᵢ − eᵢ) · ln(aᵢ / eᵢ)` over the bins. The conventional
+//! reading is `< 0.1` stable, `0.1–0.2` moderate shift, `> 0.2` significant
+//! shift (the default alarm threshold here).
+//!
+//! Everything is deterministic: bin edges come from a fixed quantile rule
+//! over the sorted reference (no randomness), and proportions are clamped
+//! to [`PSI_FLOOR`] so an empty bin contributes a large-but-finite term
+//! instead of `ln(0) = -∞`.
+
+use crate::capabilities::DetectorCapabilities;
+use crate::policy::{nan_last_cmp, DetectError};
+use crate::{msp_of_logits, DriftDetector};
+use nazar_nn::{MlpResNet, Mode};
+use nazar_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Smallest proportion a bin may contribute to the PSI sum.
+///
+/// Clamping both expected and actual proportions to this floor keeps the
+/// index finite when a bin is empty on one side; with 10 bins the floor
+/// biases each term by at most `ln(1/PSI_FLOOR) ≈ 9.2` per fully-vacated
+/// bin, far above the 0.2 alarm line — exactly the intended behavior.
+pub const PSI_FLOOR: f64 = 1e-4;
+
+/// Population Stability Index between two discrete distributions.
+///
+/// `expected` and `actual` are per-bin proportions (each should sum to ~1);
+/// proportions are clamped to [`PSI_FLOOR`] before the log ratio.
+///
+/// # Errors
+///
+/// [`DetectError::InvalidParameter`] when the slices are empty, have
+/// mismatched lengths, or contain a negative or non-finite proportion.
+pub fn psi(expected: &[f64], actual: &[f64]) -> Result<f64, DetectError> {
+    if expected.is_empty() {
+        return Err(DetectError::InvalidParameter {
+            detector: "psi",
+            reason: "bin proportions must be non-empty",
+        });
+    }
+    if expected.len() != actual.len() {
+        return Err(DetectError::InvalidParameter {
+            detector: "psi",
+            reason: "expected and actual must have the same number of bins",
+        });
+    }
+    if expected
+        .iter()
+        .chain(actual)
+        .any(|p| !p.is_finite() || *p < 0.0)
+    {
+        return Err(DetectError::InvalidParameter {
+            detector: "psi",
+            reason: "bin proportions must be finite and non-negative",
+        });
+    }
+    Ok(expected
+        .iter()
+        .zip(actual)
+        .map(|(&e, &a)| {
+            let e = e.max(PSI_FLOOR);
+            let a = a.max(PSI_FLOOR);
+            (a - e) * (a / e).ln()
+        })
+        .sum())
+}
+
+/// First-order null expectation of the PSI between finite samples.
+///
+/// Under no drift, PSI behaves like a scaled chi-square:
+/// `E[PSI] ≈ (bins − 1) · (1/nₐ + 1/nₑ)` (each side's multinomial sampling
+/// noise contributes `(bins − 1)/n`). Small windows therefore have a
+/// substantial *noise floor* — at 32 samples over 8 bins it already exceeds
+/// the conventional 0.2 alarm line — so the detectors alarm on
+/// `PSI > threshold + floor` rather than the raw index. The raw index is
+/// still what [`PsiDetector`]'s `scores` report.
+pub fn psi_noise_floor(bins: usize, na: usize, ne: usize) -> f64 {
+    (bins.saturating_sub(1) as f64) * (1.0 / na.max(1) as f64 + 1.0 / ne.max(1) as f64)
+}
+
+/// Deterministic quantile bin edges for `bins` bins over a sorted sample.
+///
+/// Returns the `bins − 1` interior edges, edge `k` being the sample value at
+/// rank `⌈k·n/bins⌉ − 1` (the left-closed empirical quantile). Duplicate
+/// edges are allowed — heavily tied references simply concentrate mass in
+/// fewer effective bins, which [`psi`] handles via the floor.
+///
+/// # Errors
+///
+/// [`DetectError::InvalidParameter`] when `bins < 2` or any sample value is
+/// non-finite; [`DetectError::EmptyTrainingSet`] when the sample is empty.
+pub fn quantile_bin_edges(sorted: &[f32], bins: usize) -> Result<Vec<f32>, DetectError> {
+    if bins < 2 {
+        return Err(DetectError::InvalidParameter {
+            detector: "psi",
+            reason: "bin count must be at least 2",
+        });
+    }
+    if sorted.is_empty() {
+        return Err(DetectError::EmptyTrainingSet { detector: "psi" });
+    }
+    if sorted.iter().any(|v| !v.is_finite()) {
+        return Err(DetectError::InvalidParameter {
+            detector: "psi",
+            reason: "reference sample must be finite",
+        });
+    }
+    let n = sorted.len();
+    Ok((1..bins)
+        .map(|k| {
+            let rank = (k * n).div_ceil(bins).saturating_sub(1);
+            sorted[rank.min(n - 1)]
+        })
+        .collect())
+}
+
+/// Bins a sample against interior `edges` (values `≤ edge[k]` fall in bin
+/// `k`) and returns per-bin proportions. Non-finite values land in the last
+/// bin — the "most drifted" end for MSP-style scores, per the numeric
+/// policy (DESIGN.md §9).
+pub fn bin_proportions(edges: &[f32], sample: &[f32]) -> Vec<f64> {
+    let bins = edges.len() + 1;
+    let mut counts = vec![0u64; bins];
+    for &v in sample {
+        let idx = if v.is_finite() {
+            edges.partition_point(|&e| e < v)
+        } else {
+            bins - 1
+        };
+        counts[idx] += 1;
+    }
+    let total = sample.len().max(1) as f64;
+    counts.into_iter().map(|c| c as f64 / total).collect()
+}
+
+/// Batched PSI drift detector over MSP scores.
+///
+/// Fitting bins the clean-data MSP distribution into deterministic quantile
+/// bins; at inference time each batch's MSP scores are binned against the
+/// same edges and the batch is flagged when the PSI exceeds the threshold
+/// *plus the small-sample noise floor* ([`psi_noise_floor`]) for the batch
+/// and reference sizes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PsiDetector {
+    batch_size: usize,
+    threshold: f64,
+    ref_len: usize,
+    edges: Vec<f32>,
+    expected: Vec<f64>,
+}
+
+impl PsiDetector {
+    /// Conventional "significant shift" alarm threshold.
+    pub const DEFAULT_THRESHOLD: f64 = 0.2;
+
+    /// Fits quantile bins on clean-data MSP scores.
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when `batch_size` is zero,
+    /// `bins < 2`, or `threshold` is not finite and positive;
+    /// [`DetectError::EmptyTrainingSet`] when `clean` has no rows.
+    pub fn fit(
+        model: &mut MlpResNet,
+        clean: &Tensor,
+        bins: usize,
+        batch_size: usize,
+        threshold: f64,
+    ) -> Result<Self, DetectError> {
+        if batch_size == 0 {
+            return Err(DetectError::InvalidParameter {
+                detector: "psi",
+                reason: "batch size must be nonzero",
+            });
+        }
+        if !(threshold > 0.0 && threshold.is_finite()) {
+            return Err(DetectError::InvalidParameter {
+                detector: "psi",
+                reason: "threshold must be finite and positive",
+            });
+        }
+        let mut reference = msp_of_logits(&model.logits(clean, Mode::Eval));
+        if reference.is_empty() {
+            return Err(DetectError::EmptyTrainingSet { detector: "psi" });
+        }
+        reference.sort_by(nan_last_cmp);
+        let edges = quantile_bin_edges(&reference, bins)?;
+        let expected = bin_proportions(&edges, &reference);
+        Ok(PsiDetector {
+            batch_size,
+            threshold,
+            ref_len: reference.len(),
+            edges,
+            expected,
+        })
+    }
+
+    /// The fitted interior bin edges.
+    pub fn edges(&self) -> &[f32] {
+        &self.edges
+    }
+
+    /// PSI of a raw score sample against the fitted reference bins.
+    pub fn index_of(&self, sample: &[f32]) -> f64 {
+        // The fitted expected/actual vectors are finite non-negative by
+        // construction, so psi() cannot fail here.
+        psi(&self.expected, &bin_proportions(&self.edges, sample)).unwrap_or(f64::MAX)
+    }
+
+    fn batch_verdicts(&self, model: &mut MlpResNet, x: &Tensor) -> Vec<(usize, f64, bool)> {
+        let n = x.nrows().expect("detector input is [n, d]");
+        let mut out = Vec::new();
+        let mut start = 0;
+        while start < n {
+            let end = (start + self.batch_size).min(n);
+            let idx: Vec<usize> = (start..end).collect();
+            let batch = x.select_rows(&idx).expect("rows in range");
+            let msp = msp_of_logits(&model.logits(&batch, Mode::Eval));
+            let index = self.index_of(&msp);
+            let floor = psi_noise_floor(self.expected.len(), msp.len(), self.ref_len);
+            out.push((end - start, index, index > self.threshold + floor));
+            start = end;
+        }
+        out
+    }
+}
+
+impl DriftDetector for PsiDetector {
+    fn name(&self) -> &'static str {
+        "psi"
+    }
+
+    fn capabilities(&self) -> DetectorCapabilities {
+        DetectorCapabilities {
+            needs_batching: true,
+            ..DetectorCapabilities::NONE
+        }
+    }
+
+    fn scores(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<f32> {
+        self.batch_verdicts(model, x)
+            .into_iter()
+            .flat_map(|(len, index, _)| std::iter::repeat_n(index as f32, len))
+            .collect()
+    }
+
+    fn detect(&mut self, model: &mut MlpResNet, x: &Tensor) -> Vec<bool> {
+        self.batch_verdicts(model, x)
+            .into_iter()
+            .flat_map(|(len, _, drift)| std::iter::repeat_n(drift, len))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::test_support::{trained_model_and_data, TestBed};
+
+    #[test]
+    fn psi_closed_form_two_bins() {
+        // e = [0.5, 0.5], a = [0.25, 0.75]:
+        // (0.25-0.5)·ln(0.5) + (0.75-0.5)·ln(1.5) ≈ 0.274653.
+        let v = psi(&[0.5, 0.5], &[0.25, 0.75]).unwrap();
+        assert!((v - 0.274_653_07).abs() < 1e-6, "psi {v}");
+    }
+
+    #[test]
+    fn psi_identical_distributions_is_zero() {
+        let p = [0.1, 0.2, 0.3, 0.4];
+        assert!(psi(&p, &p).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn psi_rejects_degenerate_proportions() {
+        assert!(matches!(
+            psi(&[], &[]),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            psi(&[0.5, 0.5], &[1.0]),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            psi(&[0.5, f64::NAN], &[0.5, 0.5]),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            psi(&[0.5, 0.5], &[-0.1, 1.1]),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn psi_empty_bin_is_finite_and_large() {
+        let v = psi(&[0.5, 0.5], &[0.0, 1.0]).unwrap();
+        assert!(v.is_finite());
+        assert!(v > 2.0, "vacated bin must dominate the 0.2 alarm: {v}");
+    }
+
+    #[test]
+    fn quantile_edges_are_deterministic_and_ordered() {
+        let sorted: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let edges = quantile_bin_edges(&sorted, 10).unwrap();
+        assert_eq!(edges.len(), 9);
+        assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(edges, quantile_bin_edges(&sorted, 10).unwrap());
+        // Uniform sample: bins get ~equal mass.
+        let props = bin_proportions(&edges, &sorted);
+        assert!(props.iter().all(|p| (*p - 0.1).abs() < 0.05), "{props:?}");
+    }
+
+    #[test]
+    fn quantile_edges_reject_degenerate_references() {
+        assert!(matches!(
+            quantile_bin_edges(&[], 10),
+            Err(DetectError::EmptyTrainingSet { .. })
+        ));
+        assert!(matches!(
+            quantile_bin_edges(&[0.5], 1),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            quantile_bin_edges(&[0.5, f32::NAN], 2),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        // A 1-element reference is allowed: every edge is that value.
+        let edges = quantile_bin_edges(&[0.7], 4).unwrap();
+        assert_eq!(edges, vec![0.7, 0.7, 0.7]);
+    }
+
+    #[test]
+    fn non_finite_samples_bin_into_the_drifted_tail() {
+        let edges = [0.25f32, 0.5, 0.75];
+        let props = bin_proportions(&edges, &[f32::NAN, f32::INFINITY, 0.1, 0.9]);
+        assert!((props[3] - 0.75).abs() < 1e-12, "{props:?}");
+        assert!(props.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn detector_scores_drifted_batches_above_clean_ones() {
+        // The eval tensors are class-sorted, so any contiguous batch is a
+        // genuine per-class shift vs the pooled reference and raw flag
+        // counts are not a clean/drifted discriminator; the *index* is.
+        let TestBed {
+            mut model,
+            clean,
+            drifted,
+            ..
+        } = trained_model_and_data();
+        let mut det =
+            PsiDetector::fit(&mut model, &clean, 10, 64, PsiDetector::DEFAULT_THRESHOLD).unwrap();
+        let n = drifted.nrows().unwrap();
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        let clean_idx = mean(&det.scores(&mut model, &clean));
+        let drift_idx = mean(&det.scores(&mut model, &drifted));
+        assert!(drift_idx > clean_idx, "{drift_idx} !> {clean_idx}");
+        assert_eq!(det.detect(&mut model, &drifted).len(), n);
+        assert_eq!(det.edges().len(), 9);
+        assert!(det.capabilities().needs_batching);
+    }
+
+    #[test]
+    fn whole_sample_batch_flags_drifted_not_clean() {
+        // One batch spanning the whole split removes the class-ordering
+        // artifact: clean-vs-own-reference is below the alarm line, the
+        // drifted split is above it. Few bins keep the small-sample noise
+        // floor well under the genuine shift.
+        let TestBed {
+            mut model,
+            clean,
+            drifted,
+            ..
+        } = trained_model_and_data();
+        let n = clean.nrows().unwrap();
+        let mut det =
+            PsiDetector::fit(&mut model, &clean, 4, n, PsiDetector::DEFAULT_THRESHOLD).unwrap();
+        assert!(det.detect(&mut model, &clean).iter().all(|&d| !d));
+        assert!(det.detect(&mut model, &drifted).iter().all(|&d| d));
+    }
+
+    #[test]
+    fn fit_rejects_degenerate_configuration() {
+        let TestBed {
+            mut model, clean, ..
+        } = trained_model_and_data();
+        assert!(matches!(
+            PsiDetector::fit(&mut model, &clean, 10, 0, 0.2),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            PsiDetector::fit(&mut model, &clean, 1, 8, 0.2),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            PsiDetector::fit(&mut model, &clean, 10, 8, f64::NAN),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        let empty = Tensor::zeros(&[0, 32]);
+        assert!(matches!(
+            PsiDetector::fit(&mut model, &empty, 10, 8, 0.2),
+            Err(DetectError::EmptyTrainingSet { .. })
+        ));
+    }
+}

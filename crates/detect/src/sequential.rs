@@ -1,0 +1,450 @@
+//! Sequential concept-drift detectors: DDM and EDDM.
+//!
+//! Unlike the batch two-sample tests (KS/PSI/MMD), these monitor the
+//! *error stream* one observation at a time, in O(1) memory:
+//!
+//! * [`Ddm`] (Gama et al., SBIA 2004) tracks the running error rate `p` and
+//!   its binomial deviation `s = √(p(1−p)/n)`, remembers the minimum of
+//!   `p + s`, and signals warning/drift when `p + s` rises `2σ`/`3σ` above
+//!   that minimum.
+//! * [`Eddm`] (Baena-García et al., 2006) tracks the mean and deviation of
+//!   the *distance between consecutive errors* — more sensitive to slow,
+//!   gradual drift — and signals when `(p' + 2s')` falls below 95% / 90% of
+//!   its observed maximum.
+//!
+//! In this workspace the binary error fed to both is the per-inference MSP
+//! verdict (`msp < threshold`), making them drop-in members of the per-device
+//! streaming zoo. Both auto-reset after signaling drift (the published
+//! semantics: detect, hand off to adaptation, start a fresh baseline).
+
+use crate::policy::DetectError;
+use serde::{Deserialize, Serialize};
+
+/// The three-level verdict of a sequential detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DriftLevel {
+    /// In-control: the error behavior matches the learned baseline.
+    Stable,
+    /// Out-of-control at the warning threshold; adaptation data should be
+    /// buffered but no drift is declared yet.
+    Warning,
+    /// Drift declared. The detector resets its baseline after this.
+    Drift,
+}
+
+/// Drift Detection Method (Gama et al. 2004) over a binary error stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ddm {
+    min_samples: u64,
+    warn_sigma: f64,
+    drift_sigma: f64,
+    n: u64,
+    errors: u64,
+    p_min: f64,
+    s_min: f64,
+}
+
+impl Default for Ddm {
+    fn default() -> Self {
+        // Published defaults: 30-sample burn-in, 2σ warning, 3σ drift.
+        Ddm::new(30, 2.0, 3.0).expect("published defaults are valid")
+    }
+}
+
+impl Ddm {
+    /// Creates a DDM monitor.
+    ///
+    /// * `min_samples` — observations before the control limits activate.
+    /// * `warn_sigma` / `drift_sigma` — deviations above the minimum at
+    ///   which warning and drift fire (published values 2 and 3).
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when `min_samples` is zero, either
+    /// sigma is not finite and positive, or `drift_sigma ≤ warn_sigma`.
+    pub fn new(min_samples: u64, warn_sigma: f64, drift_sigma: f64) -> Result<Self, DetectError> {
+        if min_samples == 0 {
+            return Err(DetectError::InvalidParameter {
+                detector: "ddm",
+                reason: "min_samples must be nonzero",
+            });
+        }
+        if !(warn_sigma.is_finite() && warn_sigma > 0.0 && drift_sigma.is_finite()) {
+            return Err(DetectError::InvalidParameter {
+                detector: "ddm",
+                reason: "sigma levels must be finite and positive",
+            });
+        }
+        if drift_sigma <= warn_sigma {
+            return Err(DetectError::InvalidParameter {
+                detector: "ddm",
+                reason: "drift sigma must exceed warning sigma",
+            });
+        }
+        Ok(Ddm {
+            min_samples,
+            warn_sigma,
+            drift_sigma,
+            n: 0,
+            errors: 0,
+            p_min: f64::INFINITY,
+            s_min: f64::INFINITY,
+        })
+    }
+
+    /// Feeds one observation (`true` = the model erred) and returns the
+    /// current level. After returning [`DriftLevel::Drift`] the baseline is
+    /// reset, so the next observations start a fresh burn-in.
+    pub fn observe(&mut self, error: bool) -> DriftLevel {
+        self.n += 1;
+        self.errors += u64::from(error);
+        let n = self.n as f64;
+        let p = self.errors as f64 / n;
+        let s = (p * (1.0 - p) / n).sqrt();
+        if self.n < self.min_samples {
+            return DriftLevel::Stable;
+        }
+        if p + s < self.p_min + self.s_min {
+            self.p_min = p;
+            self.s_min = s;
+        }
+        // Strictly above the control limits: an error-free burn-in pins
+        // p_min = s_min = 0, and `0 > 0` must not fire.
+        let level = if p + s > self.p_min + self.drift_sigma * self.s_min {
+            DriftLevel::Drift
+        } else if p + s > self.p_min + self.warn_sigma * self.s_min {
+            DriftLevel::Warning
+        } else {
+            DriftLevel::Stable
+        };
+        if level == DriftLevel::Drift {
+            self.reset();
+        }
+        level
+    }
+
+    /// Deviations of `p + s` above the remembered minimum, in units of
+    /// `s_min` — `0` during burn-in, `≥ drift_sigma` at the drift point.
+    /// Usable as a continuous drift score (higher = more drifted).
+    pub fn statistic(&self) -> f64 {
+        if self.n < self.min_samples || !self.s_min.is_finite() {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        let p = self.errors as f64 / n;
+        let s = (p * (1.0 - p) / n).sqrt();
+        ((p + s - self.p_min - self.s_min) / self.s_min.max(1e-12)).max(0.0)
+    }
+
+    /// Observations fed since the last reset.
+    pub fn observations(&self) -> u64 {
+        self.n
+    }
+
+    /// Clears all state (fresh burn-in).
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.errors = 0;
+        self.p_min = f64::INFINITY;
+        self.s_min = f64::INFINITY;
+    }
+}
+
+/// Early Drift Detection Method (Baena-García et al. 2006) over a binary
+/// error stream: monitors the distance between consecutive errors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Eddm {
+    min_errors: u64,
+    warn_ratio: f64,
+    drift_ratio: f64,
+    n: u64,
+    last_error_at: Option<u64>,
+    // Welford accumulator over inter-error distances.
+    distances: u64,
+    mean: f64,
+    m2: f64,
+    q_max: f64,
+    level: DriftLevel,
+}
+
+impl Default for Eddm {
+    fn default() -> Self {
+        // Published defaults: 30 errors of burn-in, α = 0.95, β = 0.90.
+        Eddm::new(30, 0.95, 0.90).expect("published defaults are valid")
+    }
+}
+
+impl Eddm {
+    /// Creates an EDDM monitor.
+    ///
+    /// * `min_errors` — errors observed before the control limits activate.
+    /// * `warn_ratio` / `drift_ratio` — `(p' + 2s') / (p'_max + 2s'_max)`
+    ///   levels below which warning and drift fire (published: 0.95, 0.90).
+    ///
+    /// # Errors
+    ///
+    /// [`DetectError::InvalidParameter`] when `min_errors` is zero or the
+    /// ratios do not satisfy `0 < drift_ratio < warn_ratio ≤ 1`.
+    pub fn new(min_errors: u64, warn_ratio: f64, drift_ratio: f64) -> Result<Self, DetectError> {
+        if min_errors == 0 {
+            return Err(DetectError::InvalidParameter {
+                detector: "eddm",
+                reason: "min_errors must be nonzero",
+            });
+        }
+        let ordered = drift_ratio > 0.0 && drift_ratio < warn_ratio && warn_ratio <= 1.0;
+        if !(warn_ratio.is_finite() && drift_ratio.is_finite() && ordered) {
+            return Err(DetectError::InvalidParameter {
+                detector: "eddm",
+                reason: "ratios must satisfy 0 < drift < warn <= 1",
+            });
+        }
+        Ok(Eddm {
+            min_errors,
+            warn_ratio,
+            drift_ratio,
+            n: 0,
+            last_error_at: None,
+            distances: 0,
+            mean: 0.0,
+            m2: 0.0,
+            q_max: 0.0,
+            level: DriftLevel::Stable,
+        })
+    }
+
+    /// Feeds one observation; the level only re-evaluates when an error
+    /// arrives (the published semantics) and is sticky in between. After
+    /// returning [`DriftLevel::Drift`] the baseline resets.
+    pub fn observe(&mut self, error: bool) -> DriftLevel {
+        self.n += 1;
+        if !error {
+            return self.level;
+        }
+        if let Some(prev) = self.last_error_at {
+            let d = (self.n - prev) as f64;
+            self.distances += 1;
+            let k = self.distances as f64;
+            let delta = d - self.mean;
+            self.mean += delta / k;
+            self.m2 += delta * (d - self.mean);
+        }
+        self.last_error_at = Some(self.n);
+        if self.distances >= self.min_errors {
+            let s = (self.m2 / self.distances as f64).sqrt();
+            let q = self.mean + 2.0 * s;
+            if q > self.q_max {
+                self.q_max = q;
+            }
+            let ratio = if self.q_max > 0.0 {
+                q / self.q_max
+            } else {
+                1.0
+            };
+            self.level = if ratio < self.drift_ratio {
+                DriftLevel::Drift
+            } else if ratio < self.warn_ratio {
+                DriftLevel::Warning
+            } else {
+                DriftLevel::Stable
+            };
+            if self.level == DriftLevel::Drift {
+                self.reset();
+                return DriftLevel::Drift;
+            }
+        }
+        self.level
+    }
+
+    /// `1 − (p' + 2s') / (p'_max + 2s'_max)` — `0` during burn-in, positive
+    /// as errors crowd together. Usable as a continuous drift score.
+    pub fn statistic(&self) -> f64 {
+        if self.distances < self.min_errors || self.q_max <= 0.0 {
+            return 0.0;
+        }
+        let s = (self.m2 / self.distances as f64).sqrt();
+        (1.0 - (self.mean + 2.0 * s) / self.q_max).max(0.0)
+    }
+
+    /// Observations fed since the last reset.
+    pub fn observations(&self) -> u64 {
+        self.n
+    }
+
+    /// Clears all state (fresh burn-in).
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.last_error_at = None;
+        self.distances = 0;
+        self.mean = 0.0;
+        self.m2 = 0.0;
+        self.q_max = 0.0;
+        self.level = DriftLevel::Stable;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn bernoulli_stream(rng: &mut SmallRng, p: f64, n: usize) -> Vec<bool> {
+        (0..n).map(|_| rng.gen_range(0.0..1.0) < p).collect()
+    }
+
+    #[test]
+    fn ddm_stays_stable_on_stationary_errors() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut ddm = Ddm::default();
+        let mut drifts = 0;
+        for e in bernoulli_stream(&mut rng, 0.2, 2000) {
+            if ddm.observe(e) == DriftLevel::Drift {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 1, "stationary stream fired {drifts} drifts");
+    }
+
+    #[test]
+    fn ddm_fires_on_error_rate_jump() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut ddm = Ddm::default();
+        for e in bernoulli_stream(&mut rng, 0.1, 500) {
+            ddm.observe(e);
+        }
+        let mut fired_at = None;
+        for (i, e) in bernoulli_stream(&mut rng, 0.6, 500).into_iter().enumerate() {
+            if ddm.observe(e) == DriftLevel::Drift {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let at = fired_at.expect("6x error-rate jump must fire");
+        assert!(at < 200, "fired only after {at} post-change items");
+    }
+
+    #[test]
+    fn ddm_statistic_grows_toward_the_drift_point() {
+        // Burn in with a nonzero error rate so s_min > 0 and the statistic
+        // has a scale to grow against.
+        let mut ddm = Ddm::default();
+        for i in 0..200 {
+            ddm.observe(i % 10 == 0);
+        }
+        assert!(ddm.statistic() < 1.0);
+        let mut last = 0.0;
+        let mut fired = false;
+        for _ in 0..200 {
+            if ddm.observe(true) == DriftLevel::Drift {
+                fired = true;
+                break;
+            }
+            let s = ddm.statistic();
+            assert!(s >= last, "statistic not monotone under pure errors");
+            last = s;
+        }
+        assert!(fired, "pure errors must eventually fire");
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn ddm_resets_after_drift() {
+        let mut ddm = Ddm::default();
+        for _ in 0..60 {
+            ddm.observe(false);
+        }
+        let mut fired = false;
+        for _ in 0..200 {
+            if ddm.observe(true) == DriftLevel::Drift {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        assert_eq!(ddm.observations(), 0, "drift must reset the baseline");
+    }
+
+    #[test]
+    fn eddm_fires_when_errors_crowd_together() {
+        let mut eddm = Eddm::default();
+        // Sparse errors: one per 20 observations.
+        for i in 0..2000 {
+            assert_ne!(eddm.observe(i % 20 == 0), DriftLevel::Drift);
+        }
+        // Dense errors: every other observation.
+        let mut fired = false;
+        for i in 0..2000 {
+            if eddm.observe(i % 2 == 0) == DriftLevel::Drift {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "10x error-density jump must fire");
+        assert_eq!(eddm.observations(), 0, "drift must reset the baseline");
+    }
+
+    #[test]
+    fn eddm_fires_rarely_on_stationary_errors() {
+        // EDDM is by design the aggressive member of the pair (its control
+        // limit is a 10% relative dip of a noisy small-sample estimate, not
+        // a 3σ band), so stationary streams do produce occasional drift
+        // signals — the documented trade-off for its gradual-drift
+        // sensitivity. Pin the rate low rather than zero: well under one
+        // drift per min_errors-sized error batch.
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut eddm = Eddm::default();
+        let mut drifts = 0;
+        let mut errors = 0;
+        for e in bernoulli_stream(&mut rng, 0.2, 3000) {
+            errors += usize::from(e);
+            if eddm.observe(e) == DriftLevel::Drift {
+                drifts += 1;
+            }
+        }
+        assert!(
+            drifts * 60 <= errors,
+            "stationary stream fired {drifts} drifts over {errors} errors"
+        );
+    }
+
+    #[test]
+    fn constructors_reject_degenerate_parameters() {
+        assert!(matches!(
+            Ddm::new(0, 2.0, 3.0),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            Ddm::new(30, 3.0, 2.0),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            Ddm::new(30, f64::NAN, 3.0),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            Eddm::new(0, 0.95, 0.9),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            Eddm::new(30, 0.9, 0.95),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            Eddm::new(30, 1.5, 0.9),
+            Err(DetectError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn error_free_streams_never_fire() {
+        let mut ddm = Ddm::default();
+        let mut eddm = Eddm::default();
+        for _ in 0..10_000 {
+            assert_eq!(ddm.observe(false), DriftLevel::Stable);
+            assert_eq!(eddm.observe(false), DriftLevel::Stable);
+        }
+        assert_eq!(ddm.statistic(), 0.0);
+        assert_eq!(eddm.statistic(), 0.0);
+    }
+}

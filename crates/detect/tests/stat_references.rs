@@ -1,0 +1,263 @@
+//! Statistical reference tests for the detector zoo (ISSUE 10 satellite).
+//!
+//! Pins the zoo's statistics against *independent* ground truth, not
+//! against the implementation's own algebra:
+//!
+//! * KS p-values against the published Kolmogorov critical-value table and
+//!   a brute-force enumeration of every two-sample interleaving;
+//! * PSI against hand-computed closed forms;
+//! * MMD (biased and linear) against naive f64 double-loop oracles via
+//!   differential property tests.
+
+use nazar_detect::{
+    kolmogorov_q, ks_p_asymptotic, ks_p_exact, median_heuristic_gamma, mmd2_biased, mmd2_linear,
+    psi,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+// ---------------------------------------------------------------- KS test
+
+/// Published Kolmogorov table: Q(λ) at the classic critical points. The
+/// table rounds to two decimals; the series values are 0.10191, 0.04947,
+/// and 0.00984, so a 2e-3 tolerance pins the series against the table
+/// without inheriting the table's rounding.
+#[test]
+fn kolmogorov_q_matches_published_table() {
+    assert!((kolmogorov_q(1.22) - 0.10).abs() < 2e-3);
+    assert!((kolmogorov_q(1.36) - 0.05).abs() < 2e-3);
+    assert!((kolmogorov_q(1.63) - 0.01).abs() < 2e-3);
+}
+
+/// Brute-force null distribution of the two-sample KS statistic: enumerate
+/// every way to interleave `n` X-ranks among `n + m` pooled ranks (all
+/// equally likely under H0 with continuous data) and count the fraction
+/// whose running CDF gap reaches `d`.
+fn brute_force_ks_p(d: f64, n: usize, m: usize) -> f64 {
+    let total_slots = n + m;
+    assert!(total_slots <= 16, "brute force is exponential");
+    let band = d * (n as f64) * (m as f64) - 1e-9;
+    let mut outside = 0u64;
+    let mut total = 0u64;
+    for mask in 0u32..(1 << total_slots) {
+        if mask.count_ones() as usize != n {
+            continue;
+        }
+        total += 1;
+        let (mut i, mut j) = (0i64, 0i64);
+        let mut max_gap = 0i64;
+        for slot in 0..total_slots {
+            if mask & (1 << slot) != 0 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+            max_gap = max_gap.max((i * m as i64 - j * n as i64).abs());
+        }
+        if (max_gap as f64) >= band {
+            outside += 1;
+        }
+    }
+    outside as f64 / total as f64
+}
+
+#[test]
+fn exact_p_equals_brute_force_enumeration() {
+    for &(n, m) in &[(3usize, 3usize), (4, 2), (5, 4), (6, 5), (8, 3)] {
+        for k in 1..=(n * m) {
+            let d = k as f64 / (n * m) as f64;
+            let exact = ks_p_exact(d, n, m);
+            let brute = brute_force_ks_p(d, n, m);
+            assert!(
+                (exact - brute).abs() < 1e-9,
+                "n={n} m={m} d={d}: exact {exact} vs brute force {brute}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_and_asymptotic_agree_at_moderate_sizes() {
+    // The asymptotic approximation is good to a couple of percent by
+    // n = m = 50 over the interesting d range.
+    let (n, m) = (50, 50);
+    for k in [2, 5, 10, 15, 20] {
+        let d = k as f64 / 50.0;
+        let exact = ks_p_exact(d, n, m);
+        let asym = ks_p_asymptotic(d, n, m);
+        assert!(
+            (exact - asym).abs() < 0.02,
+            "d={d}: exact {exact} vs asymptotic {asym}"
+        );
+    }
+}
+
+// -------------------------------------------------------------------- PSI
+
+/// Closed forms, computed by hand:
+/// `(0.25−0.5)·ln(0.25/0.5) + (0.75−0.5)·ln(0.75/0.5) = 0.25·ln 3`,
+/// and a three-bin swap whose middle term vanishes.
+#[test]
+fn psi_matches_hand_computed_closed_forms() {
+    let two_bin = psi(&[0.5, 0.5], &[0.25, 0.75]).unwrap();
+    assert!((two_bin - 0.25 * 3.0f64.ln()).abs() < 1e-12);
+    assert!((two_bin - 0.274_653_07).abs() < 1e-6);
+
+    let three_bin = psi(&[0.2, 0.3, 0.5], &[0.5, 0.3, 0.2]).unwrap();
+    let want = 0.3 * 2.5f64.ln() + 0.0 - 0.3 * 0.4f64.ln();
+    assert!((three_bin - want).abs() < 1e-12);
+    assert!((three_bin - 0.549_775_0).abs() < 1e-6);
+
+    // Identity: identical distributions score exactly zero.
+    assert_eq!(psi(&[0.25, 0.25, 0.5], &[0.25, 0.25, 0.5]).unwrap(), 0.0);
+}
+
+// -------------------------------------------------------------------- MMD
+
+fn oracle_rbf(a: &[f32], b: &[f32], gamma: f64) -> f64 {
+    let d2: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum();
+    (-gamma * d2).exp()
+}
+
+/// Naive full-double-loop biased MMD² — every pair visited, diagonal
+/// included, no symmetry tricks: the independent oracle for
+/// [`mmd2_biased`]'s algebra.
+fn oracle_mmd2_biased(x: &[f32], y: &[f32], dim: usize, gamma: f64) -> f64 {
+    let (n, m) = (x.len() / dim, y.len() / dim);
+    let p = |s: &[f32], i: usize| s[i * dim..(i + 1) * dim].to_vec();
+    let mut xx = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            xx += oracle_rbf(&p(x, i), &p(x, j), gamma);
+        }
+    }
+    let mut yy = 0.0;
+    for i in 0..m {
+        for j in 0..m {
+            yy += oracle_rbf(&p(y, i), &p(y, j), gamma);
+        }
+    }
+    let mut xy = 0.0;
+    for i in 0..n {
+        for j in 0..m {
+            xy += oracle_rbf(&p(x, i), &p(y, j), gamma);
+        }
+    }
+    (xx / (n * n) as f64 + yy / (m * m) as f64 - 2.0 * xy / (n * m) as f64).max(0.0)
+}
+
+/// Direct transcription of Gretton's linear h-statistic.
+fn oracle_mmd2_linear(x: &[f32], y: &[f32], dim: usize, gamma: f64) -> f64 {
+    let (n, m) = (x.len() / dim, y.len() / dim);
+    let p = |s: &[f32], i: usize| s[i * dim..(i + 1) * dim].to_vec();
+    let pairs = n.min(m) / 2;
+    let mut sum = 0.0;
+    for q in 0..pairs {
+        let (a, b) = (2 * q, 2 * q + 1);
+        sum += oracle_rbf(&p(x, a), &p(x, b), gamma) + oracle_rbf(&p(y, a), &p(y, b), gamma)
+            - oracle_rbf(&p(x, a), &p(y, b), gamma)
+            - oracle_rbf(&p(x, b), &p(y, a), gamma);
+    }
+    sum / pairs as f64
+}
+
+/// A random MMD differential case: two point sets of a shared small
+/// dimension with values in [−2, 2].
+#[derive(Debug, Clone)]
+struct MmdCase {
+    x: Vec<f32>,
+    y: Vec<f32>,
+    dim: usize,
+    gamma: f64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct MmdCaseStrategy;
+
+impl Strategy for MmdCaseStrategy {
+    type Value = MmdCase;
+
+    fn generate(&self, rng: &mut TestRng) -> MmdCase {
+        let dim = 1 + rng.below(4) as usize;
+        let n = 2 + rng.below(14) as usize;
+        let m = 2 + rng.below(14) as usize;
+        let mut draw = |count: usize| -> Vec<f32> {
+            (0..count * dim)
+                .map(|_| (rng.unit_f64() * 4.0 - 2.0) as f32)
+                .collect()
+        };
+        let x = draw(n);
+        let y = draw(m);
+        let gamma = 0.05 + rng.unit_f64() * 4.0;
+        MmdCase { x, y, dim, gamma }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn biased_mmd_matches_naive_double_loop(case in MmdCaseStrategy) {
+        let got = mmd2_biased(&case.x, &case.y, case.dim, case.gamma).unwrap();
+        let want = oracle_mmd2_biased(&case.x, &case.y, case.dim, case.gamma);
+        prop_assert!(
+            (got - want).abs() < 1e-9,
+            "biased MMD² {} vs oracle {}", got, want
+        );
+    }
+
+    #[test]
+    fn linear_mmd_matches_direct_h_statistic(case in MmdCaseStrategy) {
+        let got = mmd2_linear(&case.x, &case.y, case.dim, case.gamma).unwrap();
+        let want = oracle_mmd2_linear(&case.x, &case.y, case.dim, case.gamma);
+        prop_assert!(
+            (got - want).abs() < 1e-9,
+            "linear MMD² {} vs oracle {}", got, want
+        );
+    }
+
+    #[test]
+    fn median_heuristic_matches_independent_computation(case in MmdCaseStrategy) {
+        let n = case.x.len() / case.dim;
+        let mut d2: Vec<f64> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let a = &case.x[i * case.dim..(i + 1) * case.dim];
+                let b = &case.x[j * case.dim..(j + 1) * case.dim];
+                d2.push(
+                    a.iter()
+                        .zip(b)
+                        .map(|(&p, &q)| {
+                            let d = f64::from(p) - f64::from(q);
+                            d * d
+                        })
+                        .sum(),
+                );
+            }
+        }
+        d2.sort_by(f64::total_cmp);
+        let med = d2[(d2.len() - 1) / 2];
+        match median_heuristic_gamma(&case.x, case.dim) {
+            Ok(gamma) => {
+                prop_assert!(med > 0.0);
+                prop_assert!((gamma - 1.0 / (2.0 * med)).abs() < 1e-12);
+            }
+            Err(_) => prop_assert!(med <= 0.0, "heuristic refused a non-degenerate sample"),
+        }
+    }
+
+    /// Same-sample sanity across the whole case space: MMD²(x, x) is
+    /// exactly zero for the biased statistic.
+    #[test]
+    fn biased_mmd_of_identical_samples_is_zero(case in MmdCaseStrategy) {
+        let got = mmd2_biased(&case.x, &case.x, case.dim, case.gamma).unwrap();
+        prop_assert!(got < 1e-12, "MMD²(x, x) = {}", got);
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::item_attributes;
 use nazar_data::{Corruption, SimDate, StreamItem};
-use nazar_detect::MspThreshold;
+use nazar_detect::{DetectorKind, StreamDetector};
 use nazar_log::{Attribute, DriftLogEntry};
 use nazar_nn::{BnPatch, MlpResNet, QuantMode, QuantizedMlp};
 use nazar_registry::{DeployOutcome, ModelPool, VersionMeta};
@@ -16,8 +16,15 @@ pub struct DeviceConfig {
     /// Fraction of inputs uploaded to the cloud for adaptation (§3.1: "the
     /// device samples a percentage of the actual input data").
     pub sample_rate: f64,
-    /// MSP detection threshold (paper default 0.9).
+    /// MSP detection threshold (paper default 0.9). Also feeds the error
+    /// signal of the sequential detectors and the warmup fallback of the
+    /// windowed ones when [`DeviceConfig::detector`] is not
+    /// [`DetectorKind::Msp`].
     pub detection_threshold: f32,
+    /// Which drift detector from the zoo each device runs
+    /// ([`DetectorKind::Msp`] — the paper's choice — by default).
+    #[serde(default)]
+    pub detector: DetectorKind,
     /// Maximum stored model versions (`None` disables the cap, as in the
     /// Fig. 8c experiment).
     pub pool_capacity: Option<usize>,
@@ -32,6 +39,7 @@ impl Default for DeviceConfig {
         DeviceConfig {
             sample_rate: 0.3,
             detection_threshold: 0.9,
+            detector: DetectorKind::Msp,
             pool_capacity: Some(8),
             quant: QuantMode::F32,
         }
@@ -84,7 +92,7 @@ pub struct Device {
     quant_model: Option<QuantizedMlp>,
     active_version: Option<u64>,
     pool: ModelPool<BnPatch>,
-    detector: MspThreshold,
+    detector: StreamDetector,
     config: DeviceConfig,
     seq: u64,
 }
@@ -110,7 +118,7 @@ impl Device {
             quant_model,
             active_version: None,
             pool: ModelPool::new(config.pool_capacity),
-            detector: MspThreshold::new(config.detection_threshold),
+            detector: StreamDetector::new(config.detector, config.detection_threshold),
             config,
             seq: 0,
         }
@@ -183,15 +191,9 @@ impl Device {
             None => forward_item(&mut self.active_model, item),
         };
         self.seq += 1;
-        let (entry, sample) = emit_outputs(
-            item,
-            attrs,
-            msp,
-            self.detector.threshold,
-            self.config.sample_rate,
-            self.seq,
-            rng,
-        );
+        let drift = self.detector.observe(msp);
+        let (entry, sample) =
+            emit_outputs(item, attrs, drift, self.config.sample_rate, self.seq, rng);
         DeviceOutput {
             entry,
             sample,
@@ -228,20 +230,21 @@ pub(crate) fn forward_item_quant(quant: &QuantizedMlp, item: &StreamItem) -> (us
     (prediction, msp)
 }
 
-/// The detection/emission half of the on-device loop: drift verdict,
-/// drift-log entry, and the sampled upload (one RNG draw per item). `seq`
-/// is the device's entry sequence number *after* incrementing for this
-/// item. Shared by [`Device::process`] and the event-driven scheduler.
+/// The emission half of the on-device loop: drift-log entry and the sampled
+/// upload (one RNG draw per item). The drift verdict is computed by the
+/// caller's [`StreamDetector`] — detector state is per-device and must live
+/// with the device (lockstep) or be threaded through the batch job
+/// (event-driven scheduler). `seq` is the device's entry sequence number
+/// *after* incrementing for this item. Shared by [`Device::process`] and
+/// the event-driven scheduler.
 pub(crate) fn emit_outputs<R: Rng + ?Sized>(
     item: &StreamItem,
     attrs: Vec<Attribute>,
-    msp: f32,
-    threshold: f32,
+    drift: bool,
     sample_rate: f64,
     seq: u64,
     rng: &mut R,
 ) -> (DriftLogEntry, Option<UploadedSample>) {
-    let drift = msp < threshold;
     let timestamp = u64::from(item.date.day_index()) * 86_400 + seq % 86_400;
     let entry = DriftLogEntry {
         timestamp,

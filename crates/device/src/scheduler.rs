@@ -34,6 +34,7 @@ use crate::fleet::{record_stats, tally, WindowOutput};
 use crate::item_attributes;
 use crate::state::{DevicePools, FleetState};
 use nazar_data::{LocationStream, SimDate, StreamItem};
+use nazar_detect::StreamDetector;
 use nazar_nn::{BnPatch, MlpResNet, QuantMode, QuantizedMlp};
 use nazar_obs::{LazyCounter, LazyGauge, LazyHistogram};
 use nazar_registry::{VersionArena, VersionMeta};
@@ -285,6 +286,10 @@ struct DeviceJob {
     device: u32,
     seq: u64,
     rng: SmallRng,
+    /// The device's streaming drift detector, checked out for the batch
+    /// (stateful for the windowed/sequential zoo kinds; exactly
+    /// `msp < threshold` for the default MSP kind).
+    detector: StreamDetector,
     events: Vec<Event>,
 }
 
@@ -293,6 +298,8 @@ struct JobResult {
     device: u32,
     seq: u64,
     rng: SmallRng,
+    /// The detector handed back after observing the batch's detects.
+    detector: StreamDetector,
     /// MSP per detect, in item order (feeds the confidence-history ring).
     confs: Vec<f32>,
     /// Detect events generated by arrivals, to enqueue at merge time.
@@ -344,6 +351,9 @@ pub struct FleetSim {
     next_seq: u64,
     depth_watermark: usize,
     deploy_epoch: u64,
+    /// Per-device streaming detector state, checked out into batch jobs
+    /// like the per-device RNGs ([`None`] while a job holds it).
+    detectors: Vec<Option<StreamDetector>>,
     scratches: Vec<Option<Scratch>>,
     last_install: Option<InstallMemo>,
     trace: Option<Vec<TraceEvent>>,
@@ -363,6 +373,14 @@ impl FleetSim {
         let mut base_model = base_model.clone();
         let base_patch = BnPatch::extract(&mut base_model);
         FLEET_DEVICES.set(state.len() as f64);
+        let detectors = (0..state.len())
+            .map(|_| {
+                Some(StreamDetector::new(
+                    config.detector,
+                    config.detection_threshold,
+                ))
+            })
+            .collect();
         FleetSim {
             state,
             pools,
@@ -375,6 +393,7 @@ impl FleetSim {
             next_seq: 0,
             depth_watermark: 0,
             deploy_epoch: 0,
+            detectors,
             scratches: Vec::new(),
             last_install: None,
             trace: None,
@@ -754,10 +773,14 @@ impl FleetSim {
                 .expect("inference event for a non-participating device")
                 .take()
                 .expect("device rng checked out twice");
+            let detector = self.detectors[device as usize]
+                .take()
+                .expect("device detector checked out twice");
             jobs.push(DeviceJob {
                 device,
                 seq: self.state.seq(device as usize),
                 rng,
+                detector,
                 events,
             });
         }
@@ -811,6 +834,7 @@ impl FleetSim {
                 let d = res.device as usize;
                 self.state.set_seq(d, res.seq);
                 *rngs.get_mut(&res.device).expect("participant rng slot") = Some(res.rng);
+                self.detectors[d] = Some(res.detector);
                 for msp in res.confs {
                     self.state.record_conf(d, msp);
                 }
@@ -849,6 +873,7 @@ fn run_chunk(chunk: Chunk, ctx: &BatchCtx<'_>) -> (usize, Vec<JobResult>, Scratc
             device: job.device,
             seq: job.seq,
             rng: job.rng,
+            detector: job.detector,
             confs: Vec::new(),
             detects: Vec::new(),
             outputs: Vec::new(),
@@ -889,11 +914,14 @@ fn run_chunk(chunk: Chunk, ctx: &BatchCtx<'_>) -> (usize, Vec<JobResult>, Scratc
                     let it = ctx.items[item as usize];
                     let attrs = item_attributes(it);
                     res.seq += 1;
+                    // Detect events pop in item order per device, so the
+                    // streaming detector observes the same MSP sequence as
+                    // the lockstep device.
+                    let drift = res.detector.observe(msp);
                     let (entry, sample) = emit_outputs(
                         it,
                         attrs,
-                        msp,
-                        ctx.config.detection_threshold,
+                        drift,
                         ctx.config.sample_rate,
                         res.seq,
                         &mut res.rng,
